@@ -1,0 +1,466 @@
+(* dlosn: command-line front end for the diffusive-logistic information
+   diffusion library.
+
+   Subcommands:
+     generate      build a synthetic Digg corpus and save it as TSV
+     characterize  print the temporal/spatial density patterns (Figs 2-5)
+     predict       run the DL prediction pipeline on a story (Fig 7, Tables I-II)
+     properties    verify the model's theoretical properties numerically
+     sweep         parameter-sensitivity sweep over d, r and K *)
+
+open Cmdliner
+
+(* --- shared options --- *)
+
+let scale_conv =
+  let parse = function
+    | "small" -> Ok Socialnet.Digg.small
+    | "medium" -> Ok Socialnet.Digg.medium
+    | "full" -> Ok Socialnet.Digg.full
+    | s -> Error (`Msg (Printf.sprintf "unknown scale %S (small|medium|full)" s))
+  in
+  let print ppf (s : Socialnet.Digg.scale) =
+    Format.fprintf ppf "%d-users" s.Socialnet.Digg.n_users
+  in
+  Arg.conv (parse, print)
+
+let scale_arg =
+  Arg.(
+    value
+    & opt scale_conv Socialnet.Digg.medium
+    & info [ "scale" ] ~docv:"SCALE"
+        ~doc:"Corpus scale: small (~2k users), medium (~20k), full \
+              (139,409 users / 3,553 stories, the paper's scale).")
+
+let seed_arg =
+  Arg.(
+    value & opt int 7
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic corpus seed.")
+
+let load_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "load" ] ~docv:"FILE"
+        ~doc:"Load a dataset saved by $(b,generate) instead of building \
+              one (story indices then refer to positions in that file; \
+              the four representative stories are the last four).")
+
+let story_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "story" ] ~docv:"N"
+        ~doc:"Representative story to analyse: 1 (most popular) to 4.")
+
+let metric_conv =
+  let parse = function
+    | "hops" -> Ok `Hops
+    | "interest" -> Ok `Interest
+    | "interest-quantile" -> Ok `Interest_quantile
+    | s ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "unknown metric %S (hops|interest|interest-quantile)" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with
+      | `Hops -> "hops"
+      | `Interest -> "interest"
+      | `Interest_quantile -> "interest-quantile")
+  in
+  Arg.conv (parse, print)
+
+let metric_arg =
+  Arg.(
+    value & opt metric_conv `Hops
+    & info [ "metric" ] ~docv:"METRIC"
+        ~doc:"Distance metric: friendship $(b,hops), shared \
+              $(b,interest) (equal-width groups, as in the paper) or \
+              $(b,interest-quantile) (population-balanced groups).")
+
+let pipeline_metric = function
+  | `Hops -> Dl.Pipeline.hops
+  | `Interest -> Dl.Pipeline.interest
+  | `Interest_quantile ->
+    Dl.Pipeline.Interest
+      { n_groups = 5; grouping = Socialnet.Distance.Quantile }
+
+(* Either load a saved dataset (rep stories are the last four) or build
+   a fresh corpus. *)
+let get_dataset load scale seed =
+  match load with
+  | Some path ->
+    let ds = Socialnet.Dataset.load_tsv path in
+    let n = Socialnet.Dataset.n_stories ds in
+    if n < 4 then failwith "dataset has fewer than four stories";
+    (ds, Array.init 4 (fun i -> n - 4 + i))
+  | None ->
+    let corpus = Socialnet.Digg.build ~scale ~seed () in
+    (corpus.Socialnet.Digg.dataset, corpus.Socialnet.Digg.rep_ids)
+
+let get_story ds rep_ids index =
+  if index < 1 || index > Array.length rep_ids then
+    failwith "story index must be 1..4";
+  Socialnet.Dataset.story ds rep_ids.(index - 1)
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let out =
+    Arg.(
+      value & opt string "digg_corpus.tsv"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let run scale seed out =
+    Format.printf "Building corpus (%d users, seed %d)...@."
+      scale.Socialnet.Digg.n_users seed;
+    let corpus = Socialnet.Digg.build ~scale ~seed () in
+    let ds = corpus.Socialnet.Digg.dataset in
+    Socialnet.Dataset.save_tsv ds out;
+    Format.printf "%a@.written to %s@." Socialnet.Dataset.pp ds out;
+    Array.iteri
+      (fun k id ->
+        Format.printf "s%d = %a@." (k + 1) Socialnet.Types.pp_story
+          (Socialnet.Dataset.story ds id))
+      corpus.Socialnet.Digg.rep_ids
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Build a synthetic Digg corpus and save it.")
+    Term.(const run $ scale_arg $ seed_arg $ out)
+
+(* --- characterize --- *)
+
+let characterize_cmd =
+  let run scale seed load metric =
+    let ds, rep_ids = get_dataset load scale seed in
+    let times = [| 1.; 5.; 10.; 15.; 20.; 25.; 30.; 35.; 40.; 45.; 50. |] in
+    Array.iteri
+      (fun k id ->
+        let story = Socialnet.Dataset.story ds id in
+        Format.printf "@.=== s%d: %a ===@." (k + 1) Socialnet.Types.pp_story
+          story;
+        let assignment =
+          match metric with
+          | `Hops -> Socialnet.Distance.friendship_hops ds ~story
+          | `Interest -> Socialnet.Distance.interest_groups ds ~story
+          | `Interest_quantile ->
+            Socialnet.Distance.interest_groups
+              ~grouping:Socialnet.Distance.Quantile ds ~story
+        in
+        (if metric = `Hops then begin
+           let dist =
+             Socialnet.Density.distance_distribution ~assignment
+               ~max_distance:10
+           in
+           Format.printf "distance distribution (Fig 2): ";
+           Array.iter (fun (d, f) -> Format.printf "%d:%.3f " d f) dist;
+           Format.printf "@."
+         end);
+        let obs =
+          Socialnet.Density.observe story ~assignment ~max_distance:5 ~times
+        in
+        Format.printf "%a@." Socialnet.Density.pp obs;
+        if Socialnet.Types.story_vote_count story >= 2 then begin
+          let half = Socialnet.Temporal.time_to_fraction story ~fraction:0.5 in
+          let sat = Socialnet.Temporal.saturation_time story in
+          let gaps = Socialnet.Temporal.inter_arrival_stats story in
+          Format.printf
+            "50%% of votes by %.1f h; saturation (98%%) at %.1f h; median \
+             inter-vote gap %.3f h@."
+            half sat gaps.Socialnet.Temporal.median
+        end)
+      rep_ids
+  in
+  Cmd.v
+    (Cmd.info "characterize"
+       ~doc:"Print the temporal and spatial diffusion patterns (Figs 2-5).")
+    Term.(const run $ scale_arg $ seed_arg $ load_arg $ metric_arg)
+
+(* --- predict --- *)
+
+let params_conv =
+  let parse = function
+    | "paper" -> Ok `Paper
+    | "auto" -> Ok `Auto
+    | "insample" -> Ok `Insample
+    | s -> Error (`Msg (Printf.sprintf "unknown params %S (paper|auto|insample)" s))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf
+      (match p with `Paper -> "paper" | `Auto -> "auto" | `Insample -> "insample")
+  in
+  Arg.conv (parse, print)
+
+let predict_cmd =
+  let params_arg =
+    Arg.(
+      value & opt params_conv `Paper
+      & info [ "params" ] ~docv:"P"
+          ~doc:"Parameter choice: $(b,paper) (published constants), \
+                $(b,auto) (calibrated on t = 2..4, judged out of \
+                sample) or $(b,insample) (calibrated on t = 2..6 like \
+                the paper's hand tuning).")
+  in
+  let baselines_arg =
+    Arg.(
+      value & flag
+      & info [ "baselines" ]
+          ~doc:"Also report persistence / linear / no-diffusion-logistic \
+                baselines.")
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Write a markdown report of the experiment to FILE.")
+  in
+  let export_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"DIR"
+          ~doc:"Write plot-ready TSV exports (densities, predictions, \
+                accuracy, surface) into DIR.")
+  in
+  let run scale seed load metric story params baselines report export =
+    let ds, rep_ids = get_dataset load scale seed in
+    let story = get_story ds rep_ids story in
+    Format.printf "story: %a@." Socialnet.Types.pp_story story;
+    let param_choice =
+      match params with
+      | `Paper -> Dl.Pipeline.Paper
+      | `Auto ->
+        Dl.Pipeline.Auto
+          { rng = Numerics.Rng.create (seed + 1); config = Dl.Fit.default_config }
+      | `Insample ->
+        Dl.Pipeline.Auto
+          {
+            rng = Numerics.Rng.create (seed + 1);
+            config =
+              {
+                Dl.Fit.default_config with
+                fit_times = [| 2.; 3.; 4.; 5.; 6. |];
+              };
+          }
+    in
+    let exp =
+      Dl.Pipeline.run ~params:param_choice ds ~story
+        ~metric:(pipeline_metric metric)
+    in
+    Format.printf "params: %a@." Dl.Params.pp exp.Dl.Pipeline.params;
+    (match exp.Dl.Pipeline.fit_error with
+    | Some e -> Format.printf "training error: %.4f@." e
+    | None -> ());
+    Format.printf "%a@." Dl.Accuracy.pp_table exp.Dl.Pipeline.table;
+    let named_baselines () =
+      let obs = exp.Dl.Pipeline.observation in
+      let fit_times = [| 2.; 3.; 4. |] in
+      [
+        ("persistence", Dl.Baselines.persistence obs);
+        ("linear trend", Dl.Baselines.linear_trend obs ~fit_times);
+        ( "logistic (no diffusion)",
+          Dl.Baselines.logistic_per_distance obs ~fit_times );
+      ]
+    in
+    if baselines then begin
+      Format.printf "@.%-24s overall: %.2f%%@." "DL"
+        (100. *. exp.Dl.Pipeline.table.Dl.Accuracy.overall_average);
+      List.iter
+        (fun (name, p) ->
+          let table = Dl.Pipeline.baseline_table exp ~baseline:p in
+          Format.printf "%-24s overall: %.2f%%@." name
+            (100. *. table.Dl.Accuracy.overall_average))
+        (named_baselines ())
+    end;
+    (match report with
+    | Some path ->
+      let text =
+        if baselines then
+          Dl.Report.render_with_baselines exp ~baselines:(named_baselines ())
+        else Dl.Report.render exp
+      in
+      Dl.Report.save ~path text;
+      Format.printf "report written to %s@." path
+    | None -> ());
+    match export with
+    | Some dir ->
+      let written = Dl.Export.export_experiment exp ~dir ~prefix:"experiment" in
+      Format.printf "exported %d files to %s@." (List.length written) dir
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:"Predict a story's density evolution with the DL model \
+             (Fig 7, Tables I-II).")
+    Term.(
+      const run $ scale_arg $ seed_arg $ load_arg $ metric_arg $ story_arg
+      $ params_arg $ baselines_arg $ report_arg $ export_arg)
+
+(* --- properties --- *)
+
+let properties_cmd =
+  let run scale seed load metric story =
+    let ds, rep_ids = get_dataset load scale seed in
+    let story = get_story ds rep_ids story in
+    let exp = Dl.Pipeline.run ds ~story ~metric:(pipeline_metric metric) in
+    Format.printf "story: %a@.params: %a@." Socialnet.Types.pp_story story
+      Dl.Params.pp exp.Dl.Pipeline.params;
+    Format.printf "phi admissibility: %a@." Dl.Initial.pp_report
+      (Dl.Initial.check exp.Dl.Pipeline.phi ~params:exp.Dl.Pipeline.params);
+    Format.printf "unique property (0 <= I <= K): %a@."
+      Dl.Properties.pp_verdict
+      (Dl.Properties.bounds exp.Dl.Pipeline.solution);
+    Format.printf "strictly increasing property:  %a@."
+      Dl.Properties.pp_verdict
+      (Dl.Properties.monotone_in_time exp.Dl.Pipeline.solution)
+  in
+  Cmd.v
+    (Cmd.info "properties"
+       ~doc:"Verify the model's theoretical properties on a story.")
+    Term.(const run $ scale_arg $ seed_arg $ load_arg $ metric_arg $ story_arg)
+
+(* --- sweep --- *)
+
+let sweep_cmd =
+  let run scale seed load story =
+    let ds, rep_ids = get_dataset load scale seed in
+    let story = get_story ds rep_ids story in
+    let exp = Dl.Pipeline.run ds ~story ~metric:Dl.Pipeline.hops in
+    let phi = exp.Dl.Pipeline.phi in
+    let base = exp.Dl.Pipeline.params in
+    let distances = exp.Dl.Pipeline.observation.Socialnet.Density.distances in
+    let accuracy params =
+      let sol = Dl.Model.solve params ~phi ~times:[| 2.; 3.; 4.; 5.; 6. |] in
+      let table =
+        Dl.Accuracy.table
+          ~predict:(fun ~x ~t -> Dl.Model.predict sol ~x:(float_of_int x) ~t)
+          ~actual:(fun ~x ~t ->
+            Socialnet.Density.at exp.Dl.Pipeline.observation ~distance:x
+              ~time:t)
+          ~distances ~times:[| 2.; 3.; 4.; 5.; 6. |]
+      in
+      100. *. table.Dl.Accuracy.overall_average
+    in
+    Format.printf "story: %a@.@." Socialnet.Types.pp_story story;
+    Format.printf "diffusion-rate sweep (others fixed at paper values):@.";
+    List.iter
+      (fun d ->
+        let p = { base with Dl.Params.d } in
+        Format.printf "  d = %-7g overall accuracy %.2f%%@." d (accuracy p))
+      [ 0.; 0.005; 0.01; 0.05; 0.1; 0.3 ];
+    Format.printf "@.carrying-capacity sweep:@.";
+    List.iter
+      (fun k ->
+        let p = { base with Dl.Params.k } in
+        Format.printf "  K = %-7g overall accuracy %.2f%%@." k (accuracy p))
+      [ 15.; 25.; 40.; 60. ];
+    Format.printf "@.growth-decay sweep (r = a e^{-b(t-1)} + c, varying b):@.";
+    List.iter
+      (fun b ->
+        let p =
+          { base with Dl.Params.r = Dl.Growth.Exp_decay { a = 1.4; b; c = 0.25 } }
+        in
+        Format.printf "  b = %-7g overall accuracy %.2f%%@." b (accuracy p))
+      [ 0.5; 1.0; 1.5; 2.5 ]
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Parameter-sensitivity sweep around the paper values.")
+    Term.(const run $ scale_arg $ seed_arg $ load_arg $ story_arg)
+
+(* --- batch --- *)
+
+let batch_cmd =
+  let n_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "n" ] ~docv:"N" ~doc:"Number of top-voted stories to evaluate.")
+  in
+  let mode_conv =
+    let parse = function
+      | "paper" -> Ok `Paper
+      | "insample" -> Ok `Insample
+      | "oos" -> Ok `Oos
+      | s -> Error (`Msg (Printf.sprintf "unknown mode %S (paper|insample|oos)" s))
+    in
+    let print ppf m =
+      Format.pp_print_string ppf
+        (match m with `Paper -> "paper" | `Insample -> "insample" | `Oos -> "oos")
+    in
+    Arg.conv (parse, print)
+  in
+  let mode_arg =
+    Arg.(
+      value & opt mode_conv `Paper
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Parameter protocol per story: $(b,paper), $(b,insample) \
+                or $(b,oos).")
+  in
+  let run scale seed load metric n mode =
+    let ds, _ = get_dataset load scale seed in
+    let stories = Dl.Batch.top_stories ds ~n in
+    let mode =
+      match mode with
+      | `Paper -> Dl.Batch.Paper_params
+      | `Insample -> Dl.Batch.In_sample (seed + 100)
+      | `Oos -> Dl.Batch.Out_of_sample (seed + 100)
+    in
+    let summary =
+      Dl.Batch.evaluate ~mode ~metric:(pipeline_metric metric) ds ~stories
+    in
+    Format.printf "%a@." Dl.Batch.pp_summary summary;
+    Array.iter
+      (fun (r : Dl.Batch.story_result) ->
+        match r.Dl.Batch.skipped with
+        | None ->
+          Format.printf "  story %-5d %6d votes  %6.2f%%@." r.Dl.Batch.story_id
+            r.Dl.Batch.votes
+            (100. *. r.Dl.Batch.overall)
+        | Some reason ->
+          Format.printf "  story %-5d %6d votes  skipped (%s)@."
+            r.Dl.Batch.story_id r.Dl.Batch.votes reason)
+      summary.Dl.Batch.results
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Evaluate the DL pipeline across the corpus's top stories.")
+    Term.(
+      const run $ scale_arg $ seed_arg $ load_arg $ metric_arg $ n_arg
+      $ mode_arg)
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let run scale seed load =
+    let ds, rep_ids = get_dataset load scale seed in
+    Format.printf "%a@.@." Socialnet.Corpus_stats.pp
+      (Socialnet.Corpus_stats.compute ds);
+    Format.printf "representative stories:@.";
+    Array.iteri
+      (fun k id ->
+        let story = Socialnet.Dataset.story ds id in
+        Format.printf "  s%d = %a@." (k + 1) Socialnet.Types.pp_story story)
+      rep_ids;
+    let ranked =
+      Socialnet.Temporal.spread_speed_rank
+        (Array.map (Socialnet.Dataset.story ds) rep_ids)
+    in
+    Format.printf "spread speed (time to half the votes), fastest first:@.";
+    Array.iter
+      (fun (id, t) -> Format.printf "  story %d: %.1f h@." id t)
+      ranked
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print corpus-level statistics.")
+    Term.(const run $ scale_arg $ seed_arg $ load_arg)
+
+let () =
+  let doc = "diffusive-logistic information diffusion in online social networks" in
+  let info = Cmd.info "dlosn" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; characterize_cmd; predict_cmd; properties_cmd;
+            sweep_cmd; batch_cmd; stats_cmd ]))

@@ -1,0 +1,56 @@
+(* Forecasting with the DL model: horizons, transfer, cascade size.
+
+   Three practitioner questions the library answers beyond the paper's
+   Tables I-II:
+   1. How far ahead can a calibrated model predict? (forecast horizon)
+   2. Do parameters learned on one story transfer to another?
+   3. Can the density surface forecast a story's final vote count?
+
+   Runs on the small corpus so it finishes in a few seconds:
+   dune exec examples/forecasting.exe *)
+
+let () =
+  let corpus = Socialnet.Digg.build ~scale:Socialnet.Digg.small ~seed:5 () in
+  let ds = corpus.Socialnet.Digg.dataset in
+  let s1 = Socialnet.Dataset.story ds corpus.Socialnet.Digg.rep_ids.(0) in
+
+  Format.printf "=== 1. Forecast horizon (story s1, %d votes) ===@."
+    (Socialnet.Types.story_vote_count s1);
+  let _, obs =
+    Dl.Pipeline.observe ds ~story:s1 ~metric:Dl.Pipeline.hops
+      ~times:(Array.init 24 (fun i -> float_of_int (i + 1)))
+  in
+  let points =
+    Dl.Horizon.curve (Numerics.Rng.create 3) obs ~train_untils:[| 4.; 8. |]
+      ~horizons:[| 2.; 6.; 12. |]
+  in
+  Format.printf "%a@.@." Dl.Horizon.pp points;
+
+  Format.printf "=== 2. Cross-story transfer ===@.";
+  let stories =
+    Array.map (Socialnet.Dataset.story ds)
+      (Array.sub corpus.Socialnet.Digg.rep_ids 0 3)
+  in
+  let m = Dl.Transfer.cross_apply (Numerics.Rng.create 5) ds ~stories in
+  Format.printf "%a@." Dl.Transfer.pp m;
+  Format.printf "diagonal advantage: %+.1f points@.@."
+    (100. *. Dl.Transfer.diagonal_advantage m);
+
+  Format.printf "=== 3. Final-size forecasts (at 50 h) ===@.";
+  let sample = Dl.Batch.top_stories ds ~n:5 in
+  let stale =
+    {
+      Dl.Fit.default_config with
+      fit_times = [| 2.; 3.; 4.; 5.; 6. |];
+      c_bounds = (0., 0.03);
+    }
+  in
+  let forecasts =
+    Dl.Size_forecast.evaluate ~mode:(Dl.Batch.In_sample 7) ~config:stale
+      ~at:50. ds ~stories:sample
+  in
+  Format.printf "%a" Dl.Size_forecast.pp forecasts;
+  if Array.length forecasts >= 2 then
+    Format.printf "correlation %.3f, mean relative error %.2f@."
+      (Dl.Size_forecast.correlation forecasts)
+      (Dl.Size_forecast.mean_relative_error forecasts)

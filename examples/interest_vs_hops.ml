@@ -1,0 +1,64 @@
+(* The paper's two distance metrics, side by side (Sections II.A and
+   III.B).
+
+   For each representative story, measures the density of influenced
+   users over time under both metrics — friendship hops (BFS from the
+   initiator) and shared interests (Jaccard over vote histories,
+   quantised into five groups) — and prints the spatio-temporal
+   patterns behind the paper's Figures 3 and 5.
+
+   Run with: dune exec examples/interest_vs_hops.exe *)
+
+let hours = [| 1.; 5.; 10.; 20.; 30.; 40.; 50. |]
+
+let show_story ds (story : Socialnet.Types.story) name =
+  Format.printf "@.=== %s: %a ===@." name Socialnet.Types.pp_story story;
+  (* friendship hops *)
+  let hops = Socialnet.Distance.friendship_hops ds ~story in
+  let hop_obs =
+    Socialnet.Density.observe story ~assignment:hops ~max_distance:5
+      ~times:hours
+  in
+  Format.printf "@.Friendship hops (percent influenced):@.%a@."
+    Socialnet.Density.pp hop_obs;
+  (* shared interests *)
+  let groups = Socialnet.Distance.interest_groups ds ~story in
+  let interest_obs =
+    Socialnet.Density.observe story ~assignment:groups ~max_distance:5
+      ~times:hours
+  in
+  Format.printf "@.Shared interests (percent influenced):@.%a@."
+    Socialnet.Density.pp interest_obs;
+  (* the observation the paper draws from Fig 3 vs Fig 5 *)
+  let final obs d =
+    let s = Socialnet.Density.series_at_distance obs ~distance:d in
+    s.(Array.length s - 1)
+  in
+  let monotone obs =
+    let ok = ref true in
+    for d = 1 to 4 do
+      if
+        hop_obs.Socialnet.Density.population.(d) > 0
+        && final obs d < final obs (d + 1)
+      then ok := false
+    done;
+    !ok
+  in
+  Format.printf
+    "@.hop-density monotone in distance: %b; interest-density monotone: %b@."
+    (monotone hop_obs) (monotone interest_obs)
+
+let () =
+  Format.printf "Building synthetic Digg corpus (medium scale)...@.";
+  let corpus = Socialnet.Digg.build ~scale:Socialnet.Digg.medium ~seed:7 () in
+  let ds = corpus.Socialnet.Digg.dataset in
+  Array.iteri
+    (fun k id ->
+      show_story ds
+        (Socialnet.Dataset.story ds id)
+        (Printf.sprintf "s%d" (k + 1)))
+    corpus.Socialnet.Digg.rep_ids;
+  Format.printf
+    "@.Note: for the most popular story the hop-density need not be @,\
+     monotone (the paper's s1 has hop-3 denser than hop-2, because @,\
+     information also travels off-graph through the front page).@."

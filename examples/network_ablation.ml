@@ -1,0 +1,73 @@
+(* Why collapse the network to one dimension?
+
+   The DL model's central abstraction flattens the social graph onto a
+   1-D distance axis.  This example solves the same reaction-diffusion
+   dynamics directly on the graph Laplacian (no flattening), aggregates
+   back to hop groups, and compares with the 1-D model — showing what
+   the paper's abstraction gains and loses.
+
+   Run with: dune exec examples/network_ablation.exe *)
+
+let () =
+  Format.printf "Building small corpus...@.";
+  let corpus = Socialnet.Digg.build ~scale:Socialnet.Digg.small ~seed:5 () in
+  let ds = corpus.Socialnet.Digg.dataset in
+  let s1 = Socialnet.Dataset.story ds corpus.Socialnet.Digg.rep_ids.(0) in
+
+  (* the shared ground truth: observed densities by hop group *)
+  let exp = Dl.Pipeline.run ds ~story:s1 ~metric:Dl.Pipeline.hops in
+  let obs = exp.Dl.Pipeline.observation in
+  let distances = obs.Socialnet.Density.distances in
+  let max_distance = distances.(Array.length distances - 1) in
+
+  (* --- node-level model on the graph Laplacian --- *)
+  Format.printf "Calibrating the node-level model (grid over d, r)...@.";
+  let laplacian =
+    Osn_graph.Laplacian.undirected_laplacian (Socialnet.Dataset.follows ds)
+  in
+  let i0 =
+    Dl.Network_model.indicator_initial s1
+      ~n_users:(Socialnet.Dataset.n_users ds) ~at:1.
+  in
+  let fit =
+    Dl.Network_model.fit_grid ~dt:0.2 ~laplacian
+      ~assignment:exp.Dl.Pipeline.assignment ~obs ~i0
+      ~d_grid:[| 0.005; 0.02; 0.08; 0.3 |]
+      ~r_grid:[| 0.2; 0.45; 0.8; 1.4 |]
+      ~k:100. ()
+  in
+  Format.printf "best cell: d = %g, %a (training error %.3f)@.@."
+    fit.Dl.Network_model.params.Dl.Network_model.d Dl.Growth.pp
+    fit.Dl.Network_model.params.Dl.Network_model.r
+    fit.Dl.Network_model.training_error;
+
+  (* --- compare group densities at t = 6 --- *)
+  let times = [| 6. |] in
+  let snapshots =
+    Dl.Network_model.solve ~dt:0.2 ~laplacian fit.Dl.Network_model.params ~i0
+      ~times
+  in
+  let _, field = snapshots.(0) in
+  let network_groups =
+    Dl.Network_model.group_average ~assignment:exp.Dl.Pipeline.assignment
+      ~max_distance field
+  in
+  Format.printf "densities at t = 6 by hop group:@.";
+  Format.printf "  hop     actual   1-D DL   node-level DL@.";
+  Array.iter
+    (fun x ->
+      let actual = Socialnet.Density.at obs ~distance:x ~time:6. in
+      let one_d =
+        Dl.Model.predict exp.Dl.Pipeline.solution ~x:(float_of_int x) ~t:6.
+      in
+      Format.printf "  %-6d%8.2f %8.2f %14.2f@." x actual one_d
+        network_groups.(x - 1))
+    distances;
+  Format.printf
+    "@.The node-level model spreads influence only along real ties; the \
+     front-page@.channel (users arriving from outside the follower \
+     graph) is invisible to it,@.so it under-predicts the far groups \
+     that channel feeds.  The 1-D model's@.diffusion term absorbs that \
+     randomness — on the benchmark corpus (Ablation C@.in `dune exec \
+     bench/main.exe`) the paper's abstraction wins overall despite@.\
+     discarding the graph.@."

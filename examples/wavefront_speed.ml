@@ -1,0 +1,78 @@
+(* How fast does influence travel? — Fisher fronts in the DL equation.
+
+   With constant growth the DL equation is Fisher's equation, whose
+   fronts move at c* = 2 sqrt(r d).  This example:
+   1. verifies the numerical solver reproduces the Fisher speed on a
+      long domain;
+   2. shows how the decreasing r(t) of the paper slows the front down
+      over time;
+   3. compares the integrated-speed prediction with a tracked front.
+
+   Run with: dune exec examples/wavefront_speed.exe *)
+
+let () =
+  Format.printf "=== 1. Fisher front speed on a long domain ===@.";
+  let d = 0.5 and r = 1. in
+  let params =
+    Dl.Params.make ~d ~k:1. ~r:(Dl.Growth.Constant r) ~l:0. ~big_l:80.
+  in
+  let phi =
+    Dl.Initial.of_observations
+      ~xs:[| 0.; 1.; 2.; 3.; 80. |]
+      ~densities:[| 1.; 1.; 0.5; 0.0001; 0.0001 |]
+  in
+  let times = Array.init 20 (fun i -> 6. +. float_of_int i) in
+  let sol = Dl.Model.solve ~nx:401 ~dt:5e-3 params ~phi ~times in
+  let crossings = Dl.Wavefront.track sol ~threshold:0.5 in
+  Format.printf "front position (density = 0.5 level):@.";
+  Array.iteri
+    (fun i c ->
+      if i mod 4 = 0 then
+        match c.Dl.Wavefront.position with
+        | Some p -> Format.printf "  t = %4.0f   x = %6.2f@." c.Dl.Wavefront.time p
+        | None -> Format.printf "  t = %4.0f   (no front)@." c.Dl.Wavefront.time)
+    crossings;
+  (match Dl.Wavefront.empirical_speed crossings with
+  | Some speed ->
+    Format.printf "measured speed: %.3f;  Fisher 2*sqrt(rd): %.3f@." speed
+      (Dl.Wavefront.fisher_speed ~d ~r)
+  | None -> Format.printf "no front detected@.");
+
+  Format.printf "@.=== 2. The paper's decaying r(t) slows the front ===@.";
+  let p = Dl.Params.paper_hops in
+  List.iter
+    (fun t ->
+      Format.printf "  t = %2.0f h:  instantaneous speed %.4f hops/h@." t
+        (Dl.Wavefront.instantaneous_speed p ~t))
+    [ 1.; 2.; 3.; 5.; 10. ];
+
+  Format.printf
+    "@.=== 3. Integrated speed vs tracked front (paper parameters) ===@.";
+  let phi =
+    Dl.Initial.of_observations ~xs:[| 1.; 2.; 3.; 4.; 5.; 6. |]
+      ~densities:[| 12.; 4.; 1.5; 0.5; 0.2; 0.1 |]
+  in
+  let times = Array.init 10 (fun i -> 2. +. (4.8 *. float_of_int i) ) in
+  let sol = Dl.Model.solve p ~phi ~times in
+  let threshold = 6. in
+  let crossings = Dl.Wavefront.track sol ~threshold in
+  Array.iter
+    (fun (c : Dl.Wavefront.crossing) ->
+      let predicted =
+        Dl.Wavefront.expected_position p ~x0:1.55 ~t:c.Dl.Wavefront.time
+      in
+      match c.Dl.Wavefront.position with
+      | Some pos ->
+        Format.printf
+          "  t = %5.1f   tracked front %5.2f   integrated-speed estimate \
+           %5.2f@."
+          c.Dl.Wavefront.time pos predicted
+      | None ->
+        Format.printf "  t = %5.1f   front below threshold@."
+          c.Dl.Wavefront.time)
+    crossings;
+  Format.printf
+    "@.(the integrated Fisher speed under-estimates late positions: once \
+     densities@. approach K the profile rises as a whole rather than \
+     translating — exactly why@. the paper models densities, not \
+     fronts)@."

@@ -1,0 +1,57 @@
+let accuracy ~predicted ~actual =
+  (* densities are non-negative; the relative error is meaningless for
+     actual <= 0, so such cells are undefined *)
+  if actual <= 0. then nan
+  else Float.max 0. (1. -. (Float.abs (predicted -. actual) /. actual))
+
+type table = {
+  distances : int array;
+  times : float array;
+  cells : float array array;
+  row_average : float array;
+  overall_average : float;
+}
+
+let mean_defined values =
+  let sum = ref 0. and count = ref 0 in
+  Array.iter
+    (fun v ->
+      if not (Float.is_nan v) then begin
+        sum := !sum +. v;
+        incr count
+      end)
+    values;
+  if !count = 0 then nan else !sum /. float_of_int !count
+
+let table ~predict ~actual ~distances ~times =
+  let cells =
+    Array.map
+      (fun x ->
+        Array.map
+          (fun t -> accuracy ~predicted:(predict ~x ~t) ~actual:(actual ~x ~t))
+          times)
+      distances
+  in
+  {
+    distances;
+    times;
+    cells;
+    row_average = Array.map mean_defined cells;
+    overall_average = mean_defined (Array.concat (Array.to_list cells));
+  }
+
+let pp_cell ppf v =
+  if Float.is_nan v then Format.fprintf ppf "%8s" "-"
+  else Format.fprintf ppf "%7.2f%%" (100. *. v)
+
+let pp_table ppf t =
+  Format.fprintf ppf "@[<v>Distance  Average";
+  Array.iter (fun tm -> Format.fprintf ppf "   t = %g" tm) t.times;
+  Format.fprintf ppf "@,";
+  Array.iteri
+    (fun ix x ->
+      Format.fprintf ppf "%-9d%a" x pp_cell t.row_average.(ix);
+      Array.iter (fun v -> Format.fprintf ppf "%a" pp_cell v) t.cells.(ix);
+      Format.fprintf ppf "@,")
+    t.distances;
+  Format.fprintf ppf "overall  %a@]" pp_cell t.overall_average

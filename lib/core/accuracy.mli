@@ -1,0 +1,33 @@
+(** The paper's prediction-accuracy metric and its tables.
+
+    Equation 8 as printed defines
+    [|predicted - actual| / actual] — the relative error — but the
+    values the paper reports (e.g. 98.27%) are clearly its complement;
+    we therefore define
+
+    {v accuracy = 1 - |predicted - actual| / actual v}
+
+    clamped below at 0 so a wildly wrong prediction cannot produce
+    negative "accuracy".  Accuracy is undefined when [actual <= 0]
+    (densities are non-negative); such cells are skipped in averages
+    and reported as [nan]. *)
+
+val accuracy : predicted:float -> actual:float -> float
+
+type table = {
+  distances : int array;
+  times : float array;          (** prediction times, e.g. 2..6 *)
+  cells : float array array;    (** [cells.(ix).(it)], [nan] = undefined *)
+  row_average : float array;    (** per-distance mean over defined cells *)
+  overall_average : float;      (** mean over all defined cells *)
+}
+
+val table :
+  predict:(x:int -> t:float -> float) ->
+  actual:(x:int -> t:float -> float) ->
+  distances:int array -> times:float array -> table
+(** Builds the paper's Table I / Table II layout. *)
+
+val pp_table : Format.formatter -> table -> unit
+(** Renders rows like the paper: distance, average, then one column per
+    prediction time. *)

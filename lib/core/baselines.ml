@@ -1,0 +1,90 @@
+open Numerics
+
+type predictor = x:int -> t:float -> float
+
+let check_t1 (obs : Socialnet.Density.t) =
+  if Float.abs (obs.Socialnet.Density.times.(0) -. 1.) > 1e-9 then
+    invalid_arg "Baselines: observations must start at t = 1"
+
+let index_of_distance (obs : Socialnet.Density.t) x =
+  let found = ref (-1) in
+  Array.iteri
+    (fun i d -> if d = x then found := i)
+    obs.Socialnet.Density.distances;
+  if !found < 0 then invalid_arg "Baselines: unknown distance" else !found
+
+let persistence obs =
+  check_t1 obs;
+  fun ~x ~t:_ ->
+    let ix = index_of_distance obs x in
+    obs.Socialnet.Density.density.(ix).(0)
+
+let row_points obs ~fit_times ix =
+  let ts = ref [ 1. ] and vs = ref [ obs.Socialnet.Density.density.(ix).(0) ] in
+  Array.iter
+    (fun t ->
+      ts := t :: !ts;
+      vs := Socialnet.Density.at obs
+              ~distance:obs.Socialnet.Density.distances.(ix) ~time:t
+            :: !vs)
+    fit_times;
+  (Array.of_list (List.rev !ts), Array.of_list (List.rev !vs))
+
+let linear_trend obs ~fit_times =
+  check_t1 obs;
+  let coeffs =
+    Array.mapi
+      (fun ix _ ->
+        let ts, vs = row_points obs ~fit_times ix in
+        Stats.linear_regression ts vs)
+      obs.Socialnet.Density.distances
+  in
+  fun ~x ~t ->
+    let ix = index_of_distance obs x in
+    let slope, intercept, _ = coeffs.(ix) in
+    Float.max 0. ((slope *. t) +. intercept)
+
+let logistic_per_distance obs ~fit_times =
+  check_t1 obs;
+  let fallback = linear_trend obs ~fit_times in
+  let max_density =
+    Array.fold_left
+      (fun acc row -> Array.fold_left Float.max acc row)
+      0. obs.Socialnet.Density.density
+  in
+  let fits =
+    Array.mapi
+      (fun ix _ ->
+        let n0 = obs.Socialnet.Density.density.(ix).(0) in
+        if n0 <= 0. then None
+        else begin
+          let ts, vs = row_points obs ~fit_times ix in
+          let f v =
+            let r = Float.max 0. v.(0) in
+            let k = Float.max (n0 +. 1e-6) v.(1) in
+            let err = ref 0. and count = ref 0 in
+            Array.iteri
+              (fun i t ->
+                if vs.(i) > 0. then begin
+                  let p = Ode.logistic ~r ~k ~n0 (t -. 1.) in
+                  err := !err +. (Float.abs (p -. vs.(i)) /. vs.(i));
+                  incr count
+                end)
+              ts;
+            if !count = 0 then 0. else !err /. float_of_int !count
+          in
+          let res =
+            Optimize.nelder_mead ~max_iter:500 f
+              ~x0:[| 0.5; Float.max (2. *. n0) max_density |]
+          in
+          let r = Float.max 0. res.Optimize.x.(0) in
+          let k = Float.max (n0 +. 1e-6) res.Optimize.x.(1) in
+          Some (n0, r, k)
+        end)
+      obs.Socialnet.Density.distances
+  in
+  fun ~x ~t ->
+    let ix = index_of_distance obs x in
+    match fits.(ix) with
+    | Some (n0, r, k) -> Ode.logistic ~r ~k ~n0 (t -. 1.)
+    | None -> fallback ~x ~t

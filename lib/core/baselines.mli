@@ -1,0 +1,29 @@
+(** Comparison baselines for the DL model.
+
+    The paper evaluates the DL model in isolation; these baselines
+    (used by the ablation bench) quantify what the diffusion term
+    actually buys:
+
+    - {b per-distance logistic} — the DL model with d = 0: each
+      distance group evolves by an independent logistic fitted to its
+      own early observations.  If diffusion mattered not at all, this
+      would match DL.
+    - {b persistence} — density never changes after the first hour.
+    - {b linear trend} — straight-line extrapolation of the first two
+      observations, clamped at 0. *)
+
+type predictor = x:int -> t:float -> float
+
+val persistence : Socialnet.Density.t -> predictor
+(** Requires a t = 1 snapshot. *)
+
+val linear_trend : Socialnet.Density.t -> fit_times:float array -> predictor
+(** OLS line per distance through the observations at t = 1 and the
+    [fit_times]; clamped below at 0. *)
+
+val logistic_per_distance :
+  Socialnet.Density.t -> fit_times:float array -> predictor
+(** Fits (r, K) per distance by Nelder--Mead on the closed-form
+    logistic (initial value = density at t = 1) against the densities
+    at [fit_times].  Groups with zero initial density predict the
+    linear trend instead (a logistic from 0 stays 0). *)

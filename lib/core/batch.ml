@@ -1,0 +1,121 @@
+open Socialnet
+
+type mode = Paper_params | In_sample of int | Out_of_sample of int
+
+type story_result = {
+  story_id : int;
+  votes : int;
+  overall : float;
+  params : Params.t;
+  skipped : string option;
+}
+
+type summary = {
+  results : story_result array;
+  evaluated : int;
+  skipped : int;
+  mean_overall : float;
+  median_overall : float;
+  worst : float;
+  best : float;
+}
+
+let top_stories ds ~n =
+  let all = Array.copy (Dataset.stories ds) in
+  Array.sort
+    (fun a b ->
+      compare (Types.story_vote_count b) (Types.story_vote_count a))
+    all;
+  Array.sub all 0 (Stdlib.min n (Array.length all))
+
+let param_choice_of_mode story mode =
+  match mode with
+  | Paper_params -> Pipeline.Paper
+  | In_sample seed ->
+    Pipeline.Auto
+      {
+        rng = Numerics.Rng.create (seed + story.Types.id);
+        config =
+          { Fit.default_config with fit_times = [| 2.; 3.; 4.; 5.; 6. |] };
+      }
+  | Out_of_sample seed ->
+    Pipeline.Auto
+      {
+        rng = Numerics.Rng.create (seed + story.Types.id);
+        config = Fit.default_config;
+      }
+
+let evaluate ?(mode = In_sample 1) ?(metric = Pipeline.hops) ds ~stories =
+  let results =
+    Array.map
+      (fun story ->
+        let base =
+          {
+            story_id = story.Types.id;
+            votes = Types.story_vote_count story;
+            overall = nan;
+            params = Params.paper_hops;
+            skipped = None;
+          }
+        in
+        match
+          Pipeline.run ~params:(param_choice_of_mode story mode) ds ~story
+            ~metric
+        with
+        | exp ->
+          let overall = exp.Pipeline.table.Accuracy.overall_average in
+          if Float.is_nan overall then
+            { base with skipped = Some "no defined accuracy cells" }
+          else
+            { base with overall; params = exp.Pipeline.params }
+        | exception Invalid_argument msg -> { base with skipped = Some msg }
+        | exception Numerics.Mat.Singular ->
+          { base with skipped = Some "singular system during solve" })
+      stories
+  in
+  let scores =
+    Array.of_list
+      (List.filter_map
+         (fun (r : story_result) ->
+           if r.skipped = None then Some r.overall else None)
+         (Array.to_list results))
+  in
+  let evaluated = Array.length scores in
+  if evaluated = 0 then
+    {
+      results;
+      evaluated;
+      skipped = Array.length results;
+      mean_overall = nan;
+      median_overall = nan;
+      worst = nan;
+      best = nan;
+    }
+  else
+    {
+      results;
+      evaluated;
+      skipped = Array.length results - evaluated;
+      mean_overall = Numerics.Stats.mean scores;
+      median_overall = Numerics.Stats.median scores;
+      worst = Numerics.Stats.min scores;
+      best = Numerics.Stats.max scores;
+    }
+
+let mean_accuracy_ci ?confidence rng s =
+  let scores =
+    Array.of_list
+      (List.filter_map
+         (fun (r : story_result) ->
+           if r.skipped = None then Some r.overall else None)
+         (Array.to_list s.results))
+  in
+  if Array.length scores < 2 then None
+  else Some (Numerics.Stats_tests.bootstrap_mean_ci ?confidence rng scores)
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>%d stories evaluated (%d skipped)@,\
+     overall accuracy: mean %.2f%%, median %.2f%%, range [%.2f%%, %.2f%%]@]"
+    s.evaluated s.skipped (100. *. s.mean_overall) (100. *. s.median_overall)
+    (100. *. s.worst) (100. *. s.best)

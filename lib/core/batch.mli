@@ -1,0 +1,49 @@
+(** Multi-story evaluation.
+
+    The paper validates the DL model on representative stories from one
+    dataset; this module runs the same pipeline across a whole corpus
+    so the prediction quality can be reported as a distribution rather
+    than a per-story anecdote (the kind of evaluation a practitioner
+    would demand before adopting the model). *)
+
+type mode =
+  | Paper_params          (** published constants for the metric *)
+  | In_sample of int      (** calibrate on t = 2..6 (seed) — the paper's protocol *)
+  | Out_of_sample of int  (** calibrate on t = 2..4 only (seed) *)
+
+type story_result = {
+  story_id : int;
+  votes : int;
+  overall : float;        (** overall accuracy of the Table-I-style table *)
+  params : Params.t;
+  skipped : string option;
+      (** reason when the story could not be evaluated (e.g. too few
+          populated distance groups); other fields are dummies then *)
+}
+
+type summary = {
+  results : story_result array;
+  evaluated : int;
+  skipped : int;
+  mean_overall : float;
+  median_overall : float;
+  worst : float;
+  best : float;
+}
+
+val top_stories : Socialnet.Dataset.t -> n:int -> Socialnet.Types.story array
+(** The [n] most-voted stories of the corpus, descending. *)
+
+val evaluate :
+  ?mode:mode -> ?metric:Pipeline.metric ->
+  Socialnet.Dataset.t -> stories:Socialnet.Types.story array -> summary
+(** Runs the pipeline on each story (default [In_sample 1],
+    [Pipeline.hops]) and aggregates.  Aggregates ignore skipped
+    stories; [summary.results] keeps them for inspection. *)
+
+val mean_accuracy_ci :
+  ?confidence:float -> Numerics.Rng.t -> summary -> (float * float) option
+(** Bootstrap confidence interval (default 95 %) on the mean overall
+    accuracy; [None] when fewer than two stories were evaluated. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,110 @@
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let write_density_series (obs : Socialnet.Density.t) ~path =
+  with_out path (fun oc ->
+      output_string oc "time\tdistance\tdensity\tpopulation\n";
+      Array.iteri
+        (fun it t ->
+          Array.iteri
+            (fun ix x ->
+              Printf.fprintf oc "%g\t%d\t%.6f\t%d\n" t x
+                obs.Socialnet.Density.density.(ix).(it)
+                obs.Socialnet.Density.population.(ix))
+            obs.Socialnet.Density.distances)
+        obs.Socialnet.Density.times)
+
+let write_profiles (obs : Socialnet.Density.t) ~path =
+  with_out path (fun oc ->
+      output_string oc "time";
+      Array.iter (fun x -> Printf.fprintf oc "\tx%d" x) obs.Socialnet.Density.distances;
+      output_string oc "\n";
+      Array.iteri
+        (fun it t ->
+          Printf.fprintf oc "%g" t;
+          Array.iter
+            (fun row -> Printf.fprintf oc "\t%.6f" row.(it))
+            obs.Socialnet.Density.density;
+          output_string oc "\n")
+        obs.Socialnet.Density.times)
+
+let write_distance_distribution dist ~path =
+  with_out path (fun oc ->
+      output_string oc "distance\tfraction\n";
+      Array.iter (fun (d, f) -> Printf.fprintf oc "%d\t%.6f\n" d f) dist)
+
+let write_growth_rate r ~t0 ~t1 ~samples ~path =
+  if samples < 2 then invalid_arg "Export.write_growth_rate: samples >= 2";
+  with_out path (fun oc ->
+      output_string oc "t\tr\n";
+      for i = 0 to samples - 1 do
+        let t = t0 +. ((t1 -. t0) *. float_of_int i /. float_of_int (samples - 1)) in
+        Printf.fprintf oc "%.6f\t%.6f\n" t (Growth.eval r t)
+      done)
+
+let write_predicted_vs_actual (exp : Pipeline.experiment) ~path =
+  let obs = exp.Pipeline.observation in
+  with_out path (fun oc ->
+      output_string oc "time\tdistance\tactual\tpredicted\n";
+      Array.iteri
+        (fun it t ->
+          Array.iteri
+            (fun ix x ->
+              let actual = obs.Socialnet.Density.density.(ix).(it) in
+              let predicted =
+                if it = 0 then Initial.eval exp.Pipeline.phi (float_of_int x)
+                else Model.predict exp.Pipeline.solution ~x:(float_of_int x) ~t
+              in
+              Printf.fprintf oc "%g\t%d\t%.6f\t%.6f\n" t x actual predicted)
+            obs.Socialnet.Density.distances)
+        obs.Socialnet.Density.times)
+
+let write_accuracy_table (table : Accuracy.table) ~path =
+  with_out path (fun oc ->
+      output_string oc "distance\taverage";
+      Array.iter (fun t -> Printf.fprintf oc "\tt%g" t) table.Accuracy.times;
+      output_string oc "\n";
+      let cell oc v =
+        if Float.is_nan v then output_string oc "\tNA"
+        else Printf.fprintf oc "\t%.4f" (100. *. v)
+      in
+      Array.iteri
+        (fun ix x ->
+          Printf.fprintf oc "%d" x;
+          cell oc table.Accuracy.row_average.(ix);
+          Array.iter (cell oc) table.Accuracy.cells.(ix);
+          output_string oc "\n")
+        table.Accuracy.distances)
+
+let write_solution_surface ?(samples_x = 101) (sol : Model.solution) ~path =
+  let { Numerics.Pde.xs; ts; _ } = sol.Model.pde in
+  let l = xs.(0) and r = xs.(Array.length xs - 1) in
+  with_out path (fun oc ->
+      output_string oc "x\tt\tdensity\n";
+      Array.iter
+        (fun t ->
+          for i = 0 to samples_x - 1 do
+            let x =
+              l +. ((r -. l) *. float_of_int i /. float_of_int (samples_x - 1))
+            in
+            Printf.fprintf oc "%.6f\t%g\t%.6f\n" x t
+              (Model.predict sol ~x ~t)
+          done)
+        ts)
+
+let export_experiment (exp : Pipeline.experiment) ~dir ~prefix =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let file name = Filename.concat dir (prefix ^ "_" ^ name) in
+  let written = ref [] in
+  let emit name writer =
+    let path = file name in
+    writer ~path;
+    written := path :: !written
+  in
+  emit "density.tsv" (write_density_series exp.Pipeline.observation);
+  emit "profiles.tsv" (write_profiles exp.Pipeline.observation);
+  emit "predicted_vs_actual.tsv" (write_predicted_vs_actual exp);
+  emit "accuracy.tsv" (write_accuracy_table exp.Pipeline.table);
+  emit "surface.tsv" (write_solution_surface exp.Pipeline.solution);
+  List.rev !written

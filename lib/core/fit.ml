@@ -1,0 +1,171 @@
+open Numerics
+
+type config = {
+  fit_times : float array;
+  d_bounds : float * float;
+  k_headroom : float * float;
+  a_bounds : float * float;
+  b_bounds : float * float;
+  c_bounds : float * float;
+  starts : int;
+  solver_nx : int;
+  solver_dt : float;
+}
+
+let default_config =
+  {
+    fit_times = [| 2.; 3.; 4. |];
+    d_bounds = (1e-4, 0.6);
+    k_headroom = (1.02, 3.0);
+    a_bounds = (0., 3.);
+    b_bounds = (0.05, 3.);
+    c_bounds = (0., 1.);
+    starts = 4;
+    solver_nx = 41;
+    solver_dt = 0.05;
+  }
+
+type result = {
+  params : Params.t;
+  training_error : float;
+  evaluations : int;
+}
+
+let phi_of_obs (obs : Socialnet.Density.t) =
+  let t1 = obs.Socialnet.Density.times.(0) in
+  if Float.abs (t1 -. 1.) > 1e-9 then
+    invalid_arg "Fit: observations must start at t = 1 (they define phi)";
+  let xs = Array.map float_of_int obs.Socialnet.Density.distances in
+  let densities = Array.map (fun row -> row.(0)) obs.Socialnet.Density.density in
+  Initial.of_observations ~xs ~densities
+
+let objective ?(nx = 101) ?(dt = 0.01) ~phi ~obs ~fit_times params =
+  try
+    let sol = Model.solve ~nx ~dt params ~phi ~times:fit_times in
+    let err = ref 0. and count = ref 0 in
+    Array.iter
+      (fun x ->
+        Array.iter
+          (fun t ->
+            let actual = Socialnet.Density.at obs ~distance:x ~time:t in
+            if actual > 0. then begin
+              let predicted = Model.predict sol ~x:(float_of_int x) ~t in
+              err := !err +. (Float.abs (predicted -. actual) /. actual);
+              incr count
+            end)
+          fit_times)
+      obs.Socialnet.Density.distances;
+    if !count = 0 then infinity else !err /. float_of_int !count
+  with _ -> infinity
+
+let fit ?(config = default_config) rng (obs : Socialnet.Density.t) =
+  let distances = obs.Socialnet.Density.distances in
+  if Array.length distances < 2 then
+    invalid_arg "Fit: need at least two distance groups";
+  let phi = phi_of_obs obs in
+  let max_density =
+    Array.fold_left
+      (fun acc row -> Array.fold_left Float.max acc row)
+      0. obs.Socialnet.Density.density
+  in
+  let l = float_of_int distances.(0) in
+  let big_l = float_of_int distances.(Array.length distances - 1) in
+  (* densities are percentages: K above ~100 is unphysical, whatever
+     the headroom multiplier says *)
+  let k_lo = Float.min 100. (fst config.k_headroom *. max_density) in
+  let k_hi = Float.max (k_lo +. 1e-6)
+      (Float.min 105. (snd config.k_headroom *. max_density))
+  in
+  let lo = [| fst config.d_bounds; k_lo; fst config.a_bounds;
+              fst config.b_bounds; fst config.c_bounds |] in
+  let hi = [| snd config.d_bounds; k_hi; snd config.a_bounds;
+              snd config.b_bounds; snd config.c_bounds |] in
+  let clamp i v = Float.max lo.(i) (Float.min hi.(i) v) in
+  let evaluations = ref 0 in
+  let of_vector v =
+    let d = clamp 0 v.(0) and k = clamp 1 v.(1) in
+    let a = clamp 2 v.(2) and b = clamp 3 v.(3) and c = clamp 4 v.(4) in
+    Params.make ~d ~k ~r:(Growth.Exp_decay { a; b; c }) ~l ~big_l
+  in
+  let f v =
+    incr evaluations;
+    (* quadratic penalty keeps the simplex near the box; the params
+       themselves are always clamped into it *)
+    let penalty = ref 0. in
+    Array.iteri
+      (fun i x ->
+        let excess = Float.max 0. (Float.max (lo.(i) -. x) (x -. hi.(i))) in
+        penalty := !penalty +. (excess *. excess))
+      v;
+    objective ~nx:config.solver_nx ~dt:config.solver_dt ~phi ~obs
+      ~fit_times:config.fit_times (of_vector v)
+    +. !penalty
+  in
+  let best =
+    Optimize.multi_start_nelder_mead ~rng ~starts:config.starts ~tol:1e-6
+      ~max_iter:250 f ~lo ~hi
+  in
+  let params = of_vector best.Optimize.x in
+  {
+    params;
+    training_error =
+      objective ~phi ~obs ~fit_times:config.fit_times params;
+    evaluations = !evaluations;
+  }
+
+type uncertainty = {
+  d_ci : float * float;
+  k_ci : float * float;
+  r1_ci : float * float;
+  fits : result array;
+}
+
+let bootstrap ?(config = default_config) ?(resamples = 20) ?(confidence = 0.9)
+    rng (obs : Socialnet.Density.t) =
+  let base = fit ~config rng obs in
+  let phi = phi_of_obs obs in
+  let times = obs.Socialnet.Density.times in
+  let sol = Model.solve base.params ~phi ~times in
+  (* residuals of the base fit at every observed cell (t > 1) *)
+  let fitted ix it =
+    Model.predict sol
+      ~x:(float_of_int obs.Socialnet.Density.distances.(ix))
+      ~t:times.(it)
+  in
+  let residuals = ref [] in
+  Array.iteri
+    (fun ix row ->
+      Array.iteri
+        (fun it v -> if it > 0 then residuals := (v -. fitted ix it) :: !residuals)
+        row)
+    obs.Socialnet.Density.density;
+  let residuals = Array.of_list !residuals in
+  let n_res = Array.length residuals in
+  if n_res = 0 then invalid_arg "Fit.bootstrap: no cells beyond t = 1";
+  let refits =
+    Array.init resamples (fun _ ->
+        let density =
+          Array.mapi
+            (fun ix row ->
+              Array.mapi
+                (fun it v ->
+                  if it = 0 then v
+                  else
+                    Float.max 0.
+                      (fitted ix it +. residuals.(Rng.int rng n_res)))
+                row)
+            obs.Socialnet.Density.density
+        in
+        fit ~config rng { obs with Socialnet.Density.density })
+  in
+  let ci of_params =
+    let values = Array.map (fun r -> of_params r.params) refits in
+    let alpha = (1. -. confidence) /. 2. in
+    (Stats.quantile values alpha, Stats.quantile values (1. -. alpha))
+  in
+  {
+    d_ci = ci (fun p -> p.Params.d);
+    k_ci = ci (fun p -> p.Params.k);
+    r1_ci = ci (fun p -> Growth.eval p.Params.r 1.);
+    fits = refits;
+  }

@@ -1,0 +1,68 @@
+(** Automatic calibration of DL-model parameters.
+
+    The paper selects d, K and r(t) by hand (Section III.C); this
+    module adds an automatic alternative so the pipeline can run on any
+    story: multi-start Nelder--Mead over (d, K, a, b, c) with
+    [r(t) = a e^{-b(t-1)} + c], minimising the mean relative error of
+    the PDE prediction against the densities observed during an early
+    fitting window.  Every objective evaluation is a full PDE solve;
+    defaults keep a fit under a second. *)
+
+type config = {
+  fit_times : float array;
+      (** observation times used for calibration (default [2; 3; 4] —
+          strictly earlier than the t = 5, 6 cells it will be judged
+          on) *)
+  d_bounds : float * float;    (** default (1e-4, 0.6) *)
+  k_headroom : float * float;
+      (** K search range as multiples of the max observed density
+          (default (1.02, 3.0)) *)
+  a_bounds : float * float;    (** default (0., 3.) *)
+  b_bounds : float * float;    (** default (0.05, 3.) *)
+  c_bounds : float * float;    (** default (0., 1.) *)
+  starts : int;                (** Nelder--Mead restarts (default 4) *)
+  solver_nx : int;
+      (** grid resolution used {e during} fitting (default 41 — final
+          predictions still use the full-resolution solver) *)
+  solver_dt : float;           (** fitting time step (default 0.05) *)
+}
+
+val default_config : config
+
+type result = {
+  params : Params.t;
+  training_error : float;
+      (** mean relative error over the fitting cells *)
+  evaluations : int;  (** number of PDE solves spent *)
+}
+
+val fit :
+  ?config:config -> Numerics.Rng.t -> Socialnet.Density.t -> result
+(** [fit rng obs] calibrates against [obs], whose first recorded time
+    must be 1 (it provides phi).  The domain [\[l, L\]] is taken from
+    the observed distance labels.
+    @raise Invalid_argument if [obs] lacks a t = 1 snapshot or has
+    fewer than two distances. *)
+
+type uncertainty = {
+  d_ci : float * float;
+  k_ci : float * float;
+  r1_ci : float * float;  (** CI on the initial growth rate r(1) *)
+  fits : result array;    (** the individual bootstrap refits *)
+}
+
+val bootstrap :
+  ?config:config -> ?resamples:int -> ?confidence:float ->
+  Numerics.Rng.t -> Socialnet.Density.t -> uncertainty
+(** Residual-bootstrap parameter uncertainty: fit once, resample the
+    per-cell residuals onto the fitted surface, refit (default 20
+    resamples, 90 % percentile intervals).  Each resample costs a full
+    {!fit}, so budget accordingly. *)
+
+val objective :
+  ?nx:int -> ?dt:float ->
+  phi:Initial.t -> obs:Socialnet.Density.t -> fit_times:float array ->
+  Params.t -> float
+(** The raw fitting objective (exposed for tests and ablations): mean
+    relative error of the model under the given parameters, [infinity]
+    if the solve blows up. *)

@@ -1,0 +1,50 @@
+type point = { train_until : float; horizon : float; accuracy : float }
+
+let hours_from_2 upto =
+  let n = int_of_float upto - 1 in
+  Array.init n (fun i -> float_of_int (i + 2))
+
+let curve ?(config = Fit.default_config) rng (obs : Socialnet.Density.t)
+    ~train_untils ~horizons =
+  let phi =
+    Initial.of_observations
+      ~xs:(Array.map float_of_int obs.Socialnet.Density.distances)
+      ~densities:(Array.map (fun row -> row.(0)) obs.Socialnet.Density.density)
+  in
+  let points = ref [] in
+  Array.iter
+    (fun train_until ->
+      let fit_times = hours_from_2 train_until in
+      let result = Fit.fit ~config:{ config with Fit.fit_times } rng obs in
+      Array.iter
+        (fun horizon ->
+          let t = train_until +. horizon in
+          let accuracy =
+            try
+              let sol = Model.solve result.Fit.params ~phi ~times:[| t |] in
+              let table =
+                Accuracy.table
+                  ~predict:(fun ~x ~t ->
+                    Model.predict sol ~x:(float_of_int x) ~t)
+                  ~actual:(fun ~x ~t ->
+                    Socialnet.Density.at obs ~distance:x ~time:t)
+                  ~distances:obs.Socialnet.Density.distances ~times:[| t |]
+              in
+              table.Accuracy.overall_average
+            with _ -> nan
+          in
+          points := { train_until; horizon; accuracy } :: !points)
+        horizons)
+    train_untils;
+  Array.of_list (List.rev !points)
+
+let pp ppf points =
+  Format.fprintf ppf "@[<v>train\\horizon";
+  Array.iter
+    (fun p ->
+      Format.fprintf ppf "@,  train<=%g h, +%g h ahead: %s" p.train_until
+        p.horizon
+        (if Float.is_nan p.accuracy then "-"
+         else Printf.sprintf "%.2f%%" (100. *. p.accuracy)))
+    points;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,27 @@
+(** Forecast-horizon analysis: how far ahead can the DL model predict?
+
+    The paper evaluates predictions up to five hours past the initial
+    observation.  This module measures accuracy as a function of {e how
+    much} early data the model was calibrated on and {e how far ahead}
+    it is asked to look — the operating curve a practitioner needs. *)
+
+type point = {
+  train_until : float;   (** calibration used observations in [2, train_until] *)
+  horizon : float;       (** hours past [train_until] *)
+  accuracy : float;      (** overall accuracy at [train_until + horizon]; nan if undefined *)
+}
+
+val curve :
+  ?config:Fit.config ->
+  Numerics.Rng.t ->
+  Socialnet.Density.t ->
+  train_untils:float array ->
+  horizons:float array ->
+  point array
+(** [curve rng obs ~train_untils ~horizons] fits once per training
+    window (overriding [config]'s [fit_times] with the integer hours 2
+    .. train_until) and evaluates each horizon against the observed
+    densities.  [obs] must start at t = 1 and contain every needed
+    hour. *)
+
+val pp : Format.formatter -> point array -> unit

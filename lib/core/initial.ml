@@ -1,0 +1,90 @@
+open Numerics
+
+type construction = [ `Cubic_spline | `Pchip ]
+
+(* The cubic spline can undershoot below zero between knots when the
+   observed densities drop steeply (densities are non-negative but a C2
+   interpolant need not be): it is floored at zero, with zero slope and
+   curvature reported in the floored region.  PCHIP never undershoots
+   by construction. *)
+type t =
+  | Spline of Spline.t
+  | Pchip of { knots : (float * float) array; h : Hermite.t }
+
+let validate ~xs ~densities =
+  if Array.exists (fun v -> v < 0.) densities then
+    invalid_arg "Initial.of_observations: densities must be non-negative";
+  if Array.for_all (fun v -> v = 0.) densities then
+    invalid_arg "Initial.of_observations: phi must not be identically zero";
+  ignore xs
+
+let of_observations_with ~construction ~xs ~densities =
+  validate ~xs ~densities;
+  match construction with
+  | `Cubic_spline -> Spline (Spline.flat_ends ~xs ~ys:densities)
+  | `Pchip ->
+    Pchip
+      {
+        knots = Array.map2 (fun x y -> (x, y)) xs densities;
+        h = Hermite.pchip ~clamp_ends:true ~xs ~ys:densities;
+      }
+
+let of_observations ~xs ~densities =
+  of_observations_with ~construction:`Cubic_spline ~xs ~densities
+
+let construction = function Spline _ -> `Cubic_spline | Pchip _ -> `Pchip
+
+let eval t x =
+  match t with
+  | Spline s -> Float.max 0. (Spline.eval s x)
+  | Pchip { h; _ } -> Float.max 0. (Hermite.eval h x)
+
+let deriv t x =
+  match t with
+  | Spline s -> if Spline.eval s x < 0. then 0. else Spline.deriv s x
+  | Pchip { h; _ } -> if Hermite.eval h x < 0. then 0. else Hermite.deriv h x
+
+let second_deriv t x =
+  match t with
+  | Spline s -> if Spline.eval s x < 0. then 0. else Spline.second_deriv s x
+  | Pchip { h; _ } ->
+    if Hermite.eval h x < 0. then 0. else Hermite.second_deriv h x
+
+let to_function t x = eval t x
+
+let knots = function
+  | Spline s -> Spline.knots s
+  | Pchip { knots; _ } -> Array.copy knots
+
+type report = {
+  end_slopes_zero : bool;
+  non_negative : bool;
+  lower_solution : bool;
+  min_inequality_slack : float;
+}
+
+let check ?(samples = 512) phi ~params =
+  let { Params.d; k; r; l; big_l } = params in
+  let r1 = Growth.eval r 1. in
+  let xs = Vec.linspace l big_l samples in
+  let slack = ref infinity and non_negative = ref true in
+  Array.iter
+    (fun x ->
+      let v = eval phi x in
+      if v < 0. then non_negative := false;
+      let lhs = (d *. second_deriv phi x) +. (r1 *. v *. (1. -. (v /. k))) in
+      if lhs < !slack then slack := lhs)
+    xs;
+  let tol = 1e-7 in
+  {
+    end_slopes_zero =
+      Float.abs (deriv phi l) < tol && Float.abs (deriv phi big_l) < tol;
+    non_negative = !non_negative;
+    lower_solution = !slack >= -.tol;
+    min_inequality_slack = !slack;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "end slopes zero: %b; non-negative: %b; lower solution: %b (min slack %.4g)"
+    r.end_slopes_zero r.non_negative r.lower_solution r.min_inequality_slack

@@ -1,0 +1,61 @@
+(** Construction and validation of the initial density function phi
+    (paper Section II.D).
+
+    phi is built from the densities observed at the first hour by
+    interpolation with flattened ends, so that it satisfies the model's
+    three admissibility requirements:
+
+    + twice continuously differentiable (cubic spline);
+    + zero slope at both ends, matching the Neumann boundaries
+      (clamped spline with zero end derivatives);
+    + the lower-solution inequality
+      [d phi'' + r phi (1 - phi/K) >= 0] (Eq. 6), which the paper
+      guarantees by taking K large and d << r; [check] verifies it
+      numerically on a fine grid.
+
+    Two constructions are offered.  [`Cubic_spline] is the paper's (C2,
+    matching requirement (i) exactly) but can undershoot below zero
+    between steeply decreasing observations, in which case phi is
+    floored at 0 (C2 a.e.).  [`Pchip] is shape-preserving cubic Hermite
+    (never undershoots, monotone where the data is) at the price of C1
+    instead of C2 — a documented trade-off, not the paper's choice. *)
+
+type construction = [ `Cubic_spline | `Pchip ]
+
+type t
+
+val of_observations : xs:float array -> densities:float array -> t
+(** [xs] are the (strictly increasing) distance values, [densities]
+    the observed I(x, 1) (non-negative, not all zero).  Uses the
+    paper's [`Cubic_spline] construction. *)
+
+val of_observations_with :
+  construction:construction ->
+  xs:float array -> densities:float array -> t
+(** Like {!of_observations} with an explicit construction choice. *)
+
+val construction : t -> construction
+
+val eval : t -> float -> float
+val deriv : t -> float -> float
+val second_deriv : t -> float -> float
+
+val to_function : t -> float -> float
+
+val knots : t -> (float * float) array
+
+type report = {
+  end_slopes_zero : bool;
+  non_negative : bool;
+  lower_solution : bool;
+      (** Eq. 6 holds at every checked point (at the initial time) *)
+  min_inequality_slack : float;
+      (** smallest observed value of [d phi'' + r phi (1 - phi/K)];
+          negative iff [lower_solution] is false *)
+}
+
+val check : ?samples:int -> t -> params:Params.t -> report
+(** Samples the three requirements on a uniform grid over the params'
+    domain (default 512 points, r evaluated at t = 1). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,172 @@
+open Numerics
+
+type obs = {
+  hops : int array;
+  groups : int array;
+  times : float array;
+  density : float array array array;
+  population : int array array;
+}
+
+let observe (story : Socialnet.Types.story) ~hop_assignment
+    ~interest_assignment ~hop_max ~group_max ~times =
+  if hop_max < 2 || group_max < 2 then
+    invalid_arg "Joint.observe: need at least 2 labels per axis";
+  let population = Array.make_matrix hop_max group_max 0 in
+  let in_range h g = h >= 1 && h <= hop_max && g >= 1 && g <= group_max in
+  Array.iteri
+    (fun u h ->
+      let g = interest_assignment.(u) in
+      if in_range h g then
+        population.(h - 1).(g - 1) <- population.(h - 1).(g - 1) + 1)
+    hop_assignment;
+  let nt = Array.length times in
+  let counts = Array.init nt (fun _ -> Array.make_matrix hop_max group_max 0) in
+  Array.iter
+    (fun (v : Socialnet.Types.vote) ->
+      let u = v.Socialnet.Types.user in
+      if u < Array.length hop_assignment then begin
+        let h = hop_assignment.(u) and g = interest_assignment.(u) in
+        if in_range h g then
+          Array.iteri
+            (fun it t ->
+              if v.Socialnet.Types.time <= t then
+                counts.(it).(h - 1).(g - 1) <- counts.(it).(h - 1).(g - 1) + 1)
+            times
+      end)
+    story.Socialnet.Types.votes;
+  let density =
+    Array.map
+      (fun per_t ->
+        Array.mapi
+          (fun ih row ->
+            Array.mapi
+              (fun ig c ->
+                let pop = population.(ih).(ig) in
+                if pop = 0 then 0.
+                else 100. *. float_of_int c /. float_of_int pop)
+              row)
+          per_t)
+      counts
+  in
+  {
+    hops = Array.init hop_max (fun i -> i + 1);
+    groups = Array.init group_max (fun i -> i + 1);
+    times = Array.copy times;
+    density;
+    population;
+  }
+
+type params = {
+  dh : float;
+  di : float;
+  k : float;
+  r : Growth.t;
+}
+
+let solve ?(dt = 0.02) p (obs : obs) ~times =
+  if p.k <= 0. then invalid_arg "Joint.solve: K > 0";
+  let hop_max = Array.length obs.hops and group_max = Array.length obs.groups in
+  let xs = Array.map float_of_int obs.hops in
+  let ys = Array.map float_of_int obs.groups in
+  let phi0 = obs.density.(0) in
+  let initial x y = Interp.bilinear ~xs ~ts:ys ~values:phi0 x y in
+  let problem =
+    {
+      Pde2d.xl = 1.;
+      xr = float_of_int hop_max;
+      nx = 4 * (hop_max - 1) + 1;
+      yl = 1.;
+      yr = float_of_int group_max;
+      ny = 4 * (group_max - 1) + 1;
+      dx_coef = p.dh;
+      dy_coef = p.di;
+      reaction =
+        (fun ~x:_ ~y:_ ~t ~u -> Growth.eval p.r t *. u *. (1. -. (u /. p.k)));
+      initial;
+      t0 = 1.;
+    }
+  in
+  Pde2d.solve ~dt problem ~times
+
+let accuracy sol (obs : obs) =
+  let total = ref 0. and count = ref 0 in
+  Array.iteri
+    (fun it t ->
+      if it > 0 then
+        Array.iteri
+          (fun ih h ->
+            Array.iteri
+              (fun ig g ->
+                if obs.population.(ih).(ig) > 0 then begin
+                  let actual = obs.density.(it).(ih).(ig) in
+                  if actual > 0. then begin
+                    let predicted =
+                      Pde2d.value_at sol ~x:(float_of_int h)
+                        ~y:(float_of_int g) ~t
+                    in
+                    total :=
+                      !total
+                      +. Accuracy.accuracy ~predicted ~actual;
+                    incr count
+                  end
+                end)
+              obs.groups)
+          obs.hops)
+    obs.times;
+  if !count = 0 then nan else !total /. float_of_int !count
+
+let fit_grid ?(dt = 0.05) (obs : obs) ~dh_grid ~di_grid ~r_grid ~k =
+  if Float.abs (obs.times.(0) -. 1.) > 1e-9 then
+    invalid_arg "Joint.fit_grid: observations must start at t = 1";
+  let times =
+    Array.of_seq (Seq.filter (fun t -> t > 1.) (Array.to_seq obs.times))
+  in
+  if Array.length times = 0 then invalid_arg "Joint.fit_grid: no times > 1";
+  let error p =
+    match solve ~dt p obs ~times with
+    | sol ->
+      (* mean relative error over populated, positive cells *)
+      let err = ref 0. and count = ref 0 in
+      Array.iteri
+        (fun k_t t ->
+          Array.iteri
+            (fun ih h ->
+              Array.iteri
+                (fun ig g ->
+                  if obs.population.(ih).(ig) > 0 then begin
+                    (* times array here skips t = 1, so offset by 1 in obs *)
+                    let actual = obs.density.(k_t + 1).(ih).(ig) in
+                    if actual > 0. then begin
+                      let predicted =
+                        Pde2d.value_at sol ~x:(float_of_int h)
+                          ~y:(float_of_int g) ~t
+                      in
+                      err := !err +. (Float.abs (predicted -. actual) /. actual);
+                      incr count
+                    end
+                  end)
+                obs.groups)
+            obs.hops)
+        times;
+      if !count = 0 then infinity else !err /. float_of_int !count
+    | exception _ -> infinity
+  in
+  let best = ref None in
+  Array.iter
+    (fun dh ->
+      Array.iter
+        (fun di ->
+          Array.iter
+            (fun r ->
+              let p = { dh; di; k; r } in
+              let e = error p in
+              match !best with
+              | Some (_, e') when e' <= e -> ()
+              | _ -> best := Some (p, e))
+            r_grid)
+        di_grid)
+    dh_grid;
+  match !best with
+  | Some result -> result
+  | None -> invalid_arg "Joint.fit_grid: empty grids"

@@ -1,0 +1,52 @@
+(** Joint two-metric DL model (ours): density over friendship hops AND
+    shared-interest distance simultaneously,
+
+    {v dI/dt = dh I_hh + di I_ii + r(t) I (1 - I/K) v}
+
+    on the (hop, interest-group) rectangle with no-flux boundaries.
+    The paper treats the two metrics as alternative 1-D projections of
+    the same diffusion; this model keeps both axes, with independent
+    diffusion rates along each.  Solved with {!Numerics.Pde2d}'s ADI
+    scheme. *)
+
+type obs = {
+  hops : int array;       (** hop labels, 1..hop_max *)
+  groups : int array;     (** interest-group labels, 1..group_max *)
+  times : float array;    (** first entry 1. *)
+  density : float array array array;
+      (** [density.(it).(ih).(ig)] percent *)
+  population : int array array;  (** [population.(ih).(ig)] *)
+}
+
+val observe :
+  Socialnet.Types.story ->
+  hop_assignment:int array ->
+  interest_assignment:int array ->
+  hop_max:int -> group_max:int -> times:float array -> obs
+(** Joint density surface: a user contributes to cell (hop, group) when
+    both labels are in range.  Cells with zero population report 0. *)
+
+type params = {
+  dh : float;       (** diffusion along the hop axis *)
+  di : float;       (** diffusion along the interest axis *)
+  k : float;
+  r : Growth.t;
+}
+
+val solve :
+  ?dt:float -> params -> obs -> times:float array -> Numerics.Pde2d.solution
+(** Initial condition: bilinear interpolation of the observed t = 1
+    cell densities (constant beyond cell centres).  Times must be
+    >= 1. *)
+
+val accuracy : Numerics.Pde2d.solution -> obs -> float
+(** The paper's accuracy metric averaged over all populated cells with
+    positive actual density at times > 1; [nan] if none. *)
+
+val fit_grid :
+  ?dt:float -> obs ->
+  dh_grid:float array -> di_grid:float array ->
+  r_grid:Growth.t array -> k:float -> params * float
+(** Coarse grid calibration against all observed cells; returns the
+    best parameters and their mean relative error.  [r_grid] may mix
+    constant and exponential-decay growth rates. *)

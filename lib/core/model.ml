@@ -1,0 +1,67 @@
+open Numerics
+
+type scheme = Ftcs | Crank_nicolson | Strang
+
+type solution = {
+  params : Params.t;
+  pde : Pde.solution;
+}
+
+let problem_of params ~phi ~diffusion ~growth =
+  {
+    Pde.xl = params.Params.l;
+    xr = params.Params.big_l;
+    nx = 101;
+    diffusion;
+    reaction =
+      (fun ~x ~t ~u -> growth ~x ~t *. u *. (1. -. (u /. params.Params.k)));
+    initial = Initial.to_function phi;
+    t0 = 1.;
+  }
+
+let check_times times =
+  if Array.exists (fun t -> t < 1.) times then
+    invalid_arg "Model.solve: observation times start at t = 1"
+
+let solve ?(scheme = Strang) ?(nx = 101) ?(dt = 0.01) params ~phi ~times =
+  check_times times;
+  let p =
+    {
+      (problem_of params ~phi
+         ~diffusion:(fun _ -> params.Params.d)
+         ~growth:(fun ~x:_ ~t -> Growth.eval params.Params.r t))
+      with
+      Pde.nx;
+    }
+  in
+  let pde_scheme =
+    match scheme with
+    | Ftcs -> Pde.Ftcs
+    | Crank_nicolson -> Pde.Imex 0.5
+    | Strang ->
+      Pde.Strang
+        (Pde.logistic_reaction_step
+           ~r:(Growth.eval params.Params.r)
+           ~k:params.Params.k)
+  in
+  { params; pde = Pde.solve ~scheme:pde_scheme ~dt p ~times }
+
+let solve_extended ?(scheme = Crank_nicolson) ?(nx = 101) ?(dt = 0.01) params
+    ~diffusion ~growth ~phi ~times =
+  check_times times;
+  let p = { (problem_of params ~phi ~diffusion ~growth) with Pde.nx } in
+  let pde_scheme =
+    match scheme with
+    | Ftcs -> Pde.Ftcs
+    | Crank_nicolson | Strang -> Pde.Imex 0.5
+  in
+  { params; pde = Pde.solve ~scheme:pde_scheme ~dt p ~times }
+
+let predict sol ~x ~t = Pde.eval sol.pde ~x ~t
+
+let predict_profile sol ~t =
+  let snap = Pde.snapshot sol.pde ~t in
+  Array.mapi (fun i x -> (x, snap.(i))) sol.pde.Pde.xs
+
+let predict_at_distances sol ~distances ~t =
+  Array.map (fun x -> predict sol ~x:(float_of_int x) ~t) distances

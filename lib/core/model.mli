@@ -1,0 +1,44 @@
+(** Solving the diffusive logistic model (Equation 4).
+
+    Wraps {!Numerics.Pde} with the DL-specific right-hand side and
+    exposes predictions at the (distance, time) points the paper
+    reports.  The default scheme is Strang splitting with the exact
+    logistic reaction flow, which is both unconditionally stable and
+    second-order for this equation. *)
+
+type scheme = Ftcs | Crank_nicolson | Strang
+
+type solution = {
+  params : Params.t;
+  pde : Numerics.Pde.solution;
+}
+
+val solve :
+  ?scheme:scheme -> ?nx:int -> ?dt:float ->
+  Params.t -> phi:Initial.t -> times:float array -> solution
+(** [solve params ~phi ~times] integrates from t = 1 (the paper's
+    initial observation hour) and records a snapshot at each requested
+    time (all must be [>= 1]).  Defaults: [Strang], [nx = 101] grid
+    points, [dt = 0.01] hours. *)
+
+val solve_extended :
+  ?scheme:scheme -> ?nx:int -> ?dt:float ->
+  Params.t -> diffusion:(float -> float) ->
+  growth:(x:float -> t:float -> float) ->
+  phi:Initial.t -> times:float array -> solution
+(** The paper's future-work generalisation: diffusion [d(x)] varying
+    with distance and growth [r(x, t)] varying with both distance and
+    time.  Uses Crank--Nicolson IMEX (the exact-logistic split no
+    longer applies).  The [params] argument supplies K and the
+    domain. *)
+
+val predict : solution -> x:float -> t:float -> float
+(** Interpolated I(x, t) from the recorded snapshots. *)
+
+val predict_profile : solution -> t:float -> (float * float) array
+(** [(x, I(x, t))] at every grid point, at the recorded time nearest
+    to [t]. *)
+
+val predict_at_distances : solution -> distances:int array -> t:float -> float array
+(** Predictions at integer distances (the only physically meaningful
+    points, as the paper notes). *)

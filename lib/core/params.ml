@@ -1,0 +1,25 @@
+type t = {
+  d : float;
+  k : float;
+  r : Growth.t;
+  l : float;
+  big_l : float;
+}
+
+let make ~d ~k ~r ~l ~big_l =
+  if d < 0. then invalid_arg "Params.make: d must be non-negative";
+  if k <= 0. then invalid_arg "Params.make: K must be positive";
+  if l >= big_l then invalid_arg "Params.make: need l < L";
+  { d; k; r; l; big_l }
+
+let paper_hops =
+  make ~d:0.01 ~k:25. ~r:Growth.paper_hops ~l:1. ~big_l:6.
+
+let paper_interest =
+  make ~d:0.05 ~k:60. ~r:Growth.paper_interest ~l:1. ~big_l:5.
+
+let with_domain t ~l ~big_l = make ~d:t.d ~k:t.k ~r:t.r ~l ~big_l
+
+let pp ppf t =
+  Format.fprintf ppf "@[d = %g, K = %g, %a, x in [%g, %g]@]" t.d t.k Growth.pp
+    t.r t.l t.big_l

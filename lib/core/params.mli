@@ -1,0 +1,29 @@
+(** Parameters of the diffusive logistic model (Equation 4):
+
+    {v dI/dt = d d2I/dx2 + r(t) I (1 - I/K) v}
+
+    on the distance interval [\[l, L\]] with Neumann boundaries. *)
+
+type t = {
+  d : float;          (** diffusion rate *)
+  k : float;          (** carrying capacity (max density, percent) *)
+  r : Growth.t;       (** growth rate *)
+  l : float;          (** lower distance bound *)
+  big_l : float;      (** upper distance bound *)
+}
+
+val make : d:float -> k:float -> r:Growth.t -> l:float -> big_l:float -> t
+(** @raise Invalid_argument unless [d >= 0], [k > 0] and [l < big_l]. *)
+
+val paper_hops : t
+(** The published friendship-hop configuration for story s1:
+    d = 0.01, K = 25, r as Eq. 7, x in [1, 6]. *)
+
+val paper_interest : t
+(** The published shared-interest configuration for story s1:
+    d = 0.05, K = 60, r = 1.6 e^{-(t-1)} + 0.1, x in [1, 5]. *)
+
+val with_domain : t -> l:float -> big_l:float -> t
+(** Same coefficients on a different distance interval. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+(** End-to-end prediction pipeline: dataset -> observations -> phi ->
+    parameters -> forecast -> accuracy table.
+
+    This is the code path behind the paper's Section III.C evaluation
+    (Fig. 7 and Tables I-II) and the library's main entry point for
+    downstream users. *)
+
+type metric =
+  | Hops of { max_distance : int }
+  | Interest of { n_groups : int; grouping : Socialnet.Distance.grouping }
+
+val hops : metric
+(** Friendship hops, distances 1..6 (the paper's Table I range). *)
+
+val interest : metric
+(** Shared interests, 5 equal-width groups (the paper's setup). *)
+
+type param_choice =
+  | Paper       (** the published s1 parameter sets, matched to the metric *)
+  | Auto of { rng : Numerics.Rng.t; config : Fit.config }
+  | Given of Params.t
+
+type experiment = {
+  story : Socialnet.Types.story;
+  metric : metric;
+  assignment : int array;          (** per-user distance labels *)
+  observation : Socialnet.Density.t;
+      (** densities at t = 1 and every requested time *)
+  phi : Initial.t;
+  params : Params.t;
+  fit_error : float option;        (** training error when [Auto] *)
+  solution : Model.solution;
+  table : Accuracy.table;
+}
+
+val observe :
+  Socialnet.Dataset.t -> story:Socialnet.Types.story -> metric:metric ->
+  times:float array -> int array * Socialnet.Density.t
+(** Distance assignment and observed densities (prepends t = 1 to
+    [times] if absent). *)
+
+val run :
+  ?params:param_choice ->
+  ?predict_times:float array ->
+  ?construction:Initial.construction ->
+  Socialnet.Dataset.t ->
+  story:Socialnet.Types.story ->
+  metric:metric ->
+  experiment
+(** Full pipeline.  Defaults: [Paper] parameters,
+    [predict_times = 2..6] as in Tables I-II, phi built with the
+    paper's [`Cubic_spline].  The model is solved from the t = 1
+    observation and compared against the actual densities at each
+    prediction time. *)
+
+val baseline_table :
+  experiment -> baseline:Baselines.predictor -> Accuracy.table
+(** Accuracy of a baseline predictor on the same observations and
+    prediction times (for the ablation bench). *)

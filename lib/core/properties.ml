@@ -1,0 +1,50 @@
+open Numerics
+
+type verdict = {
+  holds : bool;
+  worst_violation : float;
+  witness : (float * float) option;
+}
+
+let ok = { holds = true; worst_violation = 0.; witness = None }
+
+let scan_solution sol violation =
+  let { Pde.xs; ts; values } = sol.Model.pde in
+  let worst = ref 0. and witness = ref None in
+  Array.iteri
+    (fun it t ->
+      Array.iteri
+        (fun ix x ->
+          let v = violation it ix values in
+          if v > !worst then begin
+            worst := v;
+            witness := Some (x, t)
+          end)
+        xs)
+    ts;
+  if !worst <= 1e-9 then ok
+  else { holds = false; worst_violation = !worst; witness = !witness }
+
+let bounds sol =
+  let k = sol.Model.params.Params.k in
+  scan_solution sol (fun it ix values ->
+      let v = values.(it).(ix) in
+      Float.max (-.v) (v -. k))
+
+let monotone_in_time ?(strict = false) sol =
+  let margin = if strict then 1e-12 else 0. in
+  scan_solution sol (fun it ix values ->
+      if it = 0 then 0.
+      else values.(it - 1).(ix) +. margin -. values.(it).(ix))
+
+let is_lower_solution phi ~params =
+  (Initial.check phi ~params).Initial.lower_solution
+
+let pp_verdict ppf v =
+  if v.holds then Format.fprintf ppf "holds"
+  else
+    match v.witness with
+    | Some (x, t) ->
+      Format.fprintf ppf "violated by %.3g at (x = %g, t = %g)"
+        v.worst_violation x t
+    | None -> Format.fprintf ppf "violated by %.3g" v.worst_violation

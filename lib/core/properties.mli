@@ -1,0 +1,29 @@
+(** Numerical verification of the DL model's two theorems (paper
+    Section II.C).
+
+    - {b Unique Property}: the solution satisfies [0 <= I(x,t) <= K].
+    - {b Strictly Increasing Property}: if phi is a lower
+      time-independent solution, I is strictly increasing in t.
+
+    These are checked on computed solutions; they double as sanity
+    checks that the discretisation preserves the continuous theory. *)
+
+type verdict = {
+  holds : bool;
+  worst_violation : float;  (** 0. when [holds] *)
+  witness : (float * float) option;
+      (** an (x, t) where the worst violation occurs *)
+}
+
+val bounds : Model.solution -> verdict
+(** Checks [0 <= I <= K] at every recorded grid point. *)
+
+val monotone_in_time : ?strict:bool -> Model.solution -> verdict
+(** Checks [I(x, t2) >= I(x, t1)] for consecutive recorded snapshots
+    ([> ] when [strict], with a small tolerance). *)
+
+val is_lower_solution : Initial.t -> params:Params.t -> bool
+(** Whether phi satisfies the lower-solution inequality (Eq. 5/6) —
+    the hypothesis of the strictly-increasing theorem. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,101 @@
+let metric_name = function
+  | Pipeline.Hops _ -> "friendship hops"
+  | Pipeline.Interest { grouping = Socialnet.Distance.Equal_width; _ } ->
+    "shared interests (equal-width groups)"
+  | Pipeline.Interest { grouping = Socialnet.Distance.Quantile; _ } ->
+    "shared interests (quantile groups)"
+
+let pct v =
+  if Float.is_nan v then "–" else Printf.sprintf "%.2f%%" (100. *. v)
+
+let buffer_add_table buf (table : Accuracy.table) =
+  Buffer.add_string buf "| distance | average |";
+  Array.iter
+    (fun t -> Buffer.add_string buf (Printf.sprintf " t = %g |" t))
+    table.Accuracy.times;
+  Buffer.add_string buf "\n|---|---|";
+  Array.iter (fun _ -> Buffer.add_string buf "---|") table.Accuracy.times;
+  Buffer.add_char buf '\n';
+  Array.iteri
+    (fun ix x ->
+      Buffer.add_string buf
+        (Printf.sprintf "| %d | %s |" x (pct table.Accuracy.row_average.(ix)));
+      Array.iter
+        (fun v -> Buffer.add_string buf (Printf.sprintf " %s |" (pct v)))
+        table.Accuracy.cells.(ix);
+      Buffer.add_char buf '\n')
+    table.Accuracy.distances;
+  Buffer.add_string buf
+    (Printf.sprintf "| **overall** | **%s** |\n"
+       (pct table.Accuracy.overall_average))
+
+let render_core buf ?(title = "Diffusive logistic prediction report")
+    (exp : Pipeline.experiment) =
+  let story = exp.Pipeline.story in
+  Buffer.add_string buf (Printf.sprintf "# %s\n\n" title);
+  Buffer.add_string buf "## Setup\n\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "- story: id %d, initiator %d, topic %d, %d votes\n- distance \
+        metric: %s\n- distance groups: %s (populations %s)\n\n"
+       story.Socialnet.Types.id story.Socialnet.Types.initiator
+       story.Socialnet.Types.topic
+       (Socialnet.Types.story_vote_count story)
+       (metric_name exp.Pipeline.metric)
+       (String.concat ", "
+          (Array.to_list
+             (Array.map string_of_int
+                exp.Pipeline.observation.Socialnet.Density.distances)))
+       (String.concat ", "
+          (Array.to_list
+             (Array.map string_of_int
+                exp.Pipeline.observation.Socialnet.Density.population))));
+  Buffer.add_string buf "## Model\n\n";
+  Buffer.add_string buf
+    (Format.asprintf "- parameters: %a\n" Params.pp exp.Pipeline.params);
+  (match exp.Pipeline.fit_error with
+  | Some e ->
+    Buffer.add_string buf
+      (Printf.sprintf "- calibration training error: %.4f\n" e)
+  | None -> Buffer.add_string buf "- parameters taken as given (no fit)\n");
+  let phi_report = Initial.check exp.Pipeline.phi ~params:exp.Pipeline.params in
+  Buffer.add_string buf
+    (Format.asprintf "- phi admissibility: %a\n" Initial.pp_report phi_report);
+  Buffer.add_string buf
+    (Format.asprintf "- unique property (0 <= I <= K): %a\n"
+       Properties.pp_verdict
+       (Properties.bounds exp.Pipeline.solution));
+  Buffer.add_string buf
+    (Format.asprintf "- strictly increasing property: %a\n\n"
+       Properties.pp_verdict
+       (Properties.monotone_in_time exp.Pipeline.solution));
+  Buffer.add_string buf "## Prediction accuracy\n\n";
+  buffer_add_table buf exp.Pipeline.table
+
+let render ?title exp =
+  let buf = Buffer.create 2048 in
+  render_core buf ?title exp;
+  Buffer.contents buf
+
+let render_with_baselines ?title exp ~baselines =
+  let buf = Buffer.create 4096 in
+  render_core buf ?title exp;
+  Buffer.add_string buf "\n## Baseline comparison\n\n";
+  Buffer.add_string buf "| model | overall accuracy |\n|---|---|\n";
+  Buffer.add_string buf
+    (Printf.sprintf "| DL | %s |\n"
+       (pct exp.Pipeline.table.Accuracy.overall_average));
+  List.iter
+    (fun (name, predictor) ->
+      let table = Pipeline.baseline_table exp ~baseline:predictor in
+      Buffer.add_string buf
+        (Printf.sprintf "| %s | %s |\n" name
+           (pct table.Accuracy.overall_average)))
+    baselines;
+  Buffer.contents buf
+
+let save ~path text =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc text)

@@ -1,0 +1,20 @@
+(** Markdown experiment reports.
+
+    Renders a {!Pipeline.experiment} into a self-contained markdown
+    document: setup, parameters, φ admissibility, theorem verdicts,
+    the accuracy table and (optionally) baseline comparisons — the
+    artefact to attach to an issue or lab notebook. *)
+
+val render : ?title:string -> Pipeline.experiment -> string
+(** Markdown text for one experiment. *)
+
+val render_with_baselines :
+  ?title:string ->
+  Pipeline.experiment ->
+  baselines:(string * Baselines.predictor) list ->
+  string
+(** Adds an overall-accuracy comparison table for the named
+    baselines. *)
+
+val save : path:string -> string -> unit
+(** Write rendered markdown to a file. *)

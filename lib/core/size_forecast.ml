@@ -1,0 +1,104 @@
+open Socialnet
+
+type forecast = {
+  story_id : int;
+  predicted_votes : float;
+  actual_votes : int;
+  covered_fraction : float;
+}
+
+let predict_votes (exp : Pipeline.experiment) ~at =
+  let obs = exp.Pipeline.observation in
+  let sol =
+    Model.solve exp.Pipeline.params ~phi:exp.Pipeline.phi ~times:[| at |]
+  in
+  let total = ref 0. in
+  Array.iteri
+    (fun ix x ->
+      (* a density is a percentage of the group: cap at 100 *)
+      let density =
+        Float.min 100. (Model.predict sol ~x:(float_of_int x) ~t:at)
+      in
+      total :=
+        !total
+        +. (density /. 100. *. float_of_int obs.Density.population.(ix)))
+    obs.Density.distances;
+  !total
+
+let coverage (exp : Pipeline.experiment) ~at =
+  let story = exp.Pipeline.story in
+  let assignment = exp.Pipeline.assignment in
+  let distances = exp.Pipeline.observation.Density.distances in
+  let max_distance = distances.(Array.length distances - 1) in
+  let votes = Types.votes_before story at in
+  if Array.length votes = 0 then 0.
+  else begin
+    let covered =
+      Array.fold_left
+        (fun acc (v : Types.vote) ->
+          let x = assignment.(v.Types.user) in
+          if x >= 1 && x <= max_distance then acc + 1 else acc)
+        0 votes
+    in
+    float_of_int covered /. float_of_int (Array.length votes)
+  end
+
+let evaluate ?(mode = Batch.In_sample 7) ?config ?(at = 50.) ds ~stories =
+  let results = ref [] in
+  Array.iter
+    (fun story ->
+      let params =
+        match mode with
+        | Batch.Paper_params -> Pipeline.Paper
+        | Batch.In_sample seed ->
+          let base =
+            { Fit.default_config with Fit.fit_times = [| 2.; 3.; 4.; 5.; 6. |] }
+          in
+          Pipeline.Auto
+            {
+              rng = Numerics.Rng.create (seed + story.Types.id);
+              config = Option.value config ~default:base;
+            }
+        | Batch.Out_of_sample seed ->
+          Pipeline.Auto
+            {
+              rng = Numerics.Rng.create (seed + story.Types.id);
+              config = Option.value config ~default:Fit.default_config;
+            }
+      in
+      match Pipeline.run ~params ds ~story ~metric:Pipeline.hops with
+      | exp ->
+        let predicted = predict_votes exp ~at in
+        let actual = Array.length (Types.votes_before story at) in
+        results :=
+          {
+            story_id = story.Types.id;
+            predicted_votes = predicted;
+            actual_votes = actual;
+            covered_fraction = coverage exp ~at;
+          }
+          :: !results
+      | exception _ -> ())
+    stories;
+  Array.of_list (List.rev !results)
+
+let correlation forecasts =
+  let predicted = Array.map (fun f -> f.predicted_votes) forecasts in
+  let actual = Array.map (fun f -> float_of_int f.actual_votes) forecasts in
+  Numerics.Stats.pearson predicted actual
+
+let mean_relative_error forecasts =
+  let predicted = Array.map (fun f -> f.predicted_votes) forecasts in
+  let actual = Array.map (fun f -> float_of_int f.actual_votes) forecasts in
+  Numerics.Stats.mape predicted actual
+
+let pp ppf forecasts =
+  Format.fprintf ppf "@[<v>";
+  Array.iter
+    (fun f ->
+      Format.fprintf ppf
+        "story %-5d predicted %8.0f votes, actual %6d (coverage %.0f%%)@,"
+        f.story_id f.predicted_votes f.actual_votes
+        (100. *. f.covered_fraction))
+    forecasts;
+  Format.fprintf ppf "@]"

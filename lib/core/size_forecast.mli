@@ -1,0 +1,41 @@
+(** Final cascade-size forecasting via the DL model.
+
+    A practical payoff of a calibrated density model: integrate the
+    predicted density surface over the distance-group populations to
+    forecast how many votes a story will eventually collect — the
+    "popularity prediction" task of the cascade literature — from its
+    first hours only. *)
+
+type forecast = {
+  story_id : int;
+  predicted_votes : float;  (** at the forecast time *)
+  actual_votes : int;       (** cast by the forecast time *)
+  covered_fraction : float;
+      (** share of the story's actual votes that fall inside the
+          modelled distance groups (the model cannot see the rest) *)
+}
+
+val predict_votes :
+  Pipeline.experiment -> at:float -> float
+(** [predict_votes exp ~at] solves the experiment's model to [at] and
+    returns [sum_x I(x, at)/100 * |U_x|]. *)
+
+val evaluate :
+  ?mode:Batch.mode -> ?config:Fit.config -> ?at:float ->
+  Socialnet.Dataset.t -> stories:Socialnet.Types.story array -> forecast array
+(** One forecast per story (stories whose pipeline fails are skipped);
+    default [at = 50.] h and [In_sample 7] calibration.  Actual counts
+    are votes cast by [at].  [config] overrides the fit configuration
+    of the [In_sample]/[Out_of_sample] modes — long-horizon forecasts
+    should constrain the growth floor (c near 0), because a persistent
+    growth term saturates every group at K long before 50 h. *)
+
+val correlation : forecast array -> float
+(** Pearson correlation of predicted vs actual votes. *)
+
+val mean_relative_error : forecast array -> float
+(** Mean of |predicted - actual| / actual (actual counts restricted to
+    the modelled groups' coverage is NOT applied; see
+    [covered_fraction] to interpret bias). *)
+
+val pp : Format.formatter -> forecast array -> unit

@@ -1,0 +1,78 @@
+type matrix = {
+  story_ids : int array;
+  accuracy : float array array;
+}
+
+let cross_apply ?(metric = Pipeline.hops) ?(fit_times = [| 2.; 3.; 4.; 5.; 6. |])
+    rng ds ~stories =
+  let n = Array.length stories in
+  (* fit once per story *)
+  let fitted =
+    Array.map
+      (fun story ->
+        match
+          Pipeline.run
+            ~params:
+              (Pipeline.Auto
+                 {
+                   rng = Numerics.Rng.split rng;
+                   config = { Fit.default_config with Fit.fit_times };
+                 })
+            ds ~story ~metric
+        with
+        | exp -> Some exp.Pipeline.params
+        | exception _ -> None)
+      stories
+  in
+  let accuracy =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            match fitted.(i) with
+            | None -> nan
+            | Some params -> (
+              match
+                Pipeline.run ~params:(Pipeline.Given params) ds
+                  ~story:stories.(j) ~metric
+              with
+              | exp -> exp.Pipeline.table.Accuracy.overall_average
+              | exception _ -> nan)))
+  in
+  {
+    story_ids = Array.map (fun (s : Socialnet.Types.story) -> s.Socialnet.Types.id) stories;
+    accuracy;
+  }
+
+let diagonal_advantage m =
+  let n = Array.length m.story_ids in
+  let deltas = ref [] in
+  for j = 0 to n - 1 do
+    let own = m.accuracy.(j).(j) in
+    if not (Float.is_nan own) then begin
+      let others = ref [] in
+      for i = 0 to n - 1 do
+        if i <> j && not (Float.is_nan m.accuracy.(i).(j)) then
+          others := m.accuracy.(i).(j) :: !others
+      done;
+      match !others with
+      | [] -> ()
+      | l ->
+        let mean = List.fold_left ( +. ) 0. l /. float_of_int (List.length l) in
+        deltas := (own -. mean) :: !deltas
+    end
+  done;
+  match !deltas with
+  | [] -> nan
+  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+let pp ppf m =
+  let n = Array.length m.story_ids in
+  Format.fprintf ppf "@[<v>params\\story ";
+  Array.iter (fun id -> Format.fprintf ppf "%8d" id) m.story_ids;
+  for i = 0 to n - 1 do
+    Format.fprintf ppf "@,#%-11d " m.story_ids.(i);
+    for j = 0 to n - 1 do
+      if Float.is_nan m.accuracy.(i).(j) then Format.fprintf ppf "%8s" "-"
+      else Format.fprintf ppf "%7.1f%%" (100. *. m.accuracy.(i).(j))
+    done
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,32 @@
+(** Cross-story parameter transfer.
+
+    The paper motivates the DL model with "help predict the spreading
+    patterns of similar information in the future" — i.e. parameters
+    learned on one story should carry over to another.  This module
+    tests exactly that: calibrate on story i, predict story j (with j's
+    own initial profile), for every ordered pair. *)
+
+type matrix = {
+  story_ids : int array;
+  accuracy : float array array;
+      (** [accuracy.(i).(j)]: params fitted on story i, applied to
+          story j; [nan] when either pipeline run failed *)
+}
+
+val cross_apply :
+  ?metric:Pipeline.metric ->
+  ?fit_times:float array ->
+  Numerics.Rng.t ->
+  Socialnet.Dataset.t ->
+  stories:Socialnet.Types.story array ->
+  matrix
+(** Default metric [Pipeline.hops], default fit window t = 2..6.  Each
+    story is fitted once; each (i, j) cell is one pipeline run with
+    [Given] parameters. *)
+
+val diagonal_advantage : matrix -> float
+(** Mean of (own-story accuracy - mean accuracy of other stories'
+    parameters on that story) over stories where both are defined —
+    how much story-specific tuning buys over transfer. *)
+
+val pp : Format.formatter -> matrix -> unit

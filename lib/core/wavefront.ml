@@ -1,0 +1,63 @@
+open Numerics
+
+let fisher_speed ~d ~r =
+  if d < 0. || r < 0. then invalid_arg "Wavefront.fisher_speed: negative input";
+  2. *. sqrt (r *. d)
+
+let instantaneous_speed params ~t =
+  fisher_speed ~d:params.Params.d ~r:(Growth.eval params.Params.r t)
+
+let expected_position params ~x0 ~t =
+  if t < 1. then invalid_arg "Wavefront.expected_position: t >= 1";
+  (* integral of 2 sqrt(d r(s)) ds over [1, t], by Simpson *)
+  let speed s = instantaneous_speed params ~t:s in
+  let travelled =
+    if t = 1. then 0. else Quadrature.simpson speed ~a:1. ~b:t ~n:64
+  in
+  Float.min params.Params.big_l (x0 +. travelled)
+
+type crossing = { time : float; position : float option }
+
+(* Largest x where the (assumed eventually-decaying) profile crosses the
+   threshold from above. *)
+let crossing_position xs profile threshold =
+  let n = Array.length xs in
+  let found = ref None in
+  for i = n - 2 downto 0 do
+    if !found = None && profile.(i) >= threshold && profile.(i + 1) < threshold
+    then begin
+      let w = (profile.(i) -. threshold) /. (profile.(i) -. profile.(i + 1)) in
+      found := Some (xs.(i) +. (w *. (xs.(i + 1) -. xs.(i))))
+    end
+  done;
+  match !found with
+  | Some _ as p -> p
+  | None ->
+    (* whole profile above the threshold: the front has exited right *)
+    if Array.for_all (fun v -> v >= threshold) profile then
+      Some xs.(n - 1)
+    else None
+
+let track sol ~threshold =
+  let { Pde.xs; ts; values } = sol.Model.pde in
+  Array.mapi
+    (fun it t ->
+      { time = t; position = crossing_position xs values.(it) threshold })
+    ts
+
+let empirical_speed crossings =
+  let defined =
+    Array.to_list crossings
+    |> List.filter_map (fun c ->
+           match c.position with Some p -> Some (c.time, p) | None -> None)
+  in
+  match defined with
+  | [] | [ _ ] -> None
+  | points ->
+    let ts = Array.of_list (List.map fst points) in
+    let ps = Array.of_list (List.map snd points) in
+    if Stats.variance ts = 0. then None
+    else begin
+      let slope, _, _ = Stats.linear_regression ts ps in
+      Some slope
+    end

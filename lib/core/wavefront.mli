@@ -1,0 +1,44 @@
+(** Travelling-wave analysis of the diffusive logistic equation.
+
+    With constant growth rate r the DL equation is exactly Fisher's
+    equation (Fisher--KPP), whose fronts travel at the minimum speed
+    [c* = 2 sqrt(r d)].  Information spreading then has an intrinsic
+    "speed" in distance-per-hour, which is how the PDE literature (and
+    the authors' follow-up work) quantifies how fast influence expands
+    outward from the source.
+
+    For the time-varying rates used in this paper the instantaneous
+    Fisher speed is [2 sqrt(r(t) d)]; [expected_position] integrates
+    it.  [track] measures the empirical front in a computed solution as
+    the level-crossing position of a density threshold. *)
+
+val fisher_speed : d:float -> r:float -> float
+(** [2 sqrt (r d)], the asymptotic front speed of Fisher's equation.
+    Requires [d >= 0] and [r >= 0]. *)
+
+val instantaneous_speed : Params.t -> t:float -> float
+(** Fisher speed with the growth rate evaluated at [t]. *)
+
+val expected_position :
+  Params.t -> x0:float -> t:float -> float
+(** Front position predicted by integrating the instantaneous speed
+    from the initial time (t = 1) starting at [x0]; clamped at the
+    domain's right edge. *)
+
+type crossing = {
+  time : float;
+  position : float option;
+      (** level-crossing location, [None] when the whole profile is
+          above ([Some big_l] conceptually) or below the threshold *)
+}
+
+val track : Model.solution -> threshold:float -> crossing array
+(** [track sol ~threshold] finds, for each recorded snapshot, the
+    largest x where the density profile crosses [threshold] (linear
+    interpolation between grid nodes), assuming a profile that decays
+    towards the far boundary.  [position = None] when the profile never
+    reaches the threshold. *)
+
+val empirical_speed : crossing array -> float option
+(** OLS slope of position against time over the snapshots where the
+    front is defined; [None] when fewer than two crossings exist. *)

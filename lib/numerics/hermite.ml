@@ -1,0 +1,119 @@
+type t = {
+  xs : float array;
+  ys : float array;
+  ms : float array; (* knot slopes *)
+}
+
+let of_slopes ~xs ~ys ~ms =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Hermite.of_slopes: need at least two points";
+  if Array.length ys <> n || Array.length ms <> n then
+    invalid_arg "Hermite.of_slopes: length mismatch";
+  for i = 0 to n - 2 do
+    if xs.(i + 1) <= xs.(i) then
+      invalid_arg "Hermite.of_slopes: xs must be strictly increasing"
+  done;
+  { xs = Array.copy xs; ys = Array.copy ys; ms = Array.copy ms }
+
+(* Fritsch–Carlson shape-preserving slopes. *)
+let pchip ~clamp_ends ~xs ~ys =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Hermite.pchip: need at least two points";
+  if Array.length ys <> n then invalid_arg "Hermite.pchip: length mismatch";
+  let h = Array.init (n - 1) (fun i -> xs.(i + 1) -. xs.(i)) in
+  Array.iter (fun dx -> if dx <= 0. then invalid_arg "Hermite.pchip: xs order") h;
+  let delta = Array.init (n - 1) (fun i -> (ys.(i + 1) -. ys.(i)) /. h.(i)) in
+  let ms = Array.make n 0. in
+  (* interior: weighted harmonic mean when secants share a sign *)
+  for i = 1 to n - 2 do
+    if delta.(i - 1) *. delta.(i) > 0. then begin
+      let w1 = (2. *. h.(i)) +. h.(i - 1) in
+      let w2 = h.(i) +. (2. *. h.(i - 1)) in
+      ms.(i) <- (w1 +. w2) /. ((w1 /. delta.(i - 1)) +. (w2 /. delta.(i)))
+    end
+  done;
+  (* ends: one-sided three-point estimate, limited to preserve shape *)
+  let end_slope h0 h1 d0 d1 =
+    let m = (((2. *. h0) +. h1) *. d0 -. (h0 *. d1)) /. (h0 +. h1) in
+    if m *. d0 <= 0. then 0.
+    else if d0 *. d1 <= 0. && Float.abs m > 3. *. Float.abs d0 then 3. *. d0
+    else m
+  in
+  if not clamp_ends then begin
+    if n = 2 then begin
+      ms.(0) <- delta.(0);
+      ms.(1) <- delta.(0)
+    end
+    else begin
+      ms.(0) <- end_slope h.(0) h.(1) delta.(0) delta.(1);
+      ms.(n - 1) <- end_slope h.(n - 2) h.(n - 3) delta.(n - 2) delta.(n - 3)
+    end
+  end;
+  (* clamp_ends: slopes stay 0 at both ends, which is shape-safe *)
+  { xs = Array.copy xs; ys = Array.copy ys; ms }
+
+let domain t = (t.xs.(0), t.xs.(Array.length t.xs - 1))
+
+let interval t x =
+  let n = Array.length t.xs in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if t.xs.(mid) <= x then lo := mid else hi := mid
+  done;
+  !lo
+
+let eval t x =
+  let l, r = domain t in
+  if x <= l then t.ys.(0)
+  else if x >= r then t.ys.(Array.length t.xs - 1)
+  else begin
+    let i = interval t x in
+    let h = t.xs.(i + 1) -. t.xs.(i) in
+    let s = (x -. t.xs.(i)) /. h in
+    let s2 = s *. s in
+    let s3 = s2 *. s in
+    let h00 = (2. *. s3) -. (3. *. s2) +. 1. in
+    let h10 = s3 -. (2. *. s2) +. s in
+    let h01 = (-2. *. s3) +. (3. *. s2) in
+    let h11 = s3 -. s2 in
+    (h00 *. t.ys.(i))
+    +. (h10 *. h *. t.ms.(i))
+    +. (h01 *. t.ys.(i + 1))
+    +. (h11 *. h *. t.ms.(i + 1))
+  end
+
+let deriv t x =
+  let l, r = domain t in
+  if x < l || x > r then 0.
+  else begin
+    let i = if x = r then Array.length t.xs - 2 else interval t x in
+    let h = t.xs.(i + 1) -. t.xs.(i) in
+    let s = (x -. t.xs.(i)) /. h in
+    let s2 = s *. s in
+    let h00' = (6. *. s2) -. (6. *. s) in
+    let h10' = (3. *. s2) -. (4. *. s) +. 1. in
+    let h01' = (-6. *. s2) +. (6. *. s) in
+    let h11' = (3. *. s2) -. (2. *. s) in
+    ((h00' *. t.ys.(i)) /. h)
+    +. (h10' *. t.ms.(i))
+    +. ((h01' *. t.ys.(i + 1)) /. h)
+    +. (h11' *. t.ms.(i + 1))
+  end
+
+let second_deriv t x =
+  let l, r = domain t in
+  if x < l || x > r then 0.
+  else begin
+    let i = if x = r then Array.length t.xs - 2 else interval t x in
+    let h = t.xs.(i + 1) -. t.xs.(i) in
+    let s = (x -. t.xs.(i)) /. h in
+    let h00'' = (12. *. s) -. 6. in
+    let h10'' = (6. *. s) -. 4. in
+    let h01'' = (-12. *. s) +. 6. in
+    let h11'' = (6. *. s) -. 2. in
+    ((h00'' *. t.ys.(i)) /. (h *. h))
+    +. ((h10'' *. t.ms.(i)) /. h)
+    +. ((h01'' *. t.ys.(i + 1)) /. (h *. h))
+    +. ((h11'' *. t.ms.(i + 1)) /. h)
+  end

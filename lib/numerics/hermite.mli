@@ -1,0 +1,31 @@
+(** Cubic Hermite interpolation with shape-preserving (PCHIP) slopes.
+
+    The Fritsch--Carlson construction limits knot slopes so the
+    interpolant is monotone wherever the data is, and never overshoots
+    the local data range — unlike a C2 cubic spline, which can dip
+    below zero between steeply decreasing density observations.  The
+    price is C1 instead of C2 continuity; {!Dl.Initial} exposes both so
+    the trade-off is an explicit modelling choice. *)
+
+type t
+
+val pchip : clamp_ends:bool -> xs:float array -> ys:float array -> t
+(** Fritsch--Carlson slopes; [clamp_ends = true] forces zero end slopes
+    (the paper's Neumann-compatible construction), [false] uses
+    one-sided shape-preserving end slopes.  [xs] strictly increasing,
+    at least two points. *)
+
+val of_slopes : xs:float array -> ys:float array -> ms:float array -> t
+(** Hermite interpolant with explicitly supplied knot slopes. *)
+
+val eval : t -> float -> float
+(** Constant extension outside the knot range. *)
+
+val deriv : t -> float -> float
+(** First derivative ([0.] outside the range). *)
+
+val second_deriv : t -> float -> float
+(** Second derivative (piecewise linear; discontinuous at knots —
+    PCHIP is only C1).  [0.] outside the range. *)
+
+val domain : t -> float * float

@@ -1,0 +1,155 @@
+type t = { nr : int; nc : int; data : float array }
+
+exception Singular
+
+let create nr nc x = { nr; nc; data = Array.make (nr * nc) x }
+
+let init nr nc f =
+  { nr; nc; data = Array.init (nr * nc) (fun k -> f (k / nc) (k mod nc)) }
+
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+
+let of_arrays rows =
+  let nr = Array.length rows in
+  assert (nr > 0);
+  let nc = Array.length rows.(0) in
+  assert (Array.for_all (fun r -> Array.length r = nc) rows);
+  init nr nc (fun i j -> rows.(i).(j))
+
+let rows m = m.nr
+let cols m = m.nc
+let get m i j = m.data.((i * m.nc) + j)
+let set m i j x = m.data.((i * m.nc) + j) <- x
+let to_arrays m = Array.init m.nr (fun i -> Array.init m.nc (get m i))
+let copy m = { m with data = Array.copy m.data }
+let transpose m = init m.nc m.nr (fun i j -> get m j i)
+
+let map2 f a b =
+  assert (a.nr = b.nr && a.nc = b.nc);
+  { a with data = Array.init (Array.length a.data) (fun k -> f a.data.(k) b.data.(k)) }
+
+let add = map2 ( +. )
+let sub = map2 ( -. )
+let scale s m = { m with data = Array.map (fun x -> s *. x) m.data }
+
+let mul a b =
+  assert (a.nc = b.nr);
+  let c = create a.nr b.nc 0. in
+  for i = 0 to a.nr - 1 do
+    for k = 0 to a.nc - 1 do
+      let aik = get a i k in
+      if aik <> 0. then
+        for j = 0 to b.nc - 1 do
+          set c i j (get c i j +. (aik *. get b k j))
+        done
+    done
+  done;
+  c
+
+let mv m x =
+  assert (m.nc = Array.length x);
+  Array.init m.nr (fun i ->
+      let acc = ref 0. in
+      for j = 0 to m.nc - 1 do
+        acc := !acc +. (get m i j *. x.(j))
+      done;
+      !acc)
+
+type lu = { lu_mat : t; perm : int array; sign : float }
+
+let lu_decompose a =
+  assert (a.nr = a.nc);
+  let n = a.nr in
+  let m = copy a in
+  let perm = Array.init n Fun.id in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: largest magnitude in column k. *)
+    let pivot = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (get m i k) > Float.abs (get m !pivot k) then pivot := i
+    done;
+    if !pivot <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = get m k j in
+        set m k j (get m !pivot j);
+        set m !pivot j tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!pivot);
+      perm.(!pivot) <- tmp;
+      sign := -. !sign
+    end;
+    let pkk = get m k k in
+    if Float.abs pkk < 1e-300 then raise Singular;
+    for i = k + 1 to n - 1 do
+      let factor = get m i k /. pkk in
+      set m i k factor;
+      for j = k + 1 to n - 1 do
+        set m i j (get m i j -. (factor *. get m k j))
+      done
+    done
+  done;
+  { lu_mat = m; perm; sign = !sign }
+
+let lu_solve { lu_mat = m; perm; _ } b =
+  let n = m.nr in
+  assert (Array.length b = n);
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* Forward substitution with unit lower triangle. *)
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      x.(i) <- x.(i) -. (get m i j *. x.(j))
+    done
+  done;
+  (* Back substitution. *)
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- x.(i) -. (get m i j *. x.(j))
+    done;
+    x.(i) <- x.(i) /. get m i i
+  done;
+  x
+
+let solve a b = lu_solve (lu_decompose a) b
+
+let inverse a =
+  let n = a.nr in
+  let f = lu_decompose a in
+  let out = create n n 0. in
+  for j = 0 to n - 1 do
+    let e = Array.init n (fun i -> if i = j then 1. else 0.) in
+    let col = lu_solve f e in
+    for i = 0 to n - 1 do
+      set out i j col.(i)
+    done
+  done;
+  out
+
+let determinant a =
+  match lu_decompose a with
+  | { lu_mat = m; sign; _ } ->
+    let n = m.nr in
+    let acc = ref sign in
+    for i = 0 to n - 1 do
+      acc := !acc *. get m i i
+    done;
+    !acc
+  | exception Singular -> 0.
+
+let solve_least_squares a b =
+  let at = transpose a in
+  solve (mul at a) (mv at b)
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.nr = b.nr && a.nc = b.nc
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) a.data b.data
+
+let pp ppf m =
+  for i = 0 to m.nr - 1 do
+    Format.fprintf ppf "@[<h>";
+    for j = 0 to m.nc - 1 do
+      Format.fprintf ppf "%10.4g " (get m i j)
+    done;
+    Format.fprintf ppf "@]@\n"
+  done

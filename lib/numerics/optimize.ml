@@ -1,0 +1,261 @@
+let bisect ?(tol = 1e-12) ?(max_iter = 200) f ~lo ~hi =
+  let flo = f lo and fhi = f hi in
+  if flo = 0. then lo
+  else if fhi = 0. then hi
+  else if flo *. fhi > 0. then
+    invalid_arg "Optimize.bisect: no sign change on the interval"
+  else begin
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let iter = ref 0 in
+    while !hi -. !lo > tol && !iter < max_iter do
+      incr iter;
+      let mid = (!lo +. !hi) /. 2. in
+      let fmid = f mid in
+      if fmid = 0. then begin
+        lo := mid;
+        hi := mid
+      end
+      else if !flo *. fmid < 0. then hi := mid
+      else begin
+        lo := mid;
+        flo := fmid
+      end
+    done;
+    (!lo +. !hi) /. 2.
+  end
+
+let invphi = (sqrt 5. -. 1.) /. 2.
+
+let golden_section ?(tol = 1e-10) ?(max_iter = 500) f ~lo ~hi =
+  let a = ref lo and b = ref hi in
+  let c = ref (!b -. (invphi *. (!b -. !a))) in
+  let d = ref (!a +. (invphi *. (!b -. !a))) in
+  let fc = ref (f !c) and fd = ref (f !d) in
+  let iter = ref 0 in
+  while !b -. !a > tol && !iter < max_iter do
+    incr iter;
+    if !fc < !fd then begin
+      b := !d;
+      d := !c;
+      fd := !fc;
+      c := !b -. (invphi *. (!b -. !a));
+      fc := f !c
+    end
+    else begin
+      a := !c;
+      c := !d;
+      fc := !fd;
+      d := !a +. (invphi *. (!b -. !a));
+      fd := f !d
+    end
+  done;
+  (!a +. !b) /. 2.
+
+let brent ?(tol = 1e-10) ?(max_iter = 200) f ~lo ~hi =
+  (* Brent's minimisation, after Numerical Recipes. *)
+  let cgold = 0.3819660 in
+  let a = ref (Float.min lo hi) and b = ref (Float.max lo hi) in
+  let x = ref (!a +. (cgold *. (!b -. !a))) in
+  let w = ref !x and v = ref !x in
+  let fx = ref (f !x) in
+  let fw = ref !fx and fv = ref !fx in
+  let d = ref 0. and e = ref 0. in
+  let result = ref None in
+  let iter = ref 0 in
+  while !result = None && !iter < max_iter do
+    incr iter;
+    let xm = (!a +. !b) /. 2. in
+    let tol1 = (tol *. Float.abs !x) +. 1e-15 in
+    let tol2 = 2. *. tol1 in
+    if Float.abs (!x -. xm) <= tol2 -. ((!b -. !a) /. 2.) then
+      result := Some !x
+    else begin
+      let use_golden = ref true in
+      if Float.abs !e > tol1 then begin
+        let r = (!x -. !w) *. (!fx -. !fv) in
+        let q = (!x -. !v) *. (!fx -. !fw) in
+        let p = ((!x -. !v) *. q) -. ((!x -. !w) *. r) in
+        let q = 2. *. (q -. r) in
+        let p = if q > 0. then -.p else p in
+        let q = Float.abs q in
+        let etemp = !e in
+        e := !d;
+        if
+          Float.abs p < Float.abs (q *. etemp /. 2.)
+          && p > q *. (!a -. !x)
+          && p < q *. (!b -. !x)
+        then begin
+          d := p /. q;
+          let u = !x +. !d in
+          if u -. !a < tol2 || !b -. u < tol2 then
+            d := if xm >= !x then tol1 else -.tol1;
+          use_golden := false
+        end
+      end;
+      if !use_golden then begin
+        e := (if !x >= xm then !a -. !x else !b -. !x);
+        d := cgold *. !e
+      end;
+      let u =
+        if Float.abs !d >= tol1 then !x +. !d
+        else !x +. (if !d >= 0. then tol1 else -.tol1)
+      in
+      let fu = f u in
+      if fu <= !fx then begin
+        if u >= !x then a := !x else b := !x;
+        v := !w;
+        fv := !fw;
+        w := !x;
+        fw := !fx;
+        x := u;
+        fx := fu
+      end
+      else begin
+        if u < !x then a := u else b := u;
+        if fu <= !fw || !w = !x then begin
+          v := !w;
+          fv := !fw;
+          w := u;
+          fw := fu
+        end
+        else if fu <= !fv || !v = !x || !v = !w then begin
+          v := u;
+          fv := fu
+        end
+      end
+    end
+  done;
+  match !result with Some x -> x | None -> !x
+
+type result = {
+  x : float array;
+  f : float;
+  iterations : int;
+  converged : bool;
+}
+
+let nelder_mead ?(tol = 1e-9) ?(max_iter = 2000) ?(step = 0.) f ~x0 =
+  let n = Array.length x0 in
+  assert (n >= 1);
+  let alpha = 1. and gamma = 2. and rho = 0.5 and sigma = 0.5 in
+  let initial_step i =
+    if step > 0. then step
+    else Float.max 0.05 (0.1 *. Float.abs x0.(i))
+  in
+  (* simplex: n+1 vertices with objective values, kept sorted. *)
+  let vertices =
+    Array.init (n + 1) (fun k ->
+        let v = Array.copy x0 in
+        if k > 0 then v.(k - 1) <- v.(k - 1) +. initial_step (k - 1);
+        (v, f v))
+  in
+  let sort () =
+    Array.sort (fun (_, fa) (_, fb) -> Float.compare fa fb) vertices
+  in
+  sort ();
+  let centroid () =
+    let c = Array.make n 0. in
+    for k = 0 to n - 1 do
+      let v, _ = vertices.(k) in
+      for i = 0 to n - 1 do
+        c.(i) <- c.(i) +. (v.(i) /. float_of_int n)
+      done
+    done;
+    c
+  in
+  let combine c v coef =
+    Array.init n (fun i -> c.(i) +. (coef *. (v.(i) -. c.(i))))
+  in
+  (* Convergence needs both a small objective spread and a small
+     simplex: an f-spread test alone stops early on simplices that
+     straddle the minimum symmetrically. *)
+  let diameter () =
+    let best, _ = vertices.(0) in
+    Array.fold_left
+      (fun acc (v, _) -> Float.max acc (Vec.dist2 v best))
+      0. vertices
+  in
+  let x_tol = Float.max 1e-8 (sqrt tol) in
+  let iter = ref 0 and converged = ref false in
+  while (not !converged) && !iter < max_iter do
+    incr iter;
+    let _, f_best = vertices.(0) and _, f_worst = vertices.(n) in
+    if Float.abs (f_worst -. f_best) <= tol && diameter () <= x_tol then
+      converged := true
+    else begin
+      let c = centroid () in
+      let worst, fw = vertices.(n) in
+      let _, f_second = vertices.(n - 1) in
+      let reflected = combine c worst (-.alpha) in
+      let fr = f reflected in
+      if fr < f_best then begin
+        let expanded = combine c worst (-.gamma) in
+        let fe = f expanded in
+        vertices.(n) <- (if fe < fr then (expanded, fe) else (reflected, fr))
+      end
+      else if fr < f_second then vertices.(n) <- (reflected, fr)
+      else begin
+        let contracted =
+          if fr < fw then combine c reflected rho else combine c worst rho
+        in
+        let fc = f contracted in
+        if fc < Float.min fr fw then vertices.(n) <- (contracted, fc)
+        else begin
+          (* Shrink towards the best vertex. *)
+          let best, _ = vertices.(0) in
+          for k = 1 to n do
+            let v, _ = vertices.(k) in
+            let shrunk =
+              Array.init n (fun i -> best.(i) +. (sigma *. (v.(i) -. best.(i))))
+            in
+            vertices.(k) <- (shrunk, f shrunk)
+          done
+        end
+      end;
+      sort ()
+    end
+  done;
+  let best, fbest = vertices.(0) in
+  { x = best; f = fbest; iterations = !iter; converged = !converged }
+
+let grid_search f ~ranges =
+  let n = Array.length ranges in
+  assert (n >= 1);
+  let axis (lo, hi, count) =
+    assert (count >= 1);
+    if count = 1 then [| (lo +. hi) /. 2. |] else Vec.linspace lo hi count
+  in
+  let axes = Array.map axis ranges in
+  let best_x = ref None and best_f = ref infinity in
+  let point = Array.make n 0. in
+  let rec walk dim =
+    if dim = n then begin
+      let v = f point in
+      if v < !best_f then begin
+        best_f := v;
+        best_x := Some (Array.copy point)
+      end
+    end
+    else
+      Array.iter
+        (fun x ->
+          point.(dim) <- x;
+          walk (dim + 1))
+        axes.(dim)
+  in
+  walk 0;
+  match !best_x with
+  | Some x -> (x, !best_f)
+  | None -> assert false
+
+let multi_start_nelder_mead ?tol ?max_iter ~rng ~starts f ~lo ~hi =
+  let n = Array.length lo in
+  assert (Array.length hi = n && starts >= 1);
+  let run x0 = nelder_mead ?tol ?max_iter f ~x0 in
+  let best = ref (run (Array.init n (fun i -> (lo.(i) +. hi.(i)) /. 2.))) in
+  for _ = 2 to starts do
+    let x0 = Array.init n (fun i -> Rng.uniform rng lo.(i) hi.(i)) in
+    let r = run x0 in
+    if r.f < !best.f then best := r
+  done;
+  !best

@@ -1,0 +1,50 @@
+(** Derivative-free optimisation and root finding.
+
+    These back the DL parameter calibration ([Dl.Fit]): a coarse grid
+    scan to localise, then Nelder--Mead to polish.  Nothing here needs
+    gradients, which matters because the objective evaluates a PDE
+    solve. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> float
+(** Root of a continuous function with a sign change on [\[lo, hi\]].
+    @raise Invalid_argument when [f lo] and [f hi] have the same sign. *)
+
+val golden_section :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> float
+(** Minimiser of a unimodal function on [\[lo, hi\]]. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> float
+(** Brent's method (golden section + successive parabolic
+    interpolation); faster than [golden_section] on smooth
+    objectives. *)
+
+type result = {
+  x : float array;   (** best point found *)
+  f : float;         (** objective value at [x] *)
+  iterations : int;
+  converged : bool;  (** simplex/tolerance criterion met before the
+                         iteration cap *)
+}
+
+val nelder_mead :
+  ?tol:float -> ?max_iter:int -> ?step:float ->
+  (float array -> float) -> x0:float array -> result
+(** Nelder--Mead downhill simplex from [x0] with initial edge [step]
+    (default [0.1] of each coordinate's magnitude, min 0.05).
+    Convergence when the simplex's objective spread falls under [tol]
+    (default [1e-9]). *)
+
+val grid_search :
+  (float array -> float) -> ranges:(float * float * int) array ->
+  float array * float
+(** Exhaustive scan of the Cartesian product of [ranges]
+    ([lo, hi, count] per axis, [count >= 1]); returns the best point
+    and its value. *)
+
+val multi_start_nelder_mead :
+  ?tol:float -> ?max_iter:int -> rng:Rng.t -> starts:int ->
+  (float array -> float) -> lo:float array -> hi:float array -> result
+(** Nelder--Mead from [starts] random points in the box; best result
+    wins. *)

@@ -1,0 +1,188 @@
+type problem = {
+  xl : float;
+  xr : float;
+  nx : int;
+  diffusion : float -> float;
+  reaction : x:float -> t:float -> u:float -> float;
+  initial : float -> float;
+  t0 : float;
+}
+
+type reaction_step = x:float -> t:float -> dt:float -> u:float -> float
+
+type scheme = Ftcs | Imex of float | Strang of reaction_step
+
+type solution = {
+  xs : float array;
+  ts : float array;
+  values : float array array;
+}
+
+let grid p =
+  assert (p.nx >= 3 && p.xr > p.xl);
+  Vec.linspace p.xl p.xr p.nx
+
+let dx p = (p.xr -. p.xl) /. float_of_int (p.nx - 1)
+
+(* Face diffusivities d_{i+1/2}, arithmetic mean of node values. *)
+let face_diffusion p xs =
+  Array.init (p.nx - 1) (fun i ->
+      (p.diffusion xs.(i) +. p.diffusion xs.(i + 1)) /. 2.)
+
+let cfl_limit p =
+  let xs = grid p in
+  let dmax =
+    Array.fold_left (fun acc x -> Float.max acc (p.diffusion x)) 0. xs
+  in
+  let h = dx p in
+  if dmax <= 0. then infinity else h *. h /. (2. *. dmax)
+
+(* Finite-volume discretisation of (d u_x)_x with zero-flux faces:
+   (L u)_i = (F_{i+1/2} - F_{i-1/2}) / (h c_i),  F = d (u_{i+1} - u_i)/h,
+   where boundary cells have half volume (c = 1/2).  Equivalent to the
+   second-order mirrored-ghost stencil at the boundaries, and it makes
+   the trapezoid integral of u an exact invariant of pure diffusion. *)
+let cell_weight n i = if i = 0 || i = n - 1 then 0.5 else 1.
+
+let apply_operator p df u =
+  let n = p.nx in
+  let h2 = dx p ** 2. in
+  Array.init n (fun i ->
+      let flux_right = if i = n - 1 then 0. else df.(i) *. (u.(i + 1) -. u.(i)) in
+      let flux_left = if i = 0 then 0. else df.(i - 1) *. (u.(i) -. u.(i - 1)) in
+      (flux_right -. flux_left) /. (h2 *. cell_weight n i))
+
+(* Tridiagonal representation of L (same stencil as [apply_operator]). *)
+let operator_tridiag p df =
+  let n = p.nx in
+  let h2 = dx p ** 2. in
+  let sub = Array.make (n - 1) 0.
+  and diag = Array.make n 0.
+  and sup = Array.make (n - 1) 0. in
+  for i = 0 to n - 1 do
+    let h2i = h2 *. cell_weight n i in
+    let dr = if i = n - 1 then 0. else df.(i) /. h2i in
+    let dl = if i = 0 then 0. else df.(i - 1) /. h2i in
+    diag.(i) <- -.(dr +. dl);
+    if i < n - 1 then sup.(i) <- dr;
+    if i > 0 then sub.(i - 1) <- dl
+  done;
+  Tridiag.make ~sub ~diag ~sup
+
+(* (I + c L) as a tridiagonal matrix. *)
+let shifted c l =
+  let n = Array.length l.Tridiag.diag in
+  Tridiag.make
+    ~sub:(Array.map (fun v -> c *. v) l.Tridiag.sub)
+    ~diag:(Array.init n (fun i -> 1. +. (c *. l.Tridiag.diag.(i))))
+    ~sup:(Array.map (fun v -> c *. v) l.Tridiag.sup)
+
+let logistic_reaction_step ~r ~k : reaction_step =
+ fun ~x:_ ~t ~dt ~u ->
+  if u = 0. then 0.
+  else begin
+    let integral = Quadrature.simpson r ~a:t ~b:(t +. dt) ~n:8 in
+    Ode.logistic_varying_r ~r_integral:(fun _ -> integral) ~k ~n0:u dt
+  end
+
+(* Second-order (Heun) increment of the reaction term over [t, t+dt]. *)
+let reaction_rk2 p xs t dt u =
+  Array.mapi
+    (fun i ui ->
+      let x = xs.(i) in
+      let k1 = p.reaction ~x ~t ~u:ui in
+      let k2 = p.reaction ~x ~t:(t +. dt) ~u:(ui +. (dt *. k1)) in
+      dt *. (k1 +. k2) /. 2.)
+    u
+
+(* One macro time step of size dt, dispatching on the scheme.  For
+   FTCS the caller has already split dt below the CFL limit. *)
+let step p xs df l scheme t dt u =
+  match scheme with
+  | Ftcs ->
+    let lu = apply_operator p df u in
+    let dr = reaction_rk2 p xs t dt u in
+    Array.mapi (fun i ui -> ui +. (dt *. lu.(i)) +. dr.(i)) u
+  | Imex theta ->
+    (* (I - theta dt L) u' = (I + (1-theta) dt L) u + RK2 reaction *)
+    let explicit = Tridiag.mv (shifted ((1. -. theta) *. dt) l) u in
+    let dr = reaction_rk2 p xs t dt u in
+    let rhs = Array.mapi (fun i v -> v +. dr.(i)) explicit in
+    Tridiag.solve (shifted (-.(theta *. dt)) l) rhs
+  | Strang react ->
+    let half = dt /. 2. in
+    let u1 = Array.mapi (fun i ui -> react ~x:xs.(i) ~t ~dt:half ~u:ui) u in
+    (* Crank--Nicolson diffusion over the full step. *)
+    let explicit = Tridiag.mv (shifted (dt /. 2.) l) u1 in
+    let u2 = Tridiag.solve (shifted (-.(dt /. 2.)) l) explicit in
+    Array.mapi
+      (fun i ui -> react ~x:xs.(i) ~t:(t +. half) ~dt:half ~u:ui)
+      u2
+
+let solve ?(scheme = Imex 0.5) ?(dt = 1e-3) p ~times =
+  assert (dt > 0.);
+  (match scheme with
+  | Imex theta ->
+    if theta < 0.5 || theta > 1. then
+      invalid_arg "Pde.solve: theta must be in [0.5, 1]"
+  | Ftcs | Strang _ -> ());
+  let xs = grid p in
+  let df = face_diffusion p xs in
+  let l = operator_tridiag p df in
+  let dt_macro =
+    match scheme with
+    | Ftcs ->
+      let cfl = cfl_limit p in
+      if Float.is_finite cfl then Float.min dt (0.9 *. cfl) else dt
+    | Imex _ | Strang _ -> dt
+  in
+  let u = ref (Array.map p.initial xs) and t = ref p.t0 in
+  let snapshots = ref [ (p.t0, Array.copy !u) ] in
+  Array.iter
+    (fun target ->
+      if target < !t -. 1e-12 then
+        invalid_arg "Pde.solve: times must be increasing and >= t0";
+      while target -. !t > 1e-12 do
+        let step_dt = Float.min dt_macro (target -. !t) in
+        u := step p xs df l scheme !t step_dt !u;
+        t := !t +. step_dt
+      done;
+      t := target;
+      snapshots := (target, Array.copy !u) :: !snapshots)
+    times;
+  let snaps = Array.of_list (List.rev !snapshots) in
+  {
+    xs;
+    ts = Array.map fst snaps;
+    values = Array.map snd snaps;
+  }
+
+let eval sol ~x ~t =
+  (* values.(it).(ix): bilinear wants values.(ix).(it); transpose view
+     via a small wrapper to avoid materialising. *)
+  let nt = Array.length sol.ts and nx = Array.length sol.xs in
+  assert (nt >= 1 && nx >= 1);
+  let clampf lo hi v = Float.max lo (Float.min hi v) in
+  let x = clampf sol.xs.(0) sol.xs.(nx - 1) x in
+  let t = clampf sol.ts.(0) sol.ts.(nt - 1) t in
+  let i = if nx = 1 then 0 else Interp.bracket sol.xs x in
+  let j = if nt = 1 then 0 else Interp.bracket sol.ts t in
+  let i1 = Stdlib.min (i + 1) (nx - 1) and j1 = Stdlib.min (j + 1) (nt - 1) in
+  let wx = if i1 = i then 0. else (x -. sol.xs.(i)) /. (sol.xs.(i1) -. sol.xs.(i)) in
+  let wt = if j1 = j then 0. else (t -. sol.ts.(j)) /. (sol.ts.(j1) -. sol.ts.(j)) in
+  ((1. -. wx) *. (1. -. wt) *. sol.values.(j).(i))
+  +. (wx *. (1. -. wt) *. sol.values.(j).(i1))
+  +. ((1. -. wx) *. wt *. sol.values.(j1).(i))
+  +. (wx *. wt *. sol.values.(j1).(i1))
+
+let snapshot sol ~t =
+  let nt = Array.length sol.ts in
+  let best = ref 0 in
+  for j = 1 to nt - 1 do
+    if Float.abs (sol.ts.(j) -. t) < Float.abs (sol.ts.(!best) -. t) then
+      best := j
+  done;
+  Array.copy sol.values.(!best)
+
+let mass sol ~it =
+  Quadrature.trapezoid_sampled ~xs:sol.xs ~ys:sol.values.(it)

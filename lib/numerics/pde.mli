@@ -1,0 +1,77 @@
+(** One-dimensional reaction--diffusion initial-boundary-value problems
+    with no-flux (Neumann) boundaries:
+
+    {v
+      u_t = (d(x) u_x)_x + f(x, t, u),   xl <= x <= xr,  t >= t0
+      u_x(xl, t) = u_x(xr, t) = 0
+      u(x, t0)  = initial x
+    v}
+
+    This is the solver behind the paper's diffusive logistic model
+    (Equation 4), where [f(x,t,u) = r(t) u (1 - u/K)] and [d] is
+    constant.  The formulation is kept slightly more general (variable
+    [d(x)], arbitrary [f]) to support the paper's stated future work.
+
+    Three schemes are provided:
+    - {b FTCS}: explicit forward-time centred-space; sub-steps
+      automatically to respect the CFL limit [dt <= dx^2 / (2 max d)].
+    - {b IMEX theta}: diffusion handled implicitly by a theta-scheme
+      (Crank--Nicolson at [theta = 0.5]) via a tridiagonal solve;
+      reaction explicit.
+    - {b Strang}: symmetric operator splitting — half reaction step,
+      full Crank--Nicolson diffusion step, half reaction step — where
+      the reaction sub-step is user-supplied and may be exact (see
+      [logistic_reaction_step]). *)
+
+type problem = {
+  xl : float;
+  xr : float;
+  nx : int;  (** number of grid points, at least 3 *)
+  diffusion : float -> float;  (** [d(x)], non-negative *)
+  reaction : x:float -> t:float -> u:float -> float;
+  initial : float -> float;
+  t0 : float;
+}
+
+type reaction_step = x:float -> t:float -> dt:float -> u:float -> float
+(** Exact or approximate flow of [du/dt = f(x, t, u)] over [\[t, t+dt\]]. *)
+
+type scheme =
+  | Ftcs
+  | Imex of float  (** theta in [\[0.5, 1\]]; 0.5 = Crank--Nicolson *)
+  | Strang of reaction_step
+
+type solution = {
+  xs : float array;  (** grid, length [nx] *)
+  ts : float array;  (** snapshot times, [t0] first *)
+  values : float array array;  (** [values.(it).(ix)] *)
+}
+
+val grid : problem -> float array
+
+val cfl_limit : problem -> float
+(** Largest stable explicit time step for the diffusion term. *)
+
+val solve :
+  ?scheme:scheme -> ?dt:float -> problem -> times:float array -> solution
+(** [solve problem ~times] marches from [t0] and records a snapshot at
+    [t0] and at each requested (strictly increasing, [>= t0]) time.
+    Default scheme [Imex 0.5], default [dt = 1e-3] time units (FTCS
+    additionally sub-steps to stay within the CFL limit). *)
+
+val logistic_reaction_step : r:(float -> float) -> k:float -> reaction_step
+(** Exact flow of the logistic reaction [u' = r(t) u (1 - u/K)], using
+    the closed form with the integral of [r] evaluated by Simpson's
+    rule on the sub-step.  Intended for [Strang]. *)
+
+val eval : solution -> x:float -> t:float -> float
+(** Bilinear interpolation in the snapshot table (clamped at the
+    borders). *)
+
+val snapshot : solution -> t:float -> float array
+(** Solution profile at the recorded time nearest to [t]. *)
+
+val mass : solution -> it:int -> float
+(** Trapezoid integral of the profile at snapshot index [it]; constant
+    in time for pure diffusion with Neumann boundaries (used by
+    tests). *)

@@ -1,0 +1,30 @@
+(** Tridiagonal linear systems (Thomas algorithm).
+
+    Used by the cubic-spline moment system and the Crank--Nicolson
+    diffusion step, both of which are diagonally dominant, so the
+    pivot-free Thomas algorithm is stable. *)
+
+type t = {
+  sub : float array;  (** sub-diagonal, length [n-1]; [sub.(i)] is row [i+1]. *)
+  diag : float array; (** main diagonal, length [n]. *)
+  sup : float array;  (** super-diagonal, length [n-1]; [sup.(i)] is row [i]. *)
+}
+
+val make : sub:float array -> diag:float array -> sup:float array -> t
+(** Validates the three lengths. *)
+
+val dim : t -> int
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve sys b] solves the tridiagonal system in [O(n)].
+    @raise Mat.Singular on a (numerically) zero pivot. *)
+
+val mv : t -> Vec.t -> Vec.t
+(** Product of the tridiagonal matrix with a vector, in [O(n)]. *)
+
+val to_dense : t -> Mat.t
+(** Expansion to a dense matrix; intended for tests. *)
+
+val is_diagonally_dominant : t -> bool
+(** Weak row-wise diagonal dominance; a sufficient condition for the
+    Thomas algorithm to be stable. *)

@@ -1,0 +1,41 @@
+(** Random and deterministic graph generators.
+
+    The synthetic Digg follower graph uses [barabasi_albert] (measured
+    Digg follower graphs are heavy-tailed) with a reciprocity pass, as
+    built by [Socialnet.Digg].  The remaining generators serve tests,
+    examples and the ablation benches. *)
+
+val erdos_renyi : Numerics.Rng.t -> n:int -> p:float -> Digraph.t
+(** G(n, p): each ordered pair (u, v), u <> v, is an edge with
+    probability [p]. *)
+
+val barabasi_albert :
+  Numerics.Rng.t -> n:int -> m:int -> ?reciprocity:float -> unit -> Digraph.t
+(** Preferential attachment: nodes arrive one at a time and follow [m]
+    existing nodes chosen proportionally to in-degree + 1 (the new
+    node's edges point at the chosen targets, "new user follows
+    popular users").  With probability [reciprocity] (default 0.3,
+    roughly the reciprocity reported for Digg) the followed user
+    follows back.  Requires [n > m >= 1]. *)
+
+val watts_strogatz : Numerics.Rng.t -> n:int -> k:int -> beta:float -> Digraph.t
+(** Small-world ring: each node connects to its [k] nearest neighbours
+    ([k] even), each edge rewired with probability [beta]; edges are
+    added in both directions. *)
+
+val configuration_model : Numerics.Rng.t -> out_degrees:int array -> Digraph.t
+(** Directed configuration model: out-stubs as prescribed, targets
+    uniform; multi-edges and self-loops are dropped, so realised
+    degrees can fall slightly short. *)
+
+val star : int -> Digraph.t
+(** Node 0 points at every other node. *)
+
+val ring : int -> Digraph.t
+(** Directed cycle 0 -> 1 -> ... -> n-1 -> 0. *)
+
+val line : int -> Digraph.t
+(** Directed path 0 -> 1 -> ... -> n-1. *)
+
+val complete : int -> Digraph.t
+(** All ordered pairs. *)

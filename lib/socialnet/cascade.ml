@@ -1,0 +1,143 @@
+open Numerics
+open Osn_graph
+
+type params = {
+  p_follow : float;
+  initiator_boost : float;
+  follow_delay_mean : float;
+  promote_threshold : int;
+  front_page_rate : float;
+  front_page_decay : float;
+  front_page_burst : float;
+  duration : float;
+  max_votes : int;
+}
+
+let default =
+  {
+    p_follow = 0.25;
+    initiator_boost = 1.0;
+    follow_delay_mean = 2.0;
+    promote_threshold = 30;
+    front_page_rate = 15.;
+    front_page_decay = 0.15;
+    front_page_burst = 0.;
+    duration = 50.;
+    max_votes = max_int;
+  }
+
+type event = Vote of int | Arrival
+
+(* Schedule the whole decaying Poisson arrival stream at promotion
+   time.  Hour h after promotion carries
+   Poisson(rate/decay * (e^{-decay h} - e^{-decay (h+1)})) arrivals at
+   uniform times within the hour.  The arriving user is drawn at
+   processing time (affinity-weighted rejection), so an arrival can
+   also "miss" — that keeps the realised volume proportional to the
+   story's breadth of appeal. *)
+let schedule_front_page rng queue p t_promoted =
+  if p.front_page_rate > 0. then begin
+    let horizon = p.duration -. t_promoted in
+    let hours = int_of_float (ceil horizon) in
+    let tail_scale = 1. -. p.front_page_burst in
+    (* top-of-front-page spike: a burst of arrivals in the first hour *)
+    let total_mass =
+      if p.front_page_decay <= 0. then p.front_page_rate *. horizon
+      else p.front_page_rate /. p.front_page_decay
+    in
+    let burst = Rng.poisson rng (Float.max 1e-9 (p.front_page_burst *. total_mass)) in
+    for _ = 1 to burst do
+      let t = t_promoted +. Rng.float rng in
+      if t <= p.duration then Event_queue.push queue t Arrival
+    done;
+    for h = 0 to hours - 1 do
+      let expected =
+        tail_scale
+        *.
+        if p.front_page_decay <= 0. then p.front_page_rate
+        else
+          p.front_page_rate /. p.front_page_decay
+          *. (exp (-.p.front_page_decay *. float_of_int h)
+              -. exp (-.p.front_page_decay *. float_of_int (h + 1)))
+      in
+      if expected > 1e-9 then begin
+        let count = Rng.poisson rng (Float.max 1e-9 expected) in
+        for _ = 1 to count do
+          let t = t_promoted +. float_of_int h +. Rng.float rng in
+          if t <= p.duration then Event_queue.push queue t Arrival
+        done
+      end
+    done
+  end
+
+type channel = Seed | Follower | Front_page
+
+let simulate_traced rng ~influence ~affinity ?(visibility = fun _ -> 1.)
+    ~params:p ~initiator ~story_id ~topic () =
+  let n = Digraph.n_nodes influence in
+  assert (initiator >= 0 && initiator < n);
+  let voted = Bytes.make n '\000' in
+  let scheduled = Bytes.make n '\000' in
+  let has_voted u = Bytes.get voted u <> '\000' in
+  let queue : event Event_queue.t = Event_queue.create () in
+  let votes = ref [] and channels = ref [] and n_votes = ref 0 in
+  let promoted = ref false in
+  let expose t u =
+    (* u just voted at time t: give each follower an exposure trial *)
+    let boost = if u = initiator then p.initiator_boost else 1. in
+    Digraph.iter_out influence u (fun f ->
+        if (not (has_voted f)) && Bytes.get scheduled f = '\000' then
+          let prob =
+            Float.min 1. (boost *. p.p_follow *. affinity f *. visibility f)
+          in
+          if Rng.bernoulli rng prob then begin
+            Bytes.set scheduled f '\001';
+            let delay = Rng.exponential rng (1. /. p.follow_delay_mean) in
+            let t' = t +. delay in
+            if t' <= p.duration then Event_queue.push queue t' (Vote f)
+          end)
+  in
+  let record_vote t u channel =
+    Bytes.set voted u '\001';
+    votes := { Types.user = u; time = t } :: !votes;
+    channels := channel :: !channels;
+    incr n_votes;
+    if (not !promoted) && !n_votes >= p.promote_threshold then begin
+      promoted := true;
+      schedule_front_page rng queue p t
+    end;
+    expose t u
+  in
+  record_vote 0. initiator Seed;
+  let stop = ref false in
+  while not !stop do
+    if !n_votes >= p.max_votes then stop := true
+    else
+      match Event_queue.pop queue with
+      | None -> stop := true
+      | Some (t, Vote u) -> if not (has_voted u) then record_vote t u Follower
+      | Some (t, Arrival) ->
+        (* affinity-weighted rejection pick of a fresh voter *)
+        let rec try_pick attempts =
+          if attempts >= 20 then ()
+          else begin
+            let u = Rng.int rng n in
+            let accept = Float.min 1. (affinity u *. visibility u) in
+            if (not (has_voted u)) && Rng.bernoulli rng accept then
+              record_vote t u Front_page
+            else try_pick (attempts + 1)
+          end
+        in
+        try_pick 0
+  done;
+  let votes = Array.of_list (List.rev !votes) in
+  let channels = Array.of_list (List.rev !channels) in
+  (* max_votes can truncate mid-queue; votes are already time-sorted
+     because the event loop pops in time order. *)
+  ({ Types.id = story_id; initiator; topic; votes }, channels)
+
+let simulate rng ~influence ~affinity ?visibility ~params ~initiator ~story_id
+    ~topic () =
+  fst
+    (simulate_traced rng ~influence ~affinity ?visibility ~params ~initiator
+       ~story_id ~topic ())

@@ -1,0 +1,86 @@
+(** Agent-based information-cascade simulator.
+
+    This is the data-generating substitute for the (unavailable) Digg
+    2009 crawl.  It implements exactly the two propagation channels the
+    paper describes for Digg (Section III.A):
+
+    + {b follower channel} — when a user votes, each of their followers
+      is exposed and may vote after a random delay ("a user can see the
+      news submitted by the friends he follows and vote the news");
+    + {b front-page channel} — once the story accumulates
+      [promote_threshold] votes it is "promoted"; from then on users
+      unrelated to the voters arrive by a Poisson process whose rate
+      decays as the story ages ("once the news is promoted to the front
+      page ... users who do not friend with the initiator ... will also
+      be able to view and vote"), which is the random-walk diffusion
+      the DL model's [d (d2 I / d x2)] term abstracts.
+
+    Whether an exposed or arriving user actually votes is modulated by
+    a per-user [affinity] in [0, 1] (topic interest), which is what
+    makes the shared-interest distance metric informative.
+
+    The simulator is purely mechanistic — there is no PDE anywhere in
+    it — so fitting the DL model to its output is a genuine test. *)
+
+type params = {
+  p_follow : float;
+      (** per-exposure probability scale that a follower votes
+          (multiplied by the follower's affinity and visibility) *)
+  initiator_boost : float;
+      (** multiplier on exposures coming directly from the initiator —
+          a submission is more prominent in followers' feeds than a
+          mere vote *)
+  follow_delay_mean : float;  (** mean exposure-to-vote delay, hours *)
+  promote_threshold : int;    (** votes needed to reach the front page *)
+  front_page_rate : float;    (** arrivals/hour right after promotion *)
+  front_page_decay : float;   (** exponential decay of the arrival rate, 1/h *)
+  front_page_burst : float;
+      (** fraction of the total front-page arrival mass that lands
+          within the first hour after promotion (the top-of-front-page
+          spike); the remainder follows the decaying-rate stream *)
+  duration : float;           (** simulation horizon, hours *)
+  max_votes : int;            (** hard safety cap *)
+}
+
+val default : params
+(** Mild settings suitable for background stories. *)
+
+type channel =
+  | Seed        (** the initiator's own vote *)
+  | Follower    (** exposure through a followed user's vote *)
+  | Front_page  (** random arrival after promotion *)
+
+val simulate_traced :
+  Numerics.Rng.t ->
+  influence:Osn_graph.Digraph.t ->
+  affinity:(int -> float) ->
+  ?visibility:(int -> float) ->
+  params:params ->
+  initiator:int ->
+  story_id:int ->
+  topic:int ->
+  unit ->
+  Types.story * channel array
+(** Like {!simulate}, additionally returning which channel produced
+    each vote ([channels.(i)] belongs to [votes.(i)]).  Used to
+    decompose the paper's two propagation processes empirically. *)
+
+val simulate :
+  Numerics.Rng.t ->
+  influence:Osn_graph.Digraph.t ->
+  affinity:(int -> float) ->
+  ?visibility:(int -> float) ->
+  params:params ->
+  initiator:int ->
+  story_id:int ->
+  topic:int ->
+  unit ->
+  Types.story
+(** Runs one cascade and returns the story with its time-sorted votes.
+    [influence] must have edges followee -> follower.  [visibility]
+    (default [fun _ -> 1.]) further modulates both exposure and
+    front-page acceptance per user; the Digg builder uses it to make
+    users who share interests with the initiator more likely to
+    encounter the story (shared interests imply shared channels, the
+    paper's own reading of the metric).  Deterministic given the
+    [Rng.t] state. *)

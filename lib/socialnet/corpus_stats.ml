@@ -1,0 +1,65 @@
+open Osn_graph
+
+type t = {
+  n_users : int;
+  n_follow_edges : int;
+  n_stories : int;
+  n_votes : int;
+  mean_followers : float;
+  max_followers : int;
+  reciprocity : float;
+  clustering : float;
+  in_degree_power_law : float;
+  votes_per_user : Numerics.Stats.summary;
+  votes_per_story : Numerics.Stats.summary;
+  fraction_users_voting : float;
+}
+
+let compute ?(seed = 42) ds =
+  let g = Dataset.follows ds in
+  let n = Dataset.n_users ds in
+  let rng = Numerics.Rng.create seed in
+  let max_followers = ref 0 in
+  for v = 0 to n - 1 do
+    max_followers := Stdlib.max !max_followers (Digraph.in_degree g v)
+  done;
+  let votes_per_user =
+    Array.init n (fun u ->
+        float_of_int (Array.length (Dataset.stories_voted_by ds u)))
+  in
+  let voting_users =
+    Array.fold_left (fun acc c -> if c > 0. then acc + 1 else acc) 0 votes_per_user
+  in
+  let votes_per_story =
+    Array.map
+      (fun s -> float_of_int (Types.story_vote_count s))
+      (Dataset.stories ds)
+  in
+  {
+    n_users = n;
+    n_follow_edges = Digraph.n_edges g;
+    n_stories = Dataset.n_stories ds;
+    n_votes = Dataset.total_votes ds;
+    mean_followers = Metrics.mean_degree g;
+    max_followers = !max_followers;
+    reciprocity = Metrics.reciprocity g;
+    clustering = Metrics.clustering_coefficient ~samples:1000 rng g;
+    in_degree_power_law =
+      Metrics.power_law_exponent (Metrics.degree_histogram `In g);
+    votes_per_user = Numerics.Stats.summarize votes_per_user;
+    votes_per_story = Numerics.Stats.summarize votes_per_story;
+    fraction_users_voting = float_of_int voting_users /. float_of_int n;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>users: %d;  follow edges: %d;  stories: %d;  votes: %d@,\
+     followers/user: mean %.2f, max %d;  reciprocity: %.3f;  clustering: %.3f@,\
+     follower-count power-law slope: %.2f@,\
+     votes per user:  %a@,\
+     votes per story: %a@,\
+     fraction of users who voted at least once: %.3f@]"
+    s.n_users s.n_follow_edges s.n_stories s.n_votes s.mean_followers
+    s.max_followers s.reciprocity s.clustering s.in_degree_power_law
+    Numerics.Stats.pp_summary s.votes_per_user Numerics.Stats.pp_summary
+    s.votes_per_story s.fraction_users_voting

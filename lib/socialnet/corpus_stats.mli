@@ -1,0 +1,26 @@
+(** Corpus-level descriptive statistics.
+
+    The measurement-paper-style characterisation table: users, edges,
+    votes, degree and activity distributions, story-size distribution,
+    reciprocity and clustering — the numbers used to argue a synthetic
+    corpus is Digg-shaped (cf. DESIGN.md's substitution table). *)
+
+type t = {
+  n_users : int;
+  n_follow_edges : int;
+  n_stories : int;
+  n_votes : int;
+  mean_followers : float;
+  max_followers : int;
+  reciprocity : float;
+  clustering : float;          (** sampled local clustering coefficient *)
+  in_degree_power_law : float; (** log-log slope of the follower-count histogram *)
+  votes_per_user : Numerics.Stats.summary;
+  votes_per_story : Numerics.Stats.summary;
+  fraction_users_voting : float;
+}
+
+val compute : ?seed:int -> Dataset.t -> t
+(** [seed] feeds the sampled metrics (clustering); default 42. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+(** An immutable social-news dataset: a follower graph plus a corpus of
+    voted stories, mirroring the structure of the Digg-2009 crawl the
+    paper uses (follower links, per-story vote streams with
+    timestamps).
+
+    Graph orientation: an edge [u -> v] in [follows] means "[u] follows
+    [v]".  Information travels the other way, so the {e influence}
+    graph (edge [v -> u]) is what BFS hop distances are measured on —
+    the initiator's direct followers are at hop 1, exactly as in the
+    paper. *)
+
+type t
+
+val make : follows:Osn_graph.Digraph.t -> stories:Types.story array -> t
+(** Validates every story (see {!Types.check_story}) and that all voter
+    ids fit the graph.  Builds the influence graph and the per-user
+    vote index eagerly. *)
+
+val n_users : t -> int
+val n_stories : t -> int
+
+val follows : t -> Osn_graph.Digraph.t
+val influence : t -> Osn_graph.Digraph.t
+(** Reverse of [follows]: edges point from followee to follower. *)
+
+val story : t -> int -> Types.story
+(** [story t i] for [i] in [0 .. n_stories-1]. *)
+
+val stories : t -> Types.story array
+
+val stories_voted_by : t -> int -> int array
+(** Ascending story ids the user voted on — the set [C_a] of the
+    paper's shared-interest metric (Eq. 1). *)
+
+val total_votes : t -> int
+
+val save_tsv : t -> string -> unit
+(** Serialise to a plain-text format (see the implementation header
+    for the grammar). *)
+
+val load_tsv : string -> t
+(** Inverse of [save_tsv].  @raise Failure on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+(** Synthetic Digg-June-2009 corpus builder.
+
+    Builds a dataset shaped like the crawl the paper uses: a
+    heavy-tailed directed follower graph, topic communities with
+    homophilous following, thousands of background stories (which give
+    users the vote histories that the shared-interest metric needs) and
+    four calibrated {e representative stories} mirroring the paper's
+    s1 (24,099 votes), s2 (8,521), s3 (5,988) and s4 (1,618):
+
+    - s1: a broadly appealing (mainstream-topic) story submitted by an
+      initiator in a niche community — after promotion the front-page
+      channel reaches the mainstream masses at hop >= 3, reproducing
+      the paper's observation that s1's hop-3 density exceeds hop-2;
+    - s2, s3: popular stories by well-followed initiators on their own
+      community's topic;
+    - s4: a small cascade that stays mostly in the follower channel,
+      where density decreases monotonically with hop distance.
+
+    Everything is deterministic in [seed]. *)
+
+type scale = {
+  n_users : int;
+  n_background : int;  (** background stories for vote histories *)
+  vote_factor : float;
+      (** multiplies the four representative vote targets; 1.0 at the
+          paper's scale *)
+}
+
+val small : scale
+(** ~2k users — unit tests. *)
+
+val medium : scale
+(** ~20k users — examples and benches (default). *)
+
+val full : scale
+(** 139,409 users, 3,553 stories — the paper's reported scale. *)
+
+type corpus = {
+  dataset : Dataset.t;
+  rep_ids : int array;
+      (** story ids of s1..s4 within the dataset, in that order *)
+  community : int array;   (** community of each user *)
+  prefs : float array array;  (** per-user topic-preference vectors *)
+  activity : float array;
+      (** heavy-tailed per-user engagement multiplier (mean ~1); makes
+          vote histories heavy-tailed, which in turn makes the
+          shared-interest distance informative, as in real Digg *)
+  n_topics : int;
+}
+
+val n_topics : int
+(** Number of topics/communities (topic 0 is "mainstream"). *)
+
+val affinity : corpus -> topic:int -> int -> float
+(** [affinity corpus ~topic u] is the probability-scale interest of
+    user [u] in [topic] (used by the cascade simulator). *)
+
+val build : ?scale:scale -> seed:int -> unit -> corpus

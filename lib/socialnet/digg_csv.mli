@@ -1,0 +1,41 @@
+(** Loader for the original Digg 2009 dataset format.
+
+    The crawl the paper uses (Lerman's "Digg 2009" release) shipped as
+    two CSV files:
+
+    - [digg_votes.csv] — rows ["timestamp","voter_id","story_id"]
+      (unix seconds; ids are anonymised integers);
+    - [digg_friends.csv] — rows
+      ["mutual","timestamp","user_id","friend_id"], where [user_id]
+      follows [friend_id] and [mutual = 1] marks a reciprocated link.
+
+    The files are no longer publicly distributed, which is why this
+    repository ships a synthetic substitute ({!Digg}); but if you hold
+    a copy, this loader turns it into a {!Dataset.t} and the entire
+    pipeline runs on the paper's actual data.
+
+    Ids are compacted to dense 0-based user/story indices.  Vote
+    timestamps are converted to hours since each story's first vote,
+    and the first voter is taken as the story's initiator (exactly the
+    paper's convention).  Stories with fewer than [min_votes] votes are
+    dropped.  Topics are not part of the release; all stories get topic
+    0. *)
+
+type id_maps = {
+  user_of_raw : (int, int) Hashtbl.t;   (** raw id -> dense id *)
+  story_of_raw : (int, int) Hashtbl.t;
+}
+
+val load :
+  ?min_votes:int -> votes:string -> friends:string -> unit ->
+  Dataset.t * id_maps
+(** [load ~votes ~friends ()] parses both CSVs (default
+    [min_votes = 2]).  Quoted and unquoted integer fields are accepted;
+    malformed rows raise [Failure] with the offending line number. *)
+
+val parse_vote_line : string -> (float * int * int) option
+(** [Some (timestamp, voter, story)] for a data row, [None] for a
+    header/blank line (exposed for tests). *)
+
+val parse_friend_line : string -> (bool * float * int * int) option
+(** [Some (mutual, timestamp, user, friend)] (exposed for tests). *)

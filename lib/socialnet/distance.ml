@@ -1,0 +1,90 @@
+open Osn_graph
+
+let friendship_hops ds ~story =
+  let init = story.Types.initiator in
+  let dist = Traversal.bfs_distances (Dataset.influence ds) init in
+  Array.mapi (fun u d -> if u = init || d <= 0 then -1 else d) dist
+
+(* Intersection/union sizes of two sorted int arrays, skipping
+   [exclude]. *)
+let jaccard_distance ~exclude a b =
+  let na = Array.length a and nb = Array.length b in
+  let inter = ref 0 and union = ref 0 in
+  let i = ref 0 and j = ref 0 in
+  let bump x =
+    if x <> exclude then incr union
+  in
+  while !i < na && !j < nb do
+    let va = a.(!i) and vb = b.(!j) in
+    if va = vb then begin
+      if va <> exclude then begin
+        incr inter;
+        incr union
+      end;
+      incr i;
+      incr j
+    end
+    else if va < vb then begin
+      bump va;
+      incr i
+    end
+    else begin
+      bump vb;
+      incr j
+    end
+  done;
+  while !i < na do
+    bump a.(!i);
+    incr i
+  done;
+  while !j < nb do
+    bump b.(!j);
+    incr j
+  done;
+  if !union = 0 then 1.
+  else 1. -. (float_of_int !inter /. float_of_int !union)
+
+let shared_interest ds ~exclude a b =
+  jaccard_distance ~exclude (Dataset.stories_voted_by ds a)
+    (Dataset.stories_voted_by ds b)
+
+type grouping = Equal_width | Quantile
+
+let interest_groups ?(n_groups = 5) ?(grouping = Equal_width) ds ~story =
+  if n_groups < 1 then invalid_arg "Distance.interest_groups: n_groups >= 1";
+  let n = Dataset.n_users ds in
+  let init = story.Types.initiator in
+  let exclude = story.Types.id in
+  (* Users with no measurable vote history (beyond the story under
+     study) are outside the metric's universe, like non-voters in the
+     paper's crawl of voters: exclude them rather than piling them all
+     into the farthest group. *)
+  let measurable u =
+    let voted = Dataset.stories_voted_by ds u in
+    Array.exists (fun id -> id <> exclude) voted
+  in
+  let d =
+    Array.init n (fun u ->
+        if u = init || not (measurable u) then nan
+        else shared_interest ds ~exclude init u)
+  in
+  let observed = Array.of_seq (Seq.filter (fun x -> not (Float.is_nan x)) (Array.to_seq d)) in
+  let group_of =
+    match grouping with
+    | Equal_width ->
+      let lo = Numerics.Stats.min observed and hi = Numerics.Stats.max observed in
+      let width = if hi > lo then (hi -. lo) /. float_of_int n_groups else 1. in
+      fun x ->
+        let g = int_of_float ((x -. lo) /. width) in
+        1 + Stdlib.max 0 (Stdlib.min (n_groups - 1) g)
+    | Quantile ->
+      let cuts =
+        Array.init (n_groups - 1) (fun k ->
+            Numerics.Stats.quantile observed
+              (float_of_int (k + 1) /. float_of_int n_groups))
+      in
+      fun x ->
+        let rec scan k = if k >= n_groups - 1 || x <= cuts.(k) then k + 1 else scan (k + 1) in
+        scan 0
+  in
+  Array.map (fun x -> if Float.is_nan x then -1 else group_of x) d

@@ -1,0 +1,17 @@
+(** Binary min-heap priority queue keyed by float time.
+
+    Drives the event loop of the cascade simulator.  Payloads are
+    polymorphic; ties in time pop in unspecified order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the earliest event. *)
+
+val peek_time : 'a t -> float option

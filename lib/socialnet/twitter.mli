@@ -1,0 +1,25 @@
+(** Synthetic Twitter-like corpus — the paper's future-work target.
+
+    The paper closes by proposing to test the DL model "on other social
+    networks such as Facebook and Twitter".  This builder produces a
+    network with Twitter's salient differences from Digg:
+
+    - follows are far less reciprocal (~10 % vs Digg's ~20-30 %);
+    - there is no front page: propagation is almost entirely along the
+      follower graph (retweets), with only a weak search/hashtag
+      channel;
+    - cascades therefore hug the graph — density decays sharply with
+      hop distance and the paper's s1 anomaly (hop 3 > hop 2) should
+      {e not} appear.
+
+    The bench's future-work section runs the DL pipeline on this corpus
+    to check that the model transfers. *)
+
+type corpus = {
+  dataset : Dataset.t;
+  rep_ids : int array;  (** four representative tweets, most viral first *)
+  n_topics : int;
+}
+
+val build : ?n_users:int -> ?n_background:int -> seed:int -> unit -> corpus
+(** Defaults: 20,000 users, 300 background tweets. *)

@@ -1,0 +1,41 @@
+type vote = { user : int; time : float }
+
+type story = {
+  id : int;
+  initiator : int;
+  topic : int;
+  votes : vote array;
+}
+
+let story_vote_count s = Array.length s.votes
+
+let votes_before s t =
+  (* votes are sorted: binary search for the cut point *)
+  let n = Array.length s.votes in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if s.votes.(mid).time <= t then lo := mid + 1 else hi := mid
+  done;
+  Array.sub s.votes 0 !lo
+
+let voters s = Array.map (fun v -> v.user) s.votes
+
+let check_story s =
+  let n = Array.length s.votes in
+  if n = 0 then invalid_arg "story has no votes";
+  if s.votes.(0).user <> s.initiator then
+    invalid_arg "first vote must be the initiator";
+  if s.votes.(0).time <> 0. then invalid_arg "initiator vote must be at t=0";
+  let seen = Hashtbl.create n in
+  Array.iteri
+    (fun i v ->
+      if i > 0 && v.time < s.votes.(i - 1).time then
+        invalid_arg "votes must be sorted by time";
+      if Hashtbl.mem seen v.user then invalid_arg "duplicate voter";
+      Hashtbl.add seen v.user ())
+    s.votes
+
+let pp_story ppf s =
+  Format.fprintf ppf "story %d (initiator %d, topic %d, %d votes)" s.id
+    s.initiator s.topic (Array.length s.votes)

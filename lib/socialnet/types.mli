@@ -1,0 +1,31 @@
+(** Core data types of the synthetic online social network.
+
+    Conventions:
+    - users are integers [0 .. n_users-1];
+    - vote timestamps are hours since the story's submission (the
+      paper works at hour granularity; we keep full float precision
+      and bucket by hour when observing densities);
+    - every story's first vote is its initiator at time [0.]. *)
+
+type vote = { user : int; time : float }
+
+type story = {
+  id : int;
+  initiator : int;
+  topic : int;
+  votes : vote array;  (** sorted by time ascending; first is the initiator *)
+}
+
+val story_vote_count : story -> int
+
+val votes_before : story -> float -> vote array
+(** [votes_before s t] is the prefix of votes with [time <= t]. *)
+
+val voters : story -> int array
+(** All voter ids, in vote order. *)
+
+val check_story : story -> unit
+(** Validates the invariants (sorted votes, initiator first, no
+    duplicate voters).  @raise Invalid_argument on violation. *)
+
+val pp_story : Format.formatter -> story -> unit

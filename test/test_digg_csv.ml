@@ -1,0 +1,167 @@
+(* Tests for the original-format Digg 2009 CSV loader, using synthetic
+   fixture files written to temp paths. *)
+
+open Socialnet
+
+let checkf tol = Alcotest.(check (float tol))
+
+let write_temp name contents =
+  let path = Filename.temp_file "dlosn_csv" name in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let with_fixture votes friends f =
+  let vp = write_temp "votes.csv" votes in
+  let fp = write_temp "friends.csv" friends in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove vp;
+      Sys.remove fp)
+    (fun () -> f vp fp)
+
+(* two stories; raw ids are sparse on purpose *)
+let votes_csv =
+  {|"1246000000","700","90"
+"1246003600","701","90"
+"1246007200","702","90"
+"1246010000","703","91"
+"1246010600","700","91"
+"1246011000","703","91"
+|}
+
+(* 700 follows 701 (mutual), 702 follows 700 (one-way) *)
+let friends_csv =
+  {|"1","1245000000","700","701"
+"0","1245000001","702","700"
+|}
+
+let test_load_basic () =
+  with_fixture votes_csv friends_csv (fun vp fp ->
+      let ds, maps = Digg_csv.load ~votes:vp ~friends:fp () in
+      Alcotest.(check int) "users interned" 4 (Dataset.n_users ds);
+      Alcotest.(check int) "stories" 2 (Dataset.n_stories ds);
+      (* story 90: 3 votes, initiator raw 700 *)
+      let u700 = Hashtbl.find maps.Digg_csv.user_of_raw 700 in
+      let s90 = Hashtbl.find maps.Digg_csv.story_of_raw 90 in
+      let story = Dataset.story ds s90 in
+      Alcotest.(check int) "initiator" u700 story.Types.initiator;
+      Alcotest.(check int) "votes" 3 (Types.story_vote_count story);
+      (* times re-based to hours *)
+      checkf 1e-9 "first at 0" 0. story.Types.votes.(0).Types.time;
+      checkf 1e-9 "second at 1h" 1. story.Types.votes.(1).Types.time;
+      checkf 1e-9 "third at 2h" 2. story.Types.votes.(2).Types.time)
+
+let test_load_friendships () =
+  with_fixture votes_csv friends_csv (fun vp fp ->
+      let ds, maps = Digg_csv.load ~votes:vp ~friends:fp () in
+      let u = Hashtbl.find maps.Digg_csv.user_of_raw in
+      let g = Dataset.follows ds in
+      Alcotest.(check bool) "700 follows 701" true
+        (Osn_graph.Digraph.has_edge g (u 700) (u 701));
+      Alcotest.(check bool) "mutual back-edge" true
+        (Osn_graph.Digraph.has_edge g (u 701) (u 700));
+      Alcotest.(check bool) "702 follows 700" true
+        (Osn_graph.Digraph.has_edge g (u 702) (u 700));
+      Alcotest.(check bool) "one-way has no back-edge" false
+        (Osn_graph.Digraph.has_edge g (u 700) (u 702)))
+
+let test_duplicate_votes_first_wins () =
+  (* user 703 votes story 91 twice: only the first is kept *)
+  with_fixture votes_csv friends_csv (fun vp fp ->
+      let ds, maps = Digg_csv.load ~votes:vp ~friends:fp () in
+      let s91 = Hashtbl.find maps.Digg_csv.story_of_raw 91 in
+      let story = Dataset.story ds s91 in
+      Alcotest.(check int) "deduplicated" 2 (Types.story_vote_count story);
+      Types.check_story story)
+
+let test_min_votes_filter () =
+  with_fixture votes_csv friends_csv (fun vp fp ->
+      let ds, _ = Digg_csv.load ~min_votes:3 ~votes:vp ~friends:fp () in
+      (* story 91 has only 2 distinct voters -> dropped *)
+      Alcotest.(check int) "filtered" 1 (Dataset.n_stories ds))
+
+let test_header_tolerated () =
+  let with_header = "timestamp,voter,story\n" ^ votes_csv in
+  with_fixture with_header friends_csv (fun vp fp ->
+      let ds, _ = Digg_csv.load ~votes:vp ~friends:fp () in
+      Alcotest.(check int) "stories parsed past header" 2 (Dataset.n_stories ds))
+
+let test_malformed_row_rejected () =
+  let bad = votes_csv ^ "oops,not,\"numbers\"x\n" in
+  with_fixture bad friends_csv (fun vp fp ->
+      try
+        ignore (Digg_csv.load ~votes:vp ~friends:fp ());
+        Alcotest.fail "expected Failure"
+      with Failure msg ->
+        Alcotest.(check bool) "names the line" true
+          (String.length msg > 0
+           && String.contains msg 'l' (* "line" *)))
+
+let test_parse_helpers () =
+  (match Digg_csv.parse_vote_line {|"123","4","5"|} with
+  | Some (ts, v, s) ->
+    checkf 1e-9 "ts" 123. ts;
+    Alcotest.(check int) "voter" 4 v;
+    Alcotest.(check int) "story" 5 s
+  | None -> Alcotest.fail "expected parse");
+  (match Digg_csv.parse_vote_line "123,4,5" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "unquoted fields accepted");
+  Alcotest.(check bool) "header row is None" true
+    (Digg_csv.parse_vote_line "timestamp,voter,story" = None);
+  match Digg_csv.parse_friend_line {|"1","99","7","8"|} with
+  | Some (mutual, ts, u, f) ->
+    Alcotest.(check bool) "mutual" true mutual;
+    checkf 1e-9 "ts" 99. ts;
+    Alcotest.(check int) "user" 7 u;
+    Alcotest.(check int) "friend" 8 f
+  | None -> Alcotest.fail "expected parse"
+
+let test_pipeline_runs_on_csv_data () =
+  (* a slightly larger fixture where the pipeline has >= 2 hop groups *)
+  let votes =
+    Buffer.create 256
+  in
+  (* star-ish cascade: initiator 1000, direct followers 1001-1005 vote,
+     then their followers 1006-1011 *)
+  Buffer.add_string votes "\"0\",\"1000\",\"5\"\n";
+  for i = 1 to 5 do
+    Buffer.add_string votes
+      (Printf.sprintf "\"%d\",\"%d\",\"5\"\n" (i * 1800) (1000 + i))
+  done;
+  for i = 6 to 11 do
+    Buffer.add_string votes
+      (Printf.sprintf "\"%d\",\"%d\",\"5\"\n" (i * 3600) (1000 + i))
+  done;
+  let friends = Buffer.create 256 in
+  for i = 1 to 5 do
+    Buffer.add_string friends (Printf.sprintf "\"0\",\"0\",\"%d\",\"1000\"\n" (1000 + i))
+  done;
+  for i = 6 to 11 do
+    Buffer.add_string friends
+      (Printf.sprintf "\"0\",\"0\",\"%d\",\"%d\"\n" (1000 + i) (1000 + i - 5))
+  done;
+  with_fixture (Buffer.contents votes) (Buffer.contents friends) (fun vp fp ->
+      let ds, maps = Digg_csv.load ~votes:vp ~friends:fp () in
+      let sid = Hashtbl.find maps.Digg_csv.story_of_raw 5 in
+      let story = Dataset.story ds sid in
+      let exp =
+        Dl.Pipeline.run ds ~story
+          ~metric:(Dl.Pipeline.Hops { max_distance = 3 })
+      in
+      Alcotest.(check bool) "pipeline produces a table" true
+        (Array.length exp.Dl.Pipeline.table.Dl.Accuracy.distances >= 2))
+
+let suite =
+  [
+    Alcotest.test_case "load basic" `Quick test_load_basic;
+    Alcotest.test_case "friendships" `Quick test_load_friendships;
+    Alcotest.test_case "duplicate votes" `Quick test_duplicate_votes_first_wins;
+    Alcotest.test_case "min_votes filter" `Quick test_min_votes_filter;
+    Alcotest.test_case "header tolerated" `Quick test_header_tolerated;
+    Alcotest.test_case "malformed rejected" `Quick test_malformed_row_rejected;
+    Alcotest.test_case "parse helpers" `Quick test_parse_helpers;
+    Alcotest.test_case "pipeline on CSV data" `Quick test_pipeline_runs_on_csv_data;
+  ]

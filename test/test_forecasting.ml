@@ -1,0 +1,274 @@
+(* Tests for Hermite/PCHIP interpolation, the PCHIP phi construction,
+   and the forecasting experiment modules (Horizon, Transfer,
+   Size_forecast). *)
+
+open Numerics
+
+let checkf tol = Alcotest.(check (float tol))
+
+(* --- Hermite / PCHIP --- *)
+
+let xs5 = [| 0.; 1.; 2.; 3.; 4. |]
+let ys5 = [| 1.; 3.; 2.; 5.; 4. |]
+
+let test_pchip_interpolates () =
+  let h = Hermite.pchip ~clamp_ends:false ~xs:xs5 ~ys:ys5 in
+  Array.iteri (fun i x -> checkf 1e-9 "knot" ys5.(i) (Hermite.eval h x)) xs5
+
+let test_pchip_monotone_on_monotone_data () =
+  let xs = [| 0.; 1.; 2.; 3.; 4.; 5. |] in
+  let ys = [| 10.; 6.; 5.5; 2.; 0.5; 0.1 |] in
+  let h = Hermite.pchip ~clamp_ends:false ~xs ~ys in
+  let prev = ref (Hermite.eval h 0.) in
+  for i = 1 to 400 do
+    let x = 5. *. float_of_int i /. 400. in
+    let v = Hermite.eval h x in
+    Alcotest.(check bool) "non-increasing" true (v <= !prev +. 1e-9);
+    prev := v
+  done
+
+let test_pchip_never_undershoots_positive_data () =
+  (* the case that breaks the C2 spline: steep drop to zero *)
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  let ys = [| 10.; 0.1; 0.; 0. |] in
+  let h = Hermite.pchip ~clamp_ends:true ~xs ~ys in
+  for i = 0 to 300 do
+    let x = 1. +. (3. *. float_of_int i /. 300.) in
+    Alcotest.(check bool) "stays non-negative" true (Hermite.eval h x >= -1e-12)
+  done
+
+let test_pchip_clamped_ends () =
+  let h = Hermite.pchip ~clamp_ends:true ~xs:xs5 ~ys:ys5 in
+  checkf 1e-9 "left slope" 0. (Hermite.deriv h 0.);
+  checkf 1e-9 "right slope" 0. (Hermite.deriv h 4.)
+
+let test_pchip_constant_extension () =
+  let h = Hermite.pchip ~clamp_ends:false ~xs:xs5 ~ys:ys5 in
+  checkf 1e-9 "left of domain" 1. (Hermite.eval h (-3.));
+  checkf 1e-9 "right of domain" 4. (Hermite.eval h 10.);
+  checkf 1e-9 "outside deriv" 0. (Hermite.deriv h (-3.))
+
+let test_pchip_deriv_matches_fd () =
+  let h = Hermite.pchip ~clamp_ends:false ~xs:xs5 ~ys:ys5 in
+  List.iter
+    (fun x ->
+      let eps = 1e-6 in
+      let fd = (Hermite.eval h (x +. eps) -. Hermite.eval h (x -. eps)) /. (2. *. eps) in
+      Alcotest.(check bool) "deriv ~ FD" true
+        (Float.abs (fd -. Hermite.deriv h x) < 1e-4))
+    [ 0.3; 1.5; 2.7; 3.9 ]
+
+let test_of_slopes_hermite_basis () =
+  (* with slopes 0 the interpolant is the smoothstep between knots *)
+  let h = Hermite.of_slopes ~xs:[| 0.; 1. |] ~ys:[| 0.; 1. |] ~ms:[| 0.; 0. |] in
+  checkf 1e-12 "midpoint smoothstep" 0.5 (Hermite.eval h 0.5);
+  checkf 1e-12 "quarter" ((3. *. 0.0625) -. (2. *. 0.015625)) (Hermite.eval h 0.25)
+
+let test_pchip_rejects_bad_input () =
+  let expect_invalid f =
+    try
+      ignore (f ());
+      Alcotest.fail "expected Invalid_argument"
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid (fun () -> Hermite.pchip ~clamp_ends:false ~xs:[| 0. |] ~ys:[| 1. |]);
+  expect_invalid (fun () ->
+      Hermite.pchip ~clamp_ends:false ~xs:[| 1.; 0. |] ~ys:[| 1.; 2. |])
+
+let prop_pchip_within_local_bounds =
+  QCheck.Test.make ~count:150 ~name:"pchip stays within each interval's data range"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 3 + Rng.int rng 6 in
+      let xs = Array.init n (fun i -> float_of_int i) in
+      let ys = Array.init n (fun _ -> Rng.uniform rng 0. 10.) in
+      let h = Hermite.pchip ~clamp_ends:(Rng.bool rng) ~xs ~ys in
+      let ok = ref true in
+      for i = 0 to n - 2 do
+        let lo = Float.min ys.(i) ys.(i + 1) -. 1e-9 in
+        let hi = Float.max ys.(i) ys.(i + 1) +. 1e-9 in
+        for j = 0 to 20 do
+          let x = xs.(i) +. (float_of_int j /. 20.) in
+          let v = Hermite.eval h x in
+          (* Fritsch-Carlson guarantees monotone pieces between knots,
+             so values are bounded by the endpoints *)
+          if v < lo || v > hi then ok := false
+        done
+      done;
+      !ok)
+
+(* --- Initial with PCHIP --- *)
+
+let test_initial_pchip_requirements () =
+  let phi =
+    Dl.Initial.of_observations_with ~construction:`Pchip
+      ~xs:[| 1.; 2.; 3.; 4.; 5.; 6. |]
+      ~densities:[| 12.; 0.3; 0.; 0.5; 0.2; 0.1 |]
+  in
+  Alcotest.(check bool) "is pchip" true (Dl.Initial.construction phi = `Pchip);
+  let report = Dl.Initial.check phi ~params:Dl.Params.paper_hops in
+  Alcotest.(check bool) "end slopes" true report.Dl.Initial.end_slopes_zero;
+  Alcotest.(check bool) "non-negative (no floor needed)" true
+    report.Dl.Initial.non_negative
+
+let test_initial_pchip_vs_spline_on_smooth_data () =
+  (* on gently varying data the two constructions nearly coincide *)
+  let xs = [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  let densities = [| 6.0; 4.8; 3.9; 3.1; 2.5; 2.1 |] in
+  let spline = Dl.Initial.of_observations ~xs ~densities in
+  let pchip =
+    Dl.Initial.of_observations_with ~construction:`Pchip ~xs ~densities
+  in
+  for i = 0 to 50 do
+    let x = 1. +. (5. *. float_of_int i /. 50.) in
+    Alcotest.(check bool) "close" true
+      (Float.abs (Dl.Initial.eval spline x -. Dl.Initial.eval pchip x) < 0.35)
+  done
+
+let test_pipeline_with_pchip () =
+  let c = Socialnet.Digg.build ~scale:Socialnet.Digg.small ~seed:5 () in
+  let ds = c.Socialnet.Digg.dataset in
+  let s1 = Socialnet.Dataset.story ds c.Socialnet.Digg.rep_ids.(0) in
+  let exp =
+    Dl.Pipeline.run ~construction:`Pchip ds ~story:s1 ~metric:Dl.Pipeline.hops
+  in
+  Alcotest.(check bool) "runs and scores" true
+    (not (Float.is_nan exp.Dl.Pipeline.table.Dl.Accuracy.overall_average));
+  Alcotest.(check bool) "phi is pchip" true
+    (Dl.Initial.construction exp.Dl.Pipeline.phi = `Pchip)
+
+(* --- Horizon --- *)
+
+(* ground-truth observations generated by the DL model itself *)
+let dl_ground_obs () =
+  let phi =
+    Dl.Initial.of_observations ~xs:[| 1.; 2.; 3.; 4.; 5.; 6. |]
+      ~densities:[| 6.0; 3.1; 2.3; 1.2; 0.7; 0.4 |]
+  in
+  let times = Array.init 12 (fun i -> float_of_int (i + 1)) in
+  let sol = Dl.Model.solve Dl.Params.paper_hops ~phi ~times in
+  {
+    Socialnet.Density.distances = [| 1; 2; 3; 4; 5; 6 |];
+    times;
+    density =
+      Array.map
+        (fun x -> Array.map (fun t -> Dl.Model.predict sol ~x ~t) times)
+        [| 1.; 2.; 3.; 4.; 5.; 6. |];
+    population = Array.make 6 100;
+  }
+
+let test_horizon_curve_on_realisable_data () =
+  let obs = dl_ground_obs () in
+  let points =
+    Dl.Horizon.curve (Rng.create 6) obs ~train_untils:[| 4. |]
+      ~horizons:[| 1.; 4.; 8. |]
+  in
+  Alcotest.(check int) "points" 3 (Array.length points);
+  Array.iter
+    (fun (p : Dl.Horizon.point) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "accurate at +%g" p.Dl.Horizon.horizon)
+        true
+        (p.Dl.Horizon.accuracy > 0.85))
+    points
+
+let test_horizon_missing_times_are_nan () =
+  let obs = dl_ground_obs () in
+  let points =
+    Dl.Horizon.curve (Rng.create 6) obs ~train_untils:[| 4. |]
+      ~horizons:[| 100. |]
+  in
+  Alcotest.(check bool) "out-of-observation horizon undefined" true
+    (Float.is_nan points.(0).Dl.Horizon.accuracy)
+
+(* --- Transfer --- *)
+
+let corpus = lazy (Socialnet.Digg.build ~scale:Socialnet.Digg.small ~seed:5 ())
+
+let test_transfer_matrix () =
+  let c = Lazy.force corpus in
+  let ds = c.Socialnet.Digg.dataset in
+  let stories =
+    Array.map (Socialnet.Dataset.story ds)
+      (Array.sub c.Socialnet.Digg.rep_ids 0 2)
+  in
+  let m = Dl.Transfer.cross_apply (Rng.create 9) ds ~stories in
+  Alcotest.(check int) "2x2" 2 (Array.length m.Dl.Transfer.accuracy);
+  let defined = ref 0 in
+  Array.iter
+    (Array.iter (fun v ->
+         if not (Float.is_nan v) then begin
+           incr defined;
+           Alcotest.(check bool) "in [0,1]" true (v >= 0. && v <= 1.)
+         end))
+    m.Dl.Transfer.accuracy;
+  Alcotest.(check bool) "some cells defined" true (!defined >= 2)
+
+let test_diagonal_advantage_identity () =
+  (* a matrix where own-params are better by exactly 0.2 *)
+  let m =
+    {
+      Dl.Transfer.story_ids = [| 1; 2 |];
+      accuracy = [| [| 0.9; 0.7 |]; [| 0.7; 0.9 |] |];
+    }
+  in
+  checkf 1e-12 "advantage" 0.2 (Dl.Transfer.diagonal_advantage m)
+
+(* --- Size forecast --- *)
+
+let test_size_forecast_on_corpus () =
+  let c = Lazy.force corpus in
+  let ds = c.Socialnet.Digg.dataset in
+  let stories = Dl.Batch.top_stories ds ~n:4 in
+  let forecasts =
+    Dl.Size_forecast.evaluate ~mode:Dl.Batch.Paper_params ds ~stories
+  in
+  Alcotest.(check bool) "some forecasts" true (Array.length forecasts >= 2);
+  Array.iter
+    (fun (f : Dl.Size_forecast.forecast) ->
+      Alcotest.(check bool) "positive prediction" true (f.Dl.Size_forecast.predicted_votes > 0.);
+      Alcotest.(check bool) "coverage in [0,1]" true
+        (f.Dl.Size_forecast.covered_fraction >= 0.
+         && f.Dl.Size_forecast.covered_fraction <= 1.))
+    forecasts
+
+let test_size_forecast_exact_when_model_is_truth () =
+  (* if predicted density equals observed density, predicted votes =
+     covered actual votes; here we check predict_votes arithmetic via a
+     pipeline experiment on the corpus *)
+  let c = Lazy.force corpus in
+  let ds = c.Socialnet.Digg.dataset in
+  let s1 = Socialnet.Dataset.story ds c.Socialnet.Digg.rep_ids.(0) in
+  let exp = Dl.Pipeline.run ds ~story:s1 ~metric:Dl.Pipeline.hops in
+  let v6 = Dl.Size_forecast.predict_votes exp ~at:6. in
+  let v2 = Dl.Size_forecast.predict_votes exp ~at:2. in
+  Alcotest.(check bool) "monotone in time" true (v6 >= v2);
+  let population_mass =
+    float_of_int
+      (Array.fold_left ( + ) 0
+         exp.Dl.Pipeline.observation.Socialnet.Density.population)
+  in
+  Alcotest.(check bool) "bounded by population mass" true (v6 <= population_mass)
+
+let suite =
+  [
+    Alcotest.test_case "pchip interpolates" `Quick test_pchip_interpolates;
+    Alcotest.test_case "pchip monotone" `Quick test_pchip_monotone_on_monotone_data;
+    Alcotest.test_case "pchip no undershoot" `Quick test_pchip_never_undershoots_positive_data;
+    Alcotest.test_case "pchip clamped ends" `Quick test_pchip_clamped_ends;
+    Alcotest.test_case "pchip extension" `Quick test_pchip_constant_extension;
+    Alcotest.test_case "pchip deriv vs FD" `Quick test_pchip_deriv_matches_fd;
+    Alcotest.test_case "hermite basis" `Quick test_of_slopes_hermite_basis;
+    Alcotest.test_case "pchip bad input" `Quick test_pchip_rejects_bad_input;
+    QCheck_alcotest.to_alcotest prop_pchip_within_local_bounds;
+    Alcotest.test_case "initial pchip" `Quick test_initial_pchip_requirements;
+    Alcotest.test_case "pchip vs spline" `Quick test_initial_pchip_vs_spline_on_smooth_data;
+    Alcotest.test_case "pipeline pchip" `Slow test_pipeline_with_pchip;
+    Alcotest.test_case "horizon curve" `Slow test_horizon_curve_on_realisable_data;
+    Alcotest.test_case "horizon undefined" `Slow test_horizon_missing_times_are_nan;
+    Alcotest.test_case "transfer matrix" `Slow test_transfer_matrix;
+    Alcotest.test_case "diagonal advantage" `Quick test_diagonal_advantage_identity;
+    Alcotest.test_case "size forecast corpus" `Slow test_size_forecast_on_corpus;
+    Alcotest.test_case "size forecast arithmetic" `Slow test_size_forecast_exact_when_model_is_truth;
+  ]

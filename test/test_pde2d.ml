@@ -1,0 +1,277 @@
+(* Tests for Numerics.Pde2d (ADI reaction-diffusion) and the joint
+   two-metric DL model. *)
+
+open Numerics
+
+let checkf tol = Alcotest.(check (float tol))
+
+let gaussian2d_problem dx dy nx ny =
+  {
+    Pde2d.xl = 0.;
+    xr = 4.;
+    nx;
+    yl = 0.;
+    yr = 4.;
+    ny;
+    dx_coef = dx;
+    dy_coef = dy;
+    reaction = (fun ~x:_ ~y:_ ~t:_ ~u:_ -> 0.);
+    initial =
+      (fun x y -> exp (-.(((x -. 2.) ** 2.) +. ((y -. 2.) ** 2.)) *. 2.));
+    t0 = 0.;
+  }
+
+let test_mass_conservation () =
+  let sol =
+    Pde2d.solve ~dt:0.01 (gaussian2d_problem 0.3 0.1 41 41)
+      ~times:[| 0.5; 2. |]
+  in
+  let m0 = Pde2d.mass sol ~it:0 in
+  checkf 1e-8 "mass t=0.5" m0 (Pde2d.mass sol ~it:1);
+  checkf 1e-8 "mass t=2" m0 (Pde2d.mass sol ~it:2)
+
+let test_flattens_to_uniform () =
+  let sol =
+    Pde2d.solve ~dt:0.02 (gaussian2d_problem 0.5 0.5 31 31) ~times:[| 30. |]
+  in
+  let final = sol.Pde2d.values.(1) in
+  let flat = Array.concat (Array.to_list final) in
+  let spread = Stats.max flat -. Stats.min flat in
+  Alcotest.(check bool) "near uniform" true (spread < 0.02 *. Stats.mean flat +. 1e-6)
+
+let test_product_mode_decay_rate () =
+  (* u = 1 + a cos(pi x/Lx) cos(pi y/Ly) decays at rate
+     dx (pi/Lx)^2 + dy (pi/Ly)^2 under Neumann BCs. *)
+  let lx = 4. and ly = 4. and dx = 0.3 and dy = 0.15 and a = 0.5 in
+  let p =
+    {
+      Pde2d.xl = 0.;
+      xr = lx;
+      nx = 81;
+      yl = 0.;
+      yr = ly;
+      ny = 81;
+      dx_coef = dx;
+      dy_coef = dy;
+      reaction = (fun ~x:_ ~y:_ ~t:_ ~u:_ -> 0.);
+      initial =
+        (fun x y ->
+          1. +. (a *. cos (Float.pi *. x /. lx) *. cos (Float.pi *. y /. ly)));
+      t0 = 0.;
+    }
+  in
+  let t_final = 1.0 in
+  let sol = Pde2d.solve ~dt:5e-3 p ~times:[| t_final |] in
+  let lambda =
+    (dx *. ((Float.pi /. lx) ** 2.)) +. (dy *. ((Float.pi /. ly) ** 2.))
+  in
+  let expected x y =
+    1.
+    +. (a *. exp (-.lambda *. t_final)
+        *. cos (Float.pi *. x /. lx)
+        *. cos (Float.pi *. y /. ly))
+  in
+  Array.iteri
+    (fun i x ->
+      Array.iteri
+        (fun j y ->
+          checkf 2e-3 "mode decay" (expected x y) sol.Pde2d.values.(1).(i).(j))
+        sol.Pde2d.ys)
+    sol.Pde2d.xs
+
+let test_reaction_only_matches_logistic () =
+  let r0 = 0.8 and k = 20. in
+  let p =
+    {
+      Pde2d.xl = 1.;
+      xr = 3.;
+      nx = 5;
+      yl = 1.;
+      yr = 3.;
+      ny = 5;
+      dx_coef = 0.;
+      dy_coef = 0.;
+      reaction = (fun ~x:_ ~y:_ ~t:_ ~u -> r0 *. u *. (1. -. (u /. k)));
+      initial = (fun x y -> 1. +. (0.2 *. x) +. (0.1 *. y));
+      t0 = 1.;
+    }
+  in
+  let sol = Pde2d.solve ~dt:0.01 p ~times:[| 4. |] in
+  Array.iteri
+    (fun i x ->
+      Array.iteri
+        (fun j y ->
+          let n0 = 1. +. (0.2 *. x) +. (0.1 *. y) in
+          checkf 2e-3 "pointwise logistic"
+            (Ode.logistic ~r:r0 ~k ~n0 3.)
+            sol.Pde2d.values.(1).(i).(j))
+        sol.Pde2d.ys)
+    sol.Pde2d.xs
+
+let test_anisotropic_diffusion_direction () =
+  (* dx >> dy: the profile must spread mostly along x *)
+  let sol =
+    Pde2d.solve ~dt:0.01 (gaussian2d_problem 0.5 0.0 41 41) ~times:[| 1. |]
+  in
+  (* with dy = 0, distinct y-rows never mix: the centre row keeps mass
+     while an off-centre row's peak decays only via x-diffusion *)
+  let v = sol.Pde2d.values.(1) in
+  (* along x through the centre: spread out; along y through the centre:
+     the initial Gaussian shape (no y-transport) *)
+  let centre = 20 in
+  let edge_x = v.(0).(centre) and edge_y = v.(centre).(0) in
+  Alcotest.(check bool) "x boundary received mass" true (edge_x > 1e-4);
+  Alcotest.(check bool) "y boundary did not" true (edge_y < edge_x /. 10.)
+
+let test_bounds_under_logistic () =
+  let k = 25. in
+  let p =
+    {
+      Pde2d.xl = 1.;
+      xr = 5.;
+      nx = 17;
+      yl = 1.;
+      yr = 5.;
+      ny = 17;
+      dx_coef = 0.05;
+      dy_coef = 0.02;
+      reaction = (fun ~x:_ ~y:_ ~t:_ ~u -> 0.9 *. u *. (1. -. (u /. k)));
+      initial = (fun x y -> 10. *. exp (-.((x -. 1.) +. (y -. 1.))) +. 0.2);
+      t0 = 1.;
+    }
+  in
+  let sol = Pde2d.solve ~dt:0.02 p ~times:[| 3.; 6.; 12. |] in
+  Array.iter
+    (fun grid ->
+      Array.iter
+        (Array.iter (fun v ->
+             Alcotest.(check bool) "0 <= u <= K" true (v >= -1e-9 && v <= k +. 1e-6)))
+        grid)
+    sol.Pde2d.values
+
+let test_value_at_interpolates () =
+  let sol =
+    Pde2d.solve ~dt:0.02 (gaussian2d_problem 0.1 0.1 21 21) ~times:[| 1. |]
+  in
+  checkf 1e-9 "grid node at t0" 1. (Pde2d.value_at sol ~x:2. ~y:2. ~t:0.);
+  let v = Pde2d.value_at sol ~x:2.05 ~y:1.95 ~t:1. in
+  Alcotest.(check bool) "interpolated value sane" true (v > 0. && v < 1.)
+
+let test_invalid_inputs () =
+  let expect_invalid f =
+    try
+      ignore (f ());
+      Alcotest.fail "expected Invalid_argument"
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid (fun () ->
+      Pde2d.solve (gaussian2d_problem 0.1 0.1 2 10) ~times:[| 1. |]);
+  expect_invalid (fun () ->
+      Pde2d.solve (gaussian2d_problem (-0.1) 0.1 10 10) ~times:[| 1. |])
+
+(* --- Joint model --- *)
+
+let vote user time = { Socialnet.Types.user; time }
+
+let joint_fixture () =
+  (* 6 users, 2x2 label grid; initiator (user 0) excluded (-1) *)
+  let hop_assignment = [| -1; 1; 1; 2; 2; 2 |] in
+  let interest_assignment = [| -1; 1; 2; 1; 2; 2 |] in
+  let story =
+    {
+      Socialnet.Types.id = 0;
+      initiator = 0;
+      topic = 0;
+      votes = [| vote 0 0.; vote 1 0.5; vote 3 1.5; vote 4 2.5 |];
+    }
+  in
+  Dl.Joint.observe story ~hop_assignment ~interest_assignment ~hop_max:2
+    ~group_max:2 ~times:[| 1.; 2.; 3. |]
+
+let test_joint_observe () =
+  let obs = joint_fixture () in
+  Alcotest.(check int) "pop (1,1)" 1 obs.Dl.Joint.population.(0).(0);
+  Alcotest.(check int) "pop (2,2)" 2 obs.Dl.Joint.population.(1).(1);
+  (* user 1 at (1,1) voted at 0.5: density 100 at all times *)
+  checkf 1e-9 "cell (1,1) t=1" 100. obs.Dl.Joint.density.(0).(0).(0);
+  (* user 3 at (2,1) voted at 1.5: 0 at t=1, 100 at t=2 *)
+  checkf 1e-9 "cell (2,1) t=1" 0. obs.Dl.Joint.density.(0).(1).(0);
+  checkf 1e-9 "cell (2,1) t=2" 100. obs.Dl.Joint.density.(1).(1).(0);
+  (* user 4 at (2,2) voted at 2.5 of pop 2: 50 at t=3 *)
+  checkf 1e-9 "cell (2,2) t=3" 50. obs.Dl.Joint.density.(2).(1).(1)
+
+let test_joint_solve_and_accuracy_on_realisable_data () =
+  (* synthesize observations from the joint model itself; accuracy of
+     the generating parameters must be high *)
+  let truth =
+    { Dl.Joint.dh = 0.02; di = 0.05; k = 30.; r = Dl.Growth.Constant 0.5 }
+  in
+  let base = joint_fixture () in
+  (* seed a smooth initial surface *)
+  let obs0 =
+    {
+      base with
+      Dl.Joint.density =
+        [| [| [| 8.; 4. |]; [| 3.; 1. |] |];
+           [| [| 0.; 0. |]; [| 0.; 0. |] |];
+           [| [| 0.; 0. |]; [| 0.; 0. |] |] |];
+      population = [| [| 50; 50 |]; [| 50; 50 |] |];
+    }
+  in
+  let times = [| 2.; 3. |] in
+  let sol = Dl.Joint.solve truth obs0 ~times in
+  let density =
+    Array.init 3 (fun it ->
+        if it = 0 then obs0.Dl.Joint.density.(0)
+        else
+          Array.init 2 (fun ih ->
+              Array.init 2 (fun ig ->
+                  Numerics.Pde2d.value_at sol
+                    ~x:(float_of_int (ih + 1))
+                    ~y:(float_of_int (ig + 1))
+                    ~t:times.(it - 1))))
+  in
+  let obs = { obs0 with Dl.Joint.density } in
+  let sol2 = Dl.Joint.solve truth obs ~times in
+  let acc = Dl.Joint.accuracy sol2 obs in
+  Alcotest.(check bool) "self-accuracy near 1" true (acc > 0.98);
+  (* and the grid fit recovers the generating cell *)
+  let p, err =
+    Dl.Joint.fit_grid obs
+      ~dh_grid:[| 0.002; 0.02; 0.2 |]
+      ~di_grid:[| 0.005; 0.05; 0.5 |]
+      ~r_grid:
+        [| Dl.Growth.Constant 0.25; Dl.Growth.Constant 0.5;
+           Dl.Growth.Constant 1.0 |]
+      ~k:30.
+  in
+  checkf 1e-12 "recovers dh" 0.02 p.Dl.Joint.dh;
+  checkf 1e-12 "recovers di" 0.05 p.Dl.Joint.di;
+  Alcotest.(check bool) "tiny error" true (err < 0.02)
+
+let test_joint_rejects_bad_axes () =
+  let story =
+    { Socialnet.Types.id = 0; initiator = 0; topic = 0; votes = [| vote 0 0. |] }
+  in
+  try
+    ignore
+      (Dl.Joint.observe story ~hop_assignment:[| -1 |]
+         ~interest_assignment:[| -1 |] ~hop_max:1 ~group_max:2
+         ~times:[| 1. |]);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "2d mass conservation" `Quick test_mass_conservation;
+    Alcotest.test_case "2d flattens" `Quick test_flattens_to_uniform;
+    Alcotest.test_case "2d mode decay" `Slow test_product_mode_decay_rate;
+    Alcotest.test_case "2d reaction logistic" `Quick test_reaction_only_matches_logistic;
+    Alcotest.test_case "2d anisotropy" `Quick test_anisotropic_diffusion_direction;
+    Alcotest.test_case "2d bounds" `Quick test_bounds_under_logistic;
+    Alcotest.test_case "2d value_at" `Quick test_value_at_interpolates;
+    Alcotest.test_case "2d invalid inputs" `Quick test_invalid_inputs;
+    Alcotest.test_case "joint observe" `Quick test_joint_observe;
+    Alcotest.test_case "joint realisable fit" `Slow test_joint_solve_and_accuracy_on_realisable_data;
+    Alcotest.test_case "joint bad axes" `Quick test_joint_rejects_bad_axes;
+  ]

@@ -1,0 +1,157 @@
+(* Tests for Dl.Export and Dl.Report: file formats, round-trip sanity
+   and markdown structure. *)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lines s = String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+let with_temp suffix f =
+  let path = Filename.temp_file "dlosn_export" suffix in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let sample_obs =
+  {
+    Socialnet.Density.distances = [| 1; 2 |];
+    times = [| 1.; 2. |];
+    density = [| [| 5.; 8. |]; [| 1.; 3. |] |];
+    population = [| 10; 40 |];
+  }
+
+let experiment =
+  lazy
+    (let c = Socialnet.Digg.build ~scale:Socialnet.Digg.small ~seed:5 () in
+     let ds = c.Socialnet.Digg.dataset in
+     let s1 = Socialnet.Dataset.story ds c.Socialnet.Digg.rep_ids.(0) in
+     Dl.Pipeline.run ds ~story:s1 ~metric:Dl.Pipeline.hops)
+
+let test_density_series_format () =
+  with_temp ".tsv" (fun path ->
+      Dl.Export.write_density_series sample_obs ~path;
+      match lines (read_file path) with
+      | header :: rows ->
+        Alcotest.(check string) "header" "time\tdistance\tdensity\tpopulation" header;
+        Alcotest.(check int) "2 times x 2 distances" 4 (List.length rows);
+        Alcotest.(check string) "first row" "1\t1\t5.000000\t10" (List.hd rows)
+      | [] -> Alcotest.fail "empty file")
+
+let test_profiles_format () =
+  with_temp ".tsv" (fun path ->
+      Dl.Export.write_profiles sample_obs ~path;
+      match lines (read_file path) with
+      | header :: rows ->
+        Alcotest.(check string) "header" "time\tx1\tx2" header;
+        Alcotest.(check int) "one row per time" 2 (List.length rows)
+      | [] -> Alcotest.fail "empty file")
+
+let test_distance_distribution_format () =
+  with_temp ".tsv" (fun path ->
+      Dl.Export.write_distance_distribution [| (1, 0.25); (2, 0.75) |] ~path;
+      let content = read_file path in
+      Alcotest.(check bool) "has rows" true
+        (contains ~needle:"1\t0.250000" content
+         && contains ~needle:"2\t0.750000" content))
+
+let test_growth_rate_export () =
+  with_temp ".tsv" (fun path ->
+      Dl.Export.write_growth_rate Dl.Growth.paper_hops ~t0:1. ~t1:5.
+        ~samples:5 ~path;
+      match lines (read_file path) with
+      | _ :: rows ->
+        Alcotest.(check int) "sample count" 5 (List.length rows);
+        (* first sample is r(1) = 1.65 *)
+        Alcotest.(check bool) "r(1)" true
+          (contains ~needle:"1.650000" (List.hd rows))
+      | [] -> Alcotest.fail "empty file")
+
+let test_accuracy_table_na () =
+  let table =
+    Dl.Accuracy.table
+      ~predict:(fun ~x:_ ~t:_ -> 1.)
+      ~actual:(fun ~x ~t:_ -> if x = 1 then 0. else 2.)
+      ~distances:[| 1; 2 |] ~times:[| 2. |]
+  in
+  with_temp ".tsv" (fun path ->
+      Dl.Export.write_accuracy_table table ~path;
+      let content = read_file path in
+      Alcotest.(check bool) "NA for undefined" true (contains ~needle:"NA" content);
+      Alcotest.(check bool) "percent for defined" true
+        (contains ~needle:"50.0000" content))
+
+let test_export_experiment_bundle () =
+  let exp = Lazy.force experiment in
+  let dir = Filename.temp_file "dlosn" "_dir" in
+  Sys.remove dir;
+  let written = Dl.Export.export_experiment exp ~dir ~prefix:"t" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Sys.remove written;
+      Sys.rmdir dir)
+    (fun () ->
+      Alcotest.(check int) "five files" 5 (List.length written);
+      List.iter
+        (fun path ->
+          Alcotest.(check bool) (path ^ " exists") true (Sys.file_exists path);
+          Alcotest.(check bool) "non-empty" true
+            (String.length (read_file path) > 20))
+        written)
+
+let test_surface_export_dense () =
+  let exp = Lazy.force experiment in
+  with_temp ".tsv" (fun path ->
+      Dl.Export.write_solution_surface ~samples_x:11 exp.Dl.Pipeline.solution
+        ~path;
+      match lines (read_file path) with
+      | _ :: rows ->
+        (* 11 x-samples per recorded time (t = 1 snapshot + 5 predictions) *)
+        Alcotest.(check int) "rows" (11 * 6) (List.length rows)
+      | [] -> Alcotest.fail "empty file")
+
+let test_report_structure () =
+  let exp = Lazy.force experiment in
+  let text = Dl.Report.render ~title:"Test report" exp in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains ~needle text))
+    [
+      "# Test report"; "## Setup"; "## Model"; "## Prediction accuracy";
+      "friendship hops"; "unique property"; "**overall**";
+    ]
+
+let test_report_with_baselines () =
+  let exp = Lazy.force experiment in
+  let text =
+    Dl.Report.render_with_baselines exp
+      ~baselines:
+        [ ("persistence", Dl.Baselines.persistence exp.Dl.Pipeline.observation) ]
+  in
+  Alcotest.(check bool) "baseline section" true
+    (contains ~needle:"## Baseline comparison" text);
+  Alcotest.(check bool) "baseline row" true (contains ~needle:"| persistence |" text)
+
+let test_report_save () =
+  with_temp ".md" (fun path ->
+      Dl.Report.save ~path "# hello\n";
+      Alcotest.(check string) "round trip" "# hello\n" (read_file path))
+
+let suite =
+  [
+    Alcotest.test_case "density series" `Quick test_density_series_format;
+    Alcotest.test_case "profiles" `Quick test_profiles_format;
+    Alcotest.test_case "distance distribution" `Quick test_distance_distribution_format;
+    Alcotest.test_case "growth rate" `Quick test_growth_rate_export;
+    Alcotest.test_case "accuracy NA cells" `Quick test_accuracy_table_na;
+    Alcotest.test_case "experiment bundle" `Slow test_export_experiment_bundle;
+    Alcotest.test_case "surface density" `Slow test_surface_export_dense;
+    Alcotest.test_case "report structure" `Slow test_report_structure;
+    Alcotest.test_case "report baselines" `Slow test_report_with_baselines;
+    Alcotest.test_case "report save" `Quick test_report_save;
+  ]
