@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-small bench-full examples clean
+.PHONY: all build test bench bench-small bench-full examples doc clean
 
 all: build
 
@@ -19,6 +19,10 @@ bench-small:
 
 bench-full:
 	DLOSN_BENCH_SCALE=full dune exec bench/main.exe
+
+# API docs (requires odoc: opam install odoc)
+doc:
+	dune build @doc
 
 examples:
 	dune exec examples/quickstart.exe

@@ -740,6 +740,152 @@ let print_extension exp =
     [ 0.05; 0.1; 0.2 ]
 
 (* ------------------------------------------------------------------ *)
+(* Part 1.5: domain-parallel scaling of the batch fit                  *)
+(* ------------------------------------------------------------------ *)
+
+let float_bits_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let growth_equal a b =
+  match (a, b) with
+  | Dl.Growth.Constant x, Dl.Growth.Constant y -> float_bits_equal x y
+  | ( Dl.Growth.Exp_decay { a = a1; b = b1; c = c1 },
+      Dl.Growth.Exp_decay { a = a2; b = b2; c = c2 } ) ->
+    float_bits_equal a1 a2 && float_bits_equal b1 b2 && float_bits_equal c1 c2
+  | _ -> false
+
+let params_equal (p : Dl.Params.t) (q : Dl.Params.t) =
+  float_bits_equal p.Dl.Params.d q.Dl.Params.d
+  && float_bits_equal p.Dl.Params.k q.Dl.Params.k
+  && growth_equal p.Dl.Params.r q.Dl.Params.r
+  && float_bits_equal p.Dl.Params.l q.Dl.Params.l
+  && float_bits_equal p.Dl.Params.big_l q.Dl.Params.big_l
+
+let story_result_equal (a : Dl.Batch.story_result) (b : Dl.Batch.story_result) =
+  a.Dl.Batch.story_id = b.Dl.Batch.story_id
+  && a.Dl.Batch.votes = b.Dl.Batch.votes
+  && float_bits_equal a.Dl.Batch.overall b.Dl.Batch.overall
+  && params_equal a.Dl.Batch.params b.Dl.Batch.params
+  && a.Dl.Batch.skipped = b.Dl.Batch.skipped
+
+type scaling_run = {
+  run_jobs : int;
+  run_seconds : float;
+  run_speedup : float;
+  run_identical : bool;  (* story_results bit-identical to the jobs=1 run *)
+}
+
+(* The hot path the parallel layer was built for: per-story multi-start
+   calibration across the corpus's top stories.  Timed at 1/2/4 worker
+   domains; the jobs=1 run is the baseline for both the speedup and the
+   bit-identity check (the determinism contract of Parallel.Pool). *)
+let print_parallel_scaling ds =
+  section
+    "Parallel scaling (ours): batch in-sample fit, 1/2/4 worker domains";
+  Format.printf
+    "  Domains available: %b; recommended domain count: %d; \
+     DLOSN_NUM_DOMAINS=%s@."
+    Parallel.Pool.domains_available
+    (Parallel.Pool.recommended_jobs ())
+    (match Sys.getenv_opt Parallel.Pool.env_var with
+    | Some v -> v
+    | None -> "(unset)");
+  let stories = Dl.Batch.top_stories ds ~n:8 in
+  let time_run jobs =
+    let pool = Parallel.Pool.create ~jobs () in
+    let t0 = Unix.gettimeofday () in
+    let summary =
+      Dl.Batch.evaluate ~pool ~mode:(Dl.Batch.In_sample 31) ds ~stories
+    in
+    (Unix.gettimeofday () -. t0, summary)
+  in
+  let t_base, base = time_run 1 in
+  let runs =
+    List.map
+      (fun jobs ->
+        let seconds, summary =
+          if jobs = 1 then (t_base, base) else time_run jobs
+        in
+        let identical =
+          Array.length summary.Dl.Batch.results
+          = Array.length base.Dl.Batch.results
+          && Array.for_all2 story_result_equal summary.Dl.Batch.results
+               base.Dl.Batch.results
+        in
+        { run_jobs = jobs; run_seconds = seconds;
+          run_speedup = t_base /. seconds; run_identical = identical })
+      [ 1; 2; 4 ]
+  in
+  Format.printf "  %d stories, In_sample calibration:@."
+    (Array.length stories);
+  Format.printf "  jobs   wall-clock    speedup   bit-identical to jobs=1@.";
+  List.iter
+    (fun r ->
+      Format.printf "  %-6d %8.2f s   %6.2fx   %b@." r.run_jobs r.run_seconds
+        r.run_speedup r.run_identical)
+    runs;
+  Format.printf
+    "  (identical must hold everywhere: every story seeds its own rng, \
+     so the@.   schedule cannot leak into the numbers; speedup depends \
+     on the machine's@.   core count)@.";
+  runs
+
+(* ------------------------------------------------------------------ *)
+(* Bench JSON: machine-readable timings for CI artifacts               *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
+
+let write_bench_json ~path ~scale_name ~scaling ~micro =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"dlosn-bench/1\",\n";
+  out "  \"scale\": \"%s\",\n" (json_escape scale_name);
+  out "  \"domains_available\": %b,\n" Parallel.Pool.domains_available;
+  out "  \"recommended_domains\": %d,\n" (Parallel.Pool.recommended_jobs ());
+  out "  \"num_domains_env\": %s,\n"
+    (match Sys.getenv_opt Parallel.Pool.env_var with
+    | Some v -> Printf.sprintf "\"%s\"" (json_escape v)
+    | None -> "null");
+  out "  \"batch_fit_scaling\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    {\"jobs\": %d, \"seconds\": %s, \"speedup\": %s, \
+         \"identical_to_jobs1\": %b}%s\n"
+        r.run_jobs (json_float r.run_seconds) (json_float r.run_speedup)
+        r.run_identical
+        (if i = List.length scaling - 1 then "" else ","))
+    scaling;
+  out "  ],\n";
+  out "  \"microbench_ns_per_run\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      out "    {\"name\": \"%s\", \"ns\": %s}%s\n" (json_escape name)
+        (json_float ns)
+        (if i = List.length micro - 1 then "" else ","))
+    micro;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Format.printf "@.bench JSON written to %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -947,6 +1093,7 @@ let run_benchmarks () =
         (name, ns) :: acc)
       results []
   in
+  let rows = List.sort compare rows in
   List.iter
     (fun (name, ns) ->
       let pretty =
@@ -957,7 +1104,8 @@ let run_benchmarks () =
         else Printf.sprintf "%8.0f ns" ns
       in
       Format.printf "  %-38s %s@." name pretty)
-    (List.sort compare rows)
+    rows;
+  rows
 
 (* ------------------------------------------------------------------ *)
 
@@ -1053,4 +1201,11 @@ let () =
   if scale_name <> "full" then print_seed_robustness scale;
   print_future_work_twitter ();
 
-  run_benchmarks ()
+  let scaling = print_parallel_scaling ds in
+  let micro = run_benchmarks () in
+  let json_path =
+    match Sys.getenv_opt "DLOSN_BENCH_JSON" with
+    | Some p -> p
+    | None -> "bench_results.json"
+  in
+  write_bench_json ~path:json_path ~scale_name ~scaling ~micro

@@ -37,6 +37,30 @@ let seed_arg =
     value & opt int 7
     & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic corpus seed.")
 
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some j when j >= 1 -> Ok j
+    | Some _ -> Error (`Msg "expected a worker count >= 1")
+    | None -> Error (`Msg "expected an integer")
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some jobs_conv) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for the parallel sections (calibration \
+              restarts, per-story batch evaluation, sweeps).  Defaults \
+              to the $(b,DLOSN_NUM_DOMAINS) environment variable, or 1. \
+              Results are bit-identical whatever the value; on OCaml 4 \
+              the value is clamped to 1.")
+
+let pool_of_jobs = function
+  | Some j -> Parallel.Pool.create ~jobs:j ()
+  | None -> Parallel.Pool.create ()
+
 let load_arg =
   Arg.(
     value
@@ -225,8 +249,9 @@ let predict_cmd =
           ~doc:"Write plot-ready TSV exports (densities, predictions, \
                 accuracy, surface) into DIR.")
   in
-  let run scale seed load metric story params baselines report export =
+  let run scale seed load metric story params baselines report export jobs =
     let ds, rep_ids = get_dataset load scale seed in
+    let pool = pool_of_jobs jobs in
     let story = get_story ds rep_ids story in
     Format.printf "story: %a@." Socialnet.Types.pp_story story;
     let param_choice =
@@ -247,7 +272,7 @@ let predict_cmd =
           }
     in
     let exp =
-      Dl.Pipeline.run ~params:param_choice ds ~story
+      Dl.Pipeline.run ~params:param_choice ~pool ds ~story
         ~metric:(pipeline_metric metric)
     in
     Format.printf "params: %a@." Dl.Params.pp exp.Dl.Pipeline.params;
@@ -297,7 +322,7 @@ let predict_cmd =
              (Fig 7, Tables I-II).")
     Term.(
       const run $ scale_arg $ seed_arg $ load_arg $ metric_arg $ story_arg
-      $ params_arg $ baselines_arg $ report_arg $ export_arg)
+      $ params_arg $ baselines_arg $ report_arg $ export_arg $ jobs_arg)
 
 (* --- properties --- *)
 
@@ -325,8 +350,9 @@ let properties_cmd =
 (* --- sweep --- *)
 
 let sweep_cmd =
-  let run scale seed load story =
+  let run scale seed load story jobs =
     let ds, rep_ids = get_dataset load scale seed in
+    let pool = pool_of_jobs jobs in
     let story = get_story ds rep_ids story in
     let exp = Dl.Pipeline.run ds ~story ~metric:Dl.Pipeline.hops in
     let phi = exp.Dl.Pipeline.phi in
@@ -344,31 +370,37 @@ let sweep_cmd =
       in
       100. *. table.Dl.Accuracy.overall_average
     in
+    (* each candidate is an independent solve: evaluate the whole sweep
+       on the pool, then print in order *)
+    let sweep name fmt candidates of_value =
+      Format.printf "%s@." name;
+      let values =
+        Parallel.Pool.parallel_map pool
+          (fun v -> accuracy (of_value v))
+          (Array.of_list candidates)
+      in
+      List.iteri
+        (fun i v ->
+          Format.printf "  %s = %-7g overall accuracy %.2f%%@." fmt v
+            values.(i))
+        candidates;
+      Format.printf "@."
+    in
     Format.printf "story: %a@.@." Socialnet.Types.pp_story story;
-    Format.printf "diffusion-rate sweep (others fixed at paper values):@.";
-    List.iter
-      (fun d ->
-        let p = { base with Dl.Params.d } in
-        Format.printf "  d = %-7g overall accuracy %.2f%%@." d (accuracy p))
-      [ 0.; 0.005; 0.01; 0.05; 0.1; 0.3 ];
-    Format.printf "@.carrying-capacity sweep:@.";
-    List.iter
-      (fun k ->
-        let p = { base with Dl.Params.k } in
-        Format.printf "  K = %-7g overall accuracy %.2f%%@." k (accuracy p))
-      [ 15.; 25.; 40.; 60. ];
-    Format.printf "@.growth-decay sweep (r = a e^{-b(t-1)} + c, varying b):@.";
-    List.iter
-      (fun b ->
-        let p =
-          { base with Dl.Params.r = Dl.Growth.Exp_decay { a = 1.4; b; c = 0.25 } }
-        in
-        Format.printf "  b = %-7g overall accuracy %.2f%%@." b (accuracy p))
+    sweep "diffusion-rate sweep (others fixed at paper values):" "d"
+      [ 0.; 0.005; 0.01; 0.05; 0.1; 0.3 ]
+      (fun d -> { base with Dl.Params.d });
+    sweep "carrying-capacity sweep:" "K"
+      [ 15.; 25.; 40.; 60. ]
+      (fun k -> { base with Dl.Params.k });
+    sweep "growth-decay sweep (r = a e^{-b(t-1)} + c, varying b):" "b"
       [ 0.5; 1.0; 1.5; 2.5 ]
+      (fun b ->
+        { base with Dl.Params.r = Dl.Growth.Exp_decay { a = 1.4; b; c = 0.25 } })
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Parameter-sensitivity sweep around the paper values.")
-    Term.(const run $ scale_arg $ seed_arg $ load_arg $ story_arg)
+    Term.(const run $ scale_arg $ seed_arg $ load_arg $ story_arg $ jobs_arg)
 
 (* --- batch --- *)
 
@@ -398,8 +430,9 @@ let batch_cmd =
           ~doc:"Parameter protocol per story: $(b,paper), $(b,insample) \
                 or $(b,oos).")
   in
-  let run scale seed load metric n mode =
+  let run scale seed load metric n mode jobs =
     let ds, _ = get_dataset load scale seed in
+    let pool = pool_of_jobs jobs in
     let stories = Dl.Batch.top_stories ds ~n in
     let mode =
       match mode with
@@ -408,7 +441,8 @@ let batch_cmd =
       | `Oos -> Dl.Batch.Out_of_sample (seed + 100)
     in
     let summary =
-      Dl.Batch.evaluate ~mode ~metric:(pipeline_metric metric) ds ~stories
+      Dl.Batch.evaluate ~pool ~mode ~metric:(pipeline_metric metric) ds
+        ~stories
     in
     Format.printf "%a@." Dl.Batch.pp_summary summary;
     Array.iter
@@ -428,7 +462,7 @@ let batch_cmd =
        ~doc:"Evaluate the DL pipeline across the corpus's top stories.")
     Term.(
       const run $ scale_arg $ seed_arg $ load_arg $ metric_arg $ n_arg
-      $ mode_arg)
+      $ mode_arg $ jobs_arg)
 
 (* --- stats --- *)
 

@@ -22,9 +22,13 @@ type summary = {
 
 let top_stories ds ~n =
   let all = Array.copy (Dataset.stories ds) in
+  (* Tie-break equal vote counts by story id: Array.sort is not stable,
+     so without it the selection (and everything downstream) would
+     depend on the compiler's sort implementation. *)
   Array.sort
     (fun a b ->
-      compare (Types.story_vote_count b) (Types.story_vote_count a))
+      let c = compare (Types.story_vote_count b) (Types.story_vote_count a) in
+      if c <> 0 then c else compare a.Types.id b.Types.id)
     all;
   Array.sub all 0 (Stdlib.min n (Array.length all))
 
@@ -45,9 +49,14 @@ let param_choice_of_mode story mode =
         config = Fit.default_config;
       }
 
-let evaluate ?(mode = In_sample 1) ?(metric = Pipeline.hops) ds ~stories =
+let evaluate ?(pool = Parallel.Pool.sequential) ?(mode = In_sample 1)
+    ?(metric = Pipeline.hops) ds ~stories =
+  (* Parallelism lives at the story level: each story owns an
+     independent rng (seeded from its id), so the per-story results are
+     identical for any pool size.  The fit inside each story stays
+     sequential — parallelising both levels would oversubscribe. *)
   let results =
-    Array.map
+    Parallel.Pool.parallel_map pool
       (fun story ->
         let base =
           {

@@ -32,14 +32,21 @@ type summary = {
 }
 
 val top_stories : Socialnet.Dataset.t -> n:int -> Socialnet.Types.story array
-(** The [n] most-voted stories of the corpus, descending. *)
+(** The [n] most-voted stories of the corpus, descending; equal vote
+    counts are ordered by ascending story id so the selection is
+    deterministic across sort implementations. *)
 
 val evaluate :
-  ?mode:mode -> ?metric:Pipeline.metric ->
+  ?pool:Parallel.Pool.t -> ?mode:mode -> ?metric:Pipeline.metric ->
   Socialnet.Dataset.t -> stories:Socialnet.Types.story array -> summary
 (** Runs the pipeline on each story (default [In_sample 1],
     [Pipeline.hops]) and aggregates.  Aggregates ignore skipped
-    stories; [summary.results] keeps them for inspection. *)
+    stories; [summary.results] keeps them for inspection.
+
+    [pool] (default sequential) evaluates stories on worker domains.
+    Each story seeds its own rng from its id, so the summary is
+    bit-identical for any pool size; per-story calibration stays
+    sequential inside the story to avoid oversubscription. *)
 
 val mean_accuracy_ci :
   ?confidence:float -> Numerics.Rng.t -> summary -> (float * float) option

@@ -58,7 +58,8 @@ let objective ?(nx = 101) ?(dt = 0.01) ~phi ~obs ~fit_times params =
     if !count = 0 then infinity else !err /. float_of_int !count
   with _ -> infinity
 
-let fit ?(config = default_config) rng (obs : Socialnet.Density.t) =
+let fit ?(config = default_config) ?(pool = Parallel.Pool.sequential) rng
+    (obs : Socialnet.Density.t) =
   let distances = obs.Socialnet.Density.distances in
   if Array.length distances < 2 then
     invalid_arg "Fit: need at least two distance groups";
@@ -81,14 +82,19 @@ let fit ?(config = default_config) rng (obs : Socialnet.Density.t) =
   let hi = [| snd config.d_bounds; k_hi; snd config.a_bounds;
               snd config.b_bounds; snd config.c_bounds |] in
   let clamp i v = Float.max lo.(i) (Float.min hi.(i) v) in
-  let evaluations = ref 0 in
   let of_vector v =
     let d = clamp 0 v.(0) and k = clamp 1 v.(1) in
     let a = clamp 2 v.(2) and b = clamp 3 v.(3) and c = clamp 4 v.(4) in
     Params.make ~d ~k ~r:(Growth.Exp_decay { a; b; c }) ~l ~big_l
   in
-  let f v =
-    incr evaluations;
+  (* One objective per restart, each with its own evaluation counter:
+     restarts run on separate domains, and a shared counter would make
+     the reported count racy.  Each restart is deterministic given its
+     x0, so the per-restart counts (and their sum) are too. *)
+  let starts = Stdlib.max 1 config.starts in
+  let counters = Array.make starts 0 in
+  let f k v =
+    counters.(k) <- counters.(k) + 1;
     (* quadratic penalty keeps the simplex near the box; the params
        themselves are always clamped into it *)
     let penalty = ref 0. in
@@ -101,16 +107,28 @@ let fit ?(config = default_config) rng (obs : Socialnet.Density.t) =
       ~fit_times:config.fit_times (of_vector v)
     +. !penalty
   in
-  let best =
-    Optimize.multi_start_nelder_mead ~rng ~starts:config.starts ~tol:1e-6
-      ~max_iter:250 f ~lo ~hi
+  (* Starting points are drawn sequentially up front, in the same order
+     the sequential multi-start used, so the rng stream (and therefore
+     the result) is independent of the pool size. *)
+  let n = Array.length lo in
+  let x0s = Array.make starts [||] in
+  x0s.(0) <- Array.init n (fun i -> (lo.(i) +. hi.(i)) /. 2.);
+  for k = 1 to starts - 1 do
+    x0s.(k) <- Array.init n (fun i -> Rng.uniform rng lo.(i) hi.(i))
+  done;
+  let runs =
+    Parallel.Pool.parallel_map pool
+      (fun k -> Optimize.nelder_mead ~tol:1e-6 ~max_iter:250 (f k) ~x0:x0s.(k))
+      (Array.init starts Fun.id)
   in
-  let params = of_vector best.Optimize.x in
+  let best = ref runs.(0) in
+  Array.iter (fun r -> if r.Optimize.f < !best.Optimize.f then best := r) runs;
+  let params = of_vector !best.Optimize.x in
   {
     params;
     training_error =
       objective ~phi ~obs ~fit_times:config.fit_times params;
-    evaluations = !evaluations;
+    evaluations = Array.fold_left ( + ) 0 counters;
   }
 
 type uncertainty = {
@@ -120,9 +138,9 @@ type uncertainty = {
   fits : result array;
 }
 
-let bootstrap ?(config = default_config) ?(resamples = 20) ?(confidence = 0.9)
-    rng (obs : Socialnet.Density.t) =
-  let base = fit ~config rng obs in
+let bootstrap ?(config = default_config) ?(pool = Parallel.Pool.sequential)
+    ?(resamples = 20) ?(confidence = 0.9) rng (obs : Socialnet.Density.t) =
+  let base = fit ~config ~pool rng obs in
   let phi = phi_of_obs obs in
   let times = obs.Socialnet.Density.times in
   let sol = Model.solve base.params ~phi ~times in
@@ -156,7 +174,7 @@ let bootstrap ?(config = default_config) ?(resamples = 20) ?(confidence = 0.9)
                 row)
             obs.Socialnet.Density.density
         in
-        fit ~config rng { obs with Socialnet.Density.density })
+        fit ~config ~pool rng { obs with Socialnet.Density.density })
   in
   let ci of_params =
     let values = Array.map (fun r -> of_params r.params) refits in

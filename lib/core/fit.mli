@@ -37,10 +37,16 @@ type result = {
 }
 
 val fit :
-  ?config:config -> Numerics.Rng.t -> Socialnet.Density.t -> result
+  ?config:config -> ?pool:Parallel.Pool.t ->
+  Numerics.Rng.t -> Socialnet.Density.t -> result
 (** [fit rng obs] calibrates against [obs], whose first recorded time
     must be 1 (it provides phi).  The domain [\[l, L\]] is taken from
     the observed distance labels.
+
+    [pool] (default sequential) distributes the Nelder--Mead restarts
+    over worker domains.  Starting points are drawn from [rng] up
+    front in the sequential order, and each restart is deterministic
+    given its start, so the result is bit-identical for any pool size.
     @raise Invalid_argument if [obs] lacks a t = 1 snapshot or has
     fewer than two distances. *)
 
@@ -52,12 +58,15 @@ type uncertainty = {
 }
 
 val bootstrap :
-  ?config:config -> ?resamples:int -> ?confidence:float ->
+  ?config:config -> ?pool:Parallel.Pool.t ->
+  ?resamples:int -> ?confidence:float ->
   Numerics.Rng.t -> Socialnet.Density.t -> uncertainty
 (** Residual-bootstrap parameter uncertainty: fit once, resample the
     per-cell residuals onto the fitted surface, refit (default 20
     resamples, 90 % percentile intervals).  Each resample costs a full
-    {!fit}, so budget accordingly. *)
+    {!fit}, so budget accordingly.  [pool] parallelises the restarts
+    {e inside} each refit (the resamples themselves draw from the
+    shared [rng] and stay sequential so the stream is unchanged). *)
 
 val objective :
   ?nx:int -> ?dt:float ->

@@ -58,7 +58,8 @@ let trim_empty_groups (obs : Density.t) =
 
 let default_predict_times = [| 2.; 3.; 4.; 5.; 6. |]
 
-let run ?(params = Paper) ?(predict_times = default_predict_times)
+let run ?(params = Paper) ?(pool = Parallel.Pool.sequential)
+    ?(predict_times = default_predict_times)
     ?(construction = `Cubic_spline) ds ~story ~metric =
   let assignment, obs_raw = observe ds ~story ~metric ~times:predict_times in
   let obs = trim_empty_groups obs_raw in
@@ -80,7 +81,7 @@ let run ?(params = Paper) ?(predict_times = default_predict_times)
       in
       (Params.with_domain base ~l ~big_l, None)
     | Auto { rng; config } ->
-      let r = Fit.fit ~config rng obs in
+      let r = Fit.fit ~config ~pool rng obs in
       (r.Fit.params, Some r.Fit.training_error)
   in
   let solution = Model.solve chosen ~phi ~times:predict_times in

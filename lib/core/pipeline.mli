@@ -41,6 +41,7 @@ val observe :
 
 val run :
   ?params:param_choice ->
+  ?pool:Parallel.Pool.t ->
   ?predict_times:float array ->
   ?construction:Initial.construction ->
   Socialnet.Dataset.t ->
@@ -51,7 +52,9 @@ val run :
     [predict_times = 2..6] as in Tables I-II, phi built with the
     paper's [`Cubic_spline].  The model is solved from the t = 1
     observation and compared against the actual densities at each
-    prediction time. *)
+    prediction time.  [pool] (default sequential) parallelises the
+    calibration restarts when [params] is [Auto]; results are
+    bit-identical for any pool size. *)
 
 val baseline_table :
   experiment -> baseline:Baselines.predictor -> Accuracy.table

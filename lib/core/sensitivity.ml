@@ -41,18 +41,28 @@ let all_axes (p : Params.t) =
   | Growth.Exp_decay _ -> [ D; K; R_a; R_b; R_c ]
   | Growth.Constant _ -> [ D; K ]
 
-let one_at_a_time ?(factors = [| 0.5; 0.8; 1.25; 2.0 |]) f p =
+let one_at_a_time ?(pool = Parallel.Pool.sequential)
+    ?(factors = [| 0.5; 0.8; 1.25; 2.0 |]) f p =
   let reference = f p in
-  let rows = ref [] in
-  List.iter
-    (fun axis ->
-      Array.iter
-        (fun factor ->
-          let value = f (perturb p axis factor) in
-          rows := { axis; factor; value; delta = value -. reference } :: !rows)
-        factors)
-    (all_axes p);
-  Array.of_list (List.rev !rows)
+  (* Cells in the same (axis-major) order the sequential sweep used;
+     each evaluation is independent, so the rows come back identical
+     for any pool size. *)
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun axis ->
+           Array.to_list (Array.map (fun factor -> (axis, factor)) factors))
+         (all_axes p))
+  in
+  let values =
+    Parallel.Pool.parallel_map pool
+      (fun (axis, factor) -> f (perturb p axis factor))
+      cells
+  in
+  Array.mapi
+    (fun i (axis, factor) ->
+      { axis; factor; value = values.(i); delta = values.(i) -. reference })
+    cells
 
 let axis_value (p : Params.t) = function
   | D -> p.Params.d

@@ -31,10 +31,13 @@ type row = {
 }
 
 val one_at_a_time :
+  ?pool:Parallel.Pool.t ->
   ?factors:float array -> objective -> Params.t -> row array
 (** Evaluates the objective with each axis scaled by each factor
     (default factors 0.5, 0.8, 1.25, 2.0), holding the others at the
-    reference. *)
+    reference.  [pool] (default sequential) distributes the
+    axis-times-factor evaluations over worker domains; the row order
+    and values are identical for any pool size. *)
 
 val elasticity : ?eps:float -> objective -> Params.t -> axis -> float
 (** Local elasticity [(dF / F) / (dp / p)] by central differences with

@@ -1,0 +1,75 @@
+type t = { jobs : int }
+
+let env_var = "DLOSN_NUM_DOMAINS"
+
+let default_jobs () =
+  match Sys.getenv_opt env_var with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> 1)
+
+let domains_available = Pool_scheduler.domains_available
+
+let recommended_jobs () = Pool_scheduler.recommended_jobs ()
+
+let sequential = { jobs = 1 }
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Parallel.Pool.create: jobs must be >= 1";
+  { jobs = (if domains_available then jobs else 1) }
+
+let jobs t = t.jobs
+
+(* Contiguous static partition: worker [k] of [w] owns indices
+   [k*n/w .. (k+1)*n/w - 1].  Independent of timing, so the work an
+   index runs next to never changes between runs. *)
+let block ~n ~workers k =
+  let lo = k * n / workers and hi = (k + 1) * n / workers in
+  (lo, hi)
+
+let parallel_for t ~n body =
+  if n <= 0 then ()
+  else if t.jobs = 1 || n = 1 then
+    for i = 0 to n - 1 do
+      body i
+    done
+  else begin
+    let workers = min t.jobs n in
+    (* One error slot per worker, written only by its owner: no locks
+       needed, and the post-join scan below is deterministic. *)
+    let errors = Array.make workers None in
+    let worker k () =
+      let lo, hi = block ~n ~workers k in
+      let i = ref lo in
+      while !i < hi && errors.(k) = None do
+        (match body !i with
+        | () -> ()
+        | exception e ->
+          errors.(k) <- Some (!i, e, Printexc.get_raw_backtrace ()));
+        incr i
+      done
+    in
+    Pool_scheduler.run (Array.init workers worker);
+    (* Blocks are index-ordered, so the first recorded error is the one
+       with the smallest failing item index. *)
+    Array.iter
+      (function
+        | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors
+  end
+
+let parallel_map t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for t ~n (fun i -> out.(i) <- Some (f xs.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map_reduce t ~map ~fold ~init xs =
+  Array.fold_left fold init (parallel_map t map xs)

@@ -1,0 +1,79 @@
+(** Work pool for domain-parallel loops with deterministic results.
+
+    Every automatic calibration in the DL pipeline is a multi-start
+    optimisation where each objective evaluation is a full PDE solve,
+    and batch evaluation repeats that per story.  Those loops are
+    embarrassingly parallel — each item owns an independent
+    [Numerics.Rng] stream — so this module provides the one primitive
+    they need: run [n] independent index-addressed tasks on up to
+    [jobs] worker domains and collect the results {e in index order}.
+
+    {2 Determinism contract}
+
+    For a fixed seed, a parallel run is bit-identical to a sequential
+    run provided the per-item work is itself deterministic and shares
+    no mutable state across items (the library's fit/batch/sensitivity
+    loops satisfy this by construction):
+
+    - items are partitioned into contiguous index blocks, statically,
+      so the assignment of items to workers never depends on timing;
+    - results are written into per-index slots and reduced in index
+      order after all workers have joined — no racy accumulation;
+    - when workers raise, the exception re-raised to the caller is the
+      one from the {e smallest failing item index} (with its original
+      backtrace), matching what a sequential left-to-right loop would
+      have reported first.
+
+    On OCaml 4.x (no Domains) every pool degrades to [jobs = 1] and the
+    loops run sequentially on the calling thread; results are identical
+    by the same contract. *)
+
+type t
+(** A pool is just a worker-count policy; workers are spawned per call
+    and joined before the call returns, so a [t] is cheap, immutable
+    and safe to share. *)
+
+val env_var : string
+(** ["DLOSN_NUM_DOMAINS"] — the environment variable consulted by
+    {!default_jobs}. *)
+
+val default_jobs : unit -> int
+(** Value of [DLOSN_NUM_DOMAINS] when set to a positive integer, [1]
+    otherwise (parallelism is strictly opt-in). *)
+
+val domains_available : bool
+(** Whether this build can run workers concurrently (OCaml >= 5.0). *)
+
+val recommended_jobs : unit -> int
+(** The runtime's recommended domain count ([1] without Domains). *)
+
+val sequential : t
+(** The one-worker pool: all loops run inline on the caller. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] makes a pool of [jobs] workers ([jobs] defaults
+    to {!default_jobs}[ ()]).  Clamped to [1] when Domains are
+    unavailable.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** Effective worker count of the pool. *)
+
+val parallel_for : t -> n:int -> (int -> unit) -> unit
+(** [parallel_for pool ~n body] runs [body i] for every
+    [i] in [0 .. n - 1], partitioned into [jobs pool] contiguous
+    blocks.  [body] must not share unsynchronised mutable state across
+    indices (writing to slot [i] of a result array is fine).  A raising
+    index aborts the remainder of its own block; the smallest failing
+    index's exception is re-raised after all workers join. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f xs] is [Array.map f xs] with the applications
+    distributed over the pool; the result order is the input order. *)
+
+val map_reduce :
+  t -> map:('a -> 'b) -> fold:('acc -> 'b -> 'acc) -> init:'acc ->
+  'a array -> 'acc
+(** [map_reduce pool ~map ~fold ~init xs] maps in parallel, then folds
+    the mapped values {e sequentially in index order} — deterministic
+    even for non-commutative [fold]. *)

@@ -18,4 +18,5 @@ let () =
       ("verification", Test_verification.suite);
       ("report-export", Test_report_export.suite);
       ("pde2d-joint", Test_pde2d.suite);
+      ("parallel", Test_parallel.suite);
     ]
