@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Validate a dlosn-metrics/1 dump and a JSON-lines log file.
+
+Usage: check_metrics.py METRICS_JSON LOGS_JSONL MIN_DOMAINS
+
+Fails (exit 1) unless the metrics file parses, carries the expected
+schema, and contains non-zero fit.nm_iterations, pde.steps and a
+pool.tasks_per_domain counter for at least MIN_DOMAINS distinct
+domains, all non-zero; and unless every log line is a JSON object with
+"level" and "msg" members.
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_metrics: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    metrics_path, logs_path, min_domains = (
+        sys.argv[1],
+        sys.argv[2],
+        int(sys.argv[3]),
+    )
+
+    with open(metrics_path) as f:
+        m = json.load(f)
+    if m.get("schema") != "dlosn-metrics/1":
+        fail(f"unexpected schema {m.get('schema')!r}")
+    counters = {(r["name"], r.get("label")): r["value"] for r in m["counters"]}
+
+    for name in ("fit.nm_iterations", "pde.steps"):
+        if counters.get((name, None), 0) <= 0:
+            fail(f"counter {name} missing or zero")
+
+    per_domain = {
+        label: v
+        for (name, label), v in counters.items()
+        if name == "pool.tasks_per_domain"
+    }
+    if len(per_domain) < min_domains:
+        fail(
+            f"expected >= {min_domains} pool.tasks_per_domain labels, "
+            f"got {sorted(per_domain)}"
+        )
+    for label, v in sorted(per_domain.items()):
+        if v <= 0:
+            fail(f"domain {label} recorded no tasks")
+
+    n_lines = 0
+    with open(logs_path) as f:
+        for i, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{logs_path}:{i} is not valid JSON ({e}): {line[:120]}")
+            if not isinstance(rec, dict) or "level" not in rec or "msg" not in rec:
+                fail(f"{logs_path}:{i} lacks level/msg: {line[:120]}")
+            n_lines += 1
+    if n_lines == 0:
+        fail("no log records emitted")
+
+    print(
+        f"check_metrics: OK — {len(counters)} counters, "
+        f"{len(per_domain)} domains, {n_lines} log records"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1110,6 +1110,10 @@ let run_benchmarks () =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  (* The harness always records internal counters (fit iterations, PDE
+     steps, pool balance) so BENCH_*.json trajectories carry more than
+     end-to-end timings; the metrics land next to the bench JSON. *)
+  Obs.set_enabled true;
   let scale_name, scale = scale_of_env () in
   Format.printf
     "dlosn reproduction harness — corpus scale: %s (set \
@@ -1208,4 +1212,12 @@ let () =
     | Some p -> p
     | None -> "bench_results.json"
   in
-  write_bench_json ~path:json_path ~scale_name ~scaling ~micro
+  write_bench_json ~path:json_path ~scale_name ~scaling ~micro;
+  let metrics_path =
+    match Sys.getenv_opt "DLOSN_BENCH_METRICS" with
+    | Some p -> p
+    | None -> "bench_metrics.json"
+  in
+  Obs.Metrics.write_json ~path:metrics_path;
+  Format.printf "metrics written to %s (schema %s)@." metrics_path
+    Obs.Metrics.schema_version

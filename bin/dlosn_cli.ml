@@ -61,6 +61,76 @@ let pool_of_jobs = function
   | Some j -> Parallel.Pool.create ~jobs:j ()
   | None -> Parallel.Pool.create ()
 
+(* --- observability options (shared by every subcommand) --- *)
+
+let log_level_conv =
+  let parse s =
+    match Obs.Level.of_string s with
+    | Ok l -> Ok l
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf l = Format.pp_print_string ppf (Obs.Level.to_string l) in
+  Arg.conv (parse, print)
+
+let log_level_arg =
+  Arg.(
+    value
+    & opt (some log_level_conv) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:"Enable structured logging on stderr at LEVEL (debug, info, \
+              warn or error).  The $(b,DLOSN_LOG) environment variable \
+              sets the same default.")
+
+let log_json_arg =
+  Arg.(
+    value & flag
+    & info [ "log-json" ]
+        ~doc:"Emit logs as JSON lines instead of human-readable text \
+              (implies $(b,--log-level) info when no level is given).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"After the command finishes, dump every recorded counter, \
+              gauge and histogram to FILE as JSON (schema \
+              dlosn-metrics/1).")
+
+type obs_opts = { metrics_out : string option }
+
+let setup_obs level json metrics_out =
+  if level <> None || json || metrics_out <> None then Obs.set_enabled true;
+  (match (level, json) with
+  | Some l, _ -> Obs.Log.set_level (Some l)
+  | None, true -> Obs.Log.set_level (Some Obs.Level.Info)
+  | None, false -> ());
+  if json then Obs.Log.set_sink Obs.Log.Json;
+  { metrics_out }
+
+let obs_term =
+  Term.(const setup_obs $ log_level_arg $ log_json_arg $ metrics_out_arg)
+
+(* Runs even when the command raises, so a failed run still leaves its
+   profile and metrics behind. *)
+let with_obs opts f =
+  Fun.protect
+    ~finally:(fun () ->
+      if Obs.enabled () then begin
+        Obs.Span.log_summary ();
+        match opts.metrics_out with
+        | Some path -> (
+          Obs.Metrics.write_json ~path;
+          (* keep stderr pure JSON lines when the JSON sink is active *)
+          match Obs.Log.sink () with
+          | Obs.Log.Json ->
+            Obs.Log.info "metrics.written" ~fields:(fun () ->
+                [ Obs.Log.str "path" path ])
+          | Obs.Log.Human -> Format.eprintf "metrics written to %s@." path)
+        | None -> ()
+      end)
+    f
+
 let load_arg =
   Arg.(
     value
@@ -137,7 +207,8 @@ let generate_cmd =
       value & opt string "digg_corpus.tsv"
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output path.")
   in
-  let run scale seed out =
+  let run obs scale seed out =
+   with_obs obs @@ fun () ->
     Format.printf "Building corpus (%d users, seed %d)...@."
       scale.Socialnet.Digg.n_users seed;
     let corpus = Socialnet.Digg.build ~scale ~seed () in
@@ -152,12 +223,13 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Build a synthetic Digg corpus and save it.")
-    Term.(const run $ scale_arg $ seed_arg $ out)
+    Term.(const run $ obs_term $ scale_arg $ seed_arg $ out)
 
 (* --- characterize --- *)
 
 let characterize_cmd =
-  let run scale seed load metric =
+  let run obs scale seed load metric =
+   with_obs obs @@ fun () ->
     let ds, rep_ids = get_dataset load scale seed in
     let times = [| 1.; 5.; 10.; 15.; 20.; 25.; 30.; 35.; 40.; 45.; 50. |] in
     Array.iteri
@@ -200,7 +272,7 @@ let characterize_cmd =
   Cmd.v
     (Cmd.info "characterize"
        ~doc:"Print the temporal and spatial diffusion patterns (Figs 2-5).")
-    Term.(const run $ scale_arg $ seed_arg $ load_arg $ metric_arg)
+    Term.(const run $ obs_term $ scale_arg $ seed_arg $ load_arg $ metric_arg)
 
 (* --- predict --- *)
 
@@ -249,7 +321,8 @@ let predict_cmd =
           ~doc:"Write plot-ready TSV exports (densities, predictions, \
                 accuracy, surface) into DIR.")
   in
-  let run scale seed load metric story params baselines report export jobs =
+  let run obs scale seed load metric story params baselines report export jobs =
+   with_obs obs @@ fun () ->
     let ds, rep_ids = get_dataset load scale seed in
     let pool = pool_of_jobs jobs in
     let story = get_story ds rep_ids story in
@@ -321,13 +394,15 @@ let predict_cmd =
        ~doc:"Predict a story's density evolution with the DL model \
              (Fig 7, Tables I-II).")
     Term.(
-      const run $ scale_arg $ seed_arg $ load_arg $ metric_arg $ story_arg
-      $ params_arg $ baselines_arg $ report_arg $ export_arg $ jobs_arg)
+      const run $ obs_term $ scale_arg $ seed_arg $ load_arg $ metric_arg
+      $ story_arg $ params_arg $ baselines_arg $ report_arg $ export_arg
+      $ jobs_arg)
 
 (* --- properties --- *)
 
 let properties_cmd =
-  let run scale seed load metric story =
+  let run obs scale seed load metric story =
+   with_obs obs @@ fun () ->
     let ds, rep_ids = get_dataset load scale seed in
     let story = get_story ds rep_ids story in
     let exp = Dl.Pipeline.run ds ~story ~metric:(pipeline_metric metric) in
@@ -345,12 +420,15 @@ let properties_cmd =
   Cmd.v
     (Cmd.info "properties"
        ~doc:"Verify the model's theoretical properties on a story.")
-    Term.(const run $ scale_arg $ seed_arg $ load_arg $ metric_arg $ story_arg)
+    Term.(
+      const run $ obs_term $ scale_arg $ seed_arg $ load_arg $ metric_arg
+      $ story_arg)
 
 (* --- sweep --- *)
 
 let sweep_cmd =
-  let run scale seed load story jobs =
+  let run obs scale seed load story jobs =
+   with_obs obs @@ fun () ->
     let ds, rep_ids = get_dataset load scale seed in
     let pool = pool_of_jobs jobs in
     let story = get_story ds rep_ids story in
@@ -400,7 +478,9 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Parameter-sensitivity sweep around the paper values.")
-    Term.(const run $ scale_arg $ seed_arg $ load_arg $ story_arg $ jobs_arg)
+    Term.(
+      const run $ obs_term $ scale_arg $ seed_arg $ load_arg $ story_arg
+      $ jobs_arg)
 
 (* --- batch --- *)
 
@@ -430,7 +510,8 @@ let batch_cmd =
           ~doc:"Parameter protocol per story: $(b,paper), $(b,insample) \
                 or $(b,oos).")
   in
-  let run scale seed load metric n mode jobs =
+  let run obs scale seed load metric n mode jobs =
+   with_obs obs @@ fun () ->
     let ds, _ = get_dataset load scale seed in
     let pool = pool_of_jobs jobs in
     let stories = Dl.Batch.top_stories ds ~n in
@@ -461,13 +542,14 @@ let batch_cmd =
     (Cmd.info "batch"
        ~doc:"Evaluate the DL pipeline across the corpus's top stories.")
     Term.(
-      const run $ scale_arg $ seed_arg $ load_arg $ metric_arg $ n_arg
-      $ mode_arg $ jobs_arg)
+      const run $ obs_term $ scale_arg $ seed_arg $ load_arg $ metric_arg
+      $ n_arg $ mode_arg $ jobs_arg)
 
 (* --- stats --- *)
 
 let stats_cmd =
-  let run scale seed load =
+  let run obs scale seed load =
+   with_obs obs @@ fun () ->
     let ds, rep_ids = get_dataset load scale seed in
     Format.printf "%a@.@." Socialnet.Corpus_stats.pp
       (Socialnet.Corpus_stats.compute ds);
@@ -488,7 +570,7 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print corpus-level statistics.")
-    Term.(const run $ scale_arg $ seed_arg $ load_arg)
+    Term.(const run $ obs_term $ scale_arg $ seed_arg $ load_arg)
 
 let () =
   let doc = "diffusive-logistic information diffusion in online social networks" in

@@ -49,15 +49,23 @@ let param_choice_of_mode story mode =
         config = Fit.default_config;
       }
 
+let m_stories = Obs.Metrics.counter "batch.stories"
+let m_story_wall_ns = Obs.Metrics.histogram "batch.story_wall_ns"
+
 let evaluate ?(pool = Parallel.Pool.sequential) ?(mode = In_sample 1)
     ?(metric = Pipeline.hops) ds ~stories =
+ Obs.Span.with_span "batch.evaluate"
+   ~attrs:(fun () -> [ Obs.Log.int "stories" (Array.length stories) ])
+ @@ fun () ->
   (* Parallelism lives at the story level: each story owns an
      independent rng (seeded from its id), so the per-story results are
      identical for any pool size.  The fit inside each story stays
      sequential — parallelising both levels would oversubscribe. *)
-  let results =
-    Parallel.Pool.parallel_map pool
-      (fun story ->
+  let eval_story story =
+    Obs.Span.with_span "batch.story"
+      ~attrs:(fun () -> [ Obs.Log.int "story" story.Types.id ])
+      (fun () ->
+        let wall_start = if Obs.enabled () then Obs.now_ns () else 0 in
         let base =
           {
             story_id = story.Types.id;
@@ -67,21 +75,36 @@ let evaluate ?(pool = Parallel.Pool.sequential) ?(mode = In_sample 1)
             skipped = None;
           }
         in
-        match
-          Pipeline.run ~params:(param_choice_of_mode story mode) ds ~story
-            ~metric
-        with
-        | exp ->
-          let overall = exp.Pipeline.table.Accuracy.overall_average in
-          if Float.is_nan overall then
-            { base with skipped = Some "no defined accuracy cells" }
-          else
-            { base with overall; params = exp.Pipeline.params }
-        | exception Invalid_argument msg -> { base with skipped = Some msg }
-        | exception Numerics.Mat.Singular ->
-          { base with skipped = Some "singular system during solve" })
-      stories
+        let r =
+          match
+            Pipeline.run ~params:(param_choice_of_mode story mode) ds ~story
+              ~metric
+          with
+          | exp ->
+            let overall = exp.Pipeline.table.Accuracy.overall_average in
+            if Float.is_nan overall then
+              { base with skipped = Some "no defined accuracy cells" }
+            else
+              { base with overall; params = exp.Pipeline.params }
+          | exception Invalid_argument msg -> { base with skipped = Some msg }
+          | exception Numerics.Mat.Singular ->
+            { base with skipped = Some "singular system during solve" }
+        in
+        Obs.Metrics.incr m_stories;
+        if Obs.enabled () then
+          Obs.Metrics.observe m_story_wall_ns
+            (float_of_int (Obs.now_ns () - wall_start));
+        Obs.Log.info "batch.story" ~fields:(fun () ->
+            [
+              Obs.Log.int "story" r.story_id;
+              Obs.Log.int "votes" r.votes;
+              Obs.Log.float "overall" r.overall;
+              Obs.Log.str "skipped"
+                (match r.skipped with None -> "" | Some m -> m);
+            ]);
+        r)
   in
+  let results = Parallel.Pool.parallel_map pool eval_story stories in
   let scores =
     Array.of_list
       (List.filter_map
@@ -90,26 +113,36 @@ let evaluate ?(pool = Parallel.Pool.sequential) ?(mode = In_sample 1)
          (Array.to_list results))
   in
   let evaluated = Array.length scores in
-  if evaluated = 0 then
-    {
-      results;
-      evaluated;
-      skipped = Array.length results;
-      mean_overall = nan;
-      median_overall = nan;
-      worst = nan;
-      best = nan;
-    }
-  else
-    {
-      results;
-      evaluated;
-      skipped = Array.length results - evaluated;
-      mean_overall = Numerics.Stats.mean scores;
-      median_overall = Numerics.Stats.median scores;
-      worst = Numerics.Stats.min scores;
-      best = Numerics.Stats.max scores;
-    }
+  let summary =
+    if evaluated = 0 then
+      {
+        results;
+        evaluated;
+        skipped = Array.length results;
+        mean_overall = nan;
+        median_overall = nan;
+        worst = nan;
+        best = nan;
+      }
+    else
+      {
+        results;
+        evaluated;
+        skipped = Array.length results - evaluated;
+        mean_overall = Numerics.Stats.mean scores;
+        median_overall = Numerics.Stats.median scores;
+        worst = Numerics.Stats.min scores;
+        best = Numerics.Stats.max scores;
+      }
+  in
+  Obs.Log.info "batch.summary" ~fields:(fun () ->
+      [
+        Obs.Log.int "evaluated" summary.evaluated;
+        Obs.Log.int "skipped" summary.skipped;
+        Obs.Log.float "mean_overall" summary.mean_overall;
+        Obs.Log.float "median_overall" summary.median_overall;
+      ]);
+  summary
 
 let mean_accuracy_ci ?confidence rng s =
   let scores =

@@ -58,8 +58,15 @@ let objective ?(nx = 101) ?(dt = 0.01) ~phi ~obs ~fit_times params =
     if !count = 0 then infinity else !err /. float_of_int !count
   with _ -> infinity
 
+let m_fits = Obs.Metrics.counter "fit.fits"
+let m_restarts = Obs.Metrics.counter "fit.restarts"
+let m_nm_iterations = Obs.Metrics.counter "fit.nm_iterations"
+let m_objective_evals = Obs.Metrics.counter "fit.objective_evals"
+let m_bootstrap_resamples = Obs.Metrics.counter "fit.bootstrap_resamples"
+
 let fit ?(config = default_config) ?(pool = Parallel.Pool.sequential) rng
     (obs : Socialnet.Density.t) =
+ Obs.Span.with_span "fit.fit" @@ fun () ->
   let distances = obs.Socialnet.Density.distances in
   if Array.length distances < 2 then
     invalid_arg "Fit: need at least two distance groups";
@@ -87,14 +94,8 @@ let fit ?(config = default_config) ?(pool = Parallel.Pool.sequential) rng
     let a = clamp 2 v.(2) and b = clamp 3 v.(3) and c = clamp 4 v.(4) in
     Params.make ~d ~k ~r:(Growth.Exp_decay { a; b; c }) ~l ~big_l
   in
-  (* One objective per restart, each with its own evaluation counter:
-     restarts run on separate domains, and a shared counter would make
-     the reported count racy.  Each restart is deterministic given its
-     x0, so the per-restart counts (and their sum) are too. *)
   let starts = Stdlib.max 1 config.starts in
-  let counters = Array.make starts 0 in
-  let f k v =
-    counters.(k) <- counters.(k) + 1;
+  let f v =
     (* quadratic penalty keeps the simplex near the box; the params
        themselves are always clamped into it *)
     let penalty = ref 0. in
@@ -116,20 +117,51 @@ let fit ?(config = default_config) ?(pool = Parallel.Pool.sequential) rng
   for k = 1 to starts - 1 do
     x0s.(k) <- Array.init n (fun i -> Rng.uniform rng lo.(i) hi.(i))
   done;
+  (* Restarts may run on separate domains; each reports its own
+     evaluation count through [Optimize.result], so the sum below is
+     exact and race-free.  Each restart is deterministic given its x0,
+     so the counts are too. *)
+  let run_restart k =
+    Obs.Span.with_span "fit.restart"
+      ~attrs:(fun () -> [ Obs.Log.int "restart" k ])
+      (fun () ->
+        let r = Optimize.nelder_mead ~tol:1e-6 ~max_iter:250 f ~x0:x0s.(k) in
+        Obs.Span.add_attr "iterations" (Obs.Log.Int r.Optimize.iterations);
+        Obs.Span.add_attr "objective" (Obs.Log.Float r.Optimize.f);
+        Obs.Span.add_attr "spread" (Obs.Log.Float r.Optimize.spread);
+        Obs.Metrics.incr m_restarts;
+        Obs.Metrics.incr ~by:r.Optimize.iterations m_nm_iterations;
+        Obs.Metrics.incr ~by:r.Optimize.evaluations m_objective_evals;
+        Obs.Log.debug "fit.restart" ~fields:(fun () ->
+            [
+              Obs.Log.int "restart" k;
+              Obs.Log.int "iterations" r.Optimize.iterations;
+              Obs.Log.int "evaluations" r.Optimize.evaluations;
+              Obs.Log.float "objective" r.Optimize.f;
+              Obs.Log.float "spread" r.Optimize.spread;
+              Obs.Log.bool "converged" r.Optimize.converged;
+            ]);
+        r)
+  in
   let runs =
-    Parallel.Pool.parallel_map pool
-      (fun k -> Optimize.nelder_mead ~tol:1e-6 ~max_iter:250 (f k) ~x0:x0s.(k))
-      (Array.init starts Fun.id)
+    Parallel.Pool.parallel_map pool run_restart (Array.init starts Fun.id)
   in
   let best = ref runs.(0) in
   Array.iter (fun r -> if r.Optimize.f < !best.Optimize.f then best := r) runs;
   let params = of_vector !best.Optimize.x in
-  {
-    params;
-    training_error =
-      objective ~phi ~obs ~fit_times:config.fit_times params;
-    evaluations = Array.fold_left ( + ) 0 counters;
-  }
+  let evaluations =
+    Array.fold_left (fun acc r -> acc + r.Optimize.evaluations) 0 runs
+  in
+  let training_error = objective ~phi ~obs ~fit_times:config.fit_times params in
+  Obs.Metrics.incr m_fits;
+  Obs.Log.debug "fit.done" ~fields:(fun () ->
+      [
+        Obs.Log.int "starts" starts;
+        Obs.Log.int "evaluations" evaluations;
+        Obs.Log.float "best_objective" !best.Optimize.f;
+        Obs.Log.float "training_error" training_error;
+      ]);
+  { params; training_error; evaluations }
 
 type uncertainty = {
   d_ci : float * float;
@@ -140,6 +172,9 @@ type uncertainty = {
 
 let bootstrap ?(config = default_config) ?(pool = Parallel.Pool.sequential)
     ?(resamples = 20) ?(confidence = 0.9) rng (obs : Socialnet.Density.t) =
+ Obs.Span.with_span "fit.bootstrap"
+   ~attrs:(fun () -> [ Obs.Log.int "resamples" resamples ])
+ @@ fun () ->
   let base = fit ~config ~pool rng obs in
   let phi = phi_of_obs obs in
   let times = obs.Socialnet.Density.times in
@@ -162,6 +197,7 @@ let bootstrap ?(config = default_config) ?(pool = Parallel.Pool.sequential)
   if n_res = 0 then invalid_arg "Fit.bootstrap: no cells beyond t = 1";
   let refits =
     Array.init resamples (fun _ ->
+        Obs.Metrics.incr m_bootstrap_resamples;
         let density =
           Array.mapi
             (fun ix row ->

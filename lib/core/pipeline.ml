@@ -58,9 +58,15 @@ let trim_empty_groups (obs : Density.t) =
 
 let default_predict_times = [| 2.; 3.; 4.; 5.; 6. |]
 
+let m_runs = Obs.Metrics.counter "pipeline.runs"
+
 let run ?(params = Paper) ?(pool = Parallel.Pool.sequential)
     ?(predict_times = default_predict_times)
     ?(construction = `Cubic_spline) ds ~story ~metric =
+ Obs.Span.with_span "pipeline.run"
+   ~attrs:(fun () -> [ Obs.Log.int "story" story.Types.id ])
+ @@ fun () ->
+  Obs.Metrics.incr m_runs;
   let assignment, obs_raw = observe ds ~story ~metric ~times:predict_times in
   let obs = trim_empty_groups obs_raw in
   let distances = obs.Density.distances in
@@ -91,6 +97,13 @@ let run ?(params = Paper) ?(pool = Parallel.Pool.sequential)
       ~actual:(fun ~x ~t -> Density.at obs ~distance:x ~time:t)
       ~distances ~times:predict_times
   in
+  Obs.Log.debug "pipeline.run" ~fields:(fun () ->
+      [
+        Obs.Log.int "story" story.Types.id;
+        Obs.Log.float "overall" table.Accuracy.overall_average;
+        Obs.Log.float "fit_error"
+          (match fit_error with None -> nan | Some e -> e);
+      ]);
   {
     story;
     metric;

@@ -41,8 +41,11 @@ let all_axes (p : Params.t) =
   | Growth.Exp_decay _ -> [ D; K; R_a; R_b; R_c ]
   | Growth.Constant _ -> [ D; K ]
 
+let m_cells = Obs.Metrics.counter "sensitivity.cells"
+
 let one_at_a_time ?(pool = Parallel.Pool.sequential)
     ?(factors = [| 0.5; 0.8; 1.25; 2.0 |]) f p =
+ Obs.Span.with_span "sensitivity.one_at_a_time" @@ fun () ->
   let reference = f p in
   (* Cells in the same (axis-major) order the sequential sweep used;
      each evaluation is independent, so the rows come back identical
@@ -56,7 +59,9 @@ let one_at_a_time ?(pool = Parallel.Pool.sequential)
   in
   let values =
     Parallel.Pool.parallel_map pool
-      (fun (axis, factor) -> f (perturb p axis factor))
+      (fun (axis, factor) ->
+        Obs.Metrics.incr m_cells;
+        f (perturb p axis factor))
       cells
   in
   Array.mapi

@@ -132,11 +132,22 @@ type result = {
   f : float;
   iterations : int;
   converged : bool;
+  evaluations : int;
+  spread : float;
 }
+
+let m_nm_runs = Obs.Metrics.counter "optimize.nm_runs"
+let m_nm_iterations = Obs.Metrics.counter "optimize.nm_iterations"
+let m_nm_evals = Obs.Metrics.counter "optimize.nm_evals"
 
 let nelder_mead ?(tol = 1e-9) ?(max_iter = 2000) ?(step = 0.) f ~x0 =
   let n = Array.length x0 in
   assert (n >= 1);
+  let evals = ref 0 in
+  let f v =
+    incr evals;
+    f v
+  in
   let alpha = 1. and gamma = 2. and rho = 0.5 and sigma = 0.5 in
   let initial_step i =
     if step > 0. then step
@@ -216,7 +227,17 @@ let nelder_mead ?(tol = 1e-9) ?(max_iter = 2000) ?(step = 0.) f ~x0 =
     end
   done;
   let best, fbest = vertices.(0) in
-  { x = best; f = fbest; iterations = !iter; converged = !converged }
+  Obs.Metrics.incr m_nm_runs;
+  Obs.Metrics.incr ~by:!iter m_nm_iterations;
+  Obs.Metrics.incr ~by:!evals m_nm_evals;
+  {
+    x = best;
+    f = fbest;
+    iterations = !iter;
+    converged = !converged;
+    evaluations = !evals;
+    spread = diameter ();
+  }
 
 let grid_search f ~ranges =
   let n = Array.length ranges in

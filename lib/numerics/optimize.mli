@@ -26,6 +26,9 @@ type result = {
   iterations : int;
   converged : bool;  (** simplex/tolerance criterion met before the
                          iteration cap *)
+  evaluations : int; (** objective evaluations performed *)
+  spread : float;    (** final simplex diameter (max distance from the
+                         best vertex) *)
 }
 
 val nelder_mead :

@@ -119,6 +119,11 @@ let step p xs df l scheme t dt u =
       (fun i ui -> react ~x:xs.(i) ~t:(t +. half) ~dt:half ~u:ui)
       u2
 
+let m_solves = Obs.Metrics.counter "pde.solves"
+let m_steps = Obs.Metrics.counter "pde.steps"
+let m_solve_ns = Obs.Metrics.histogram "pde.solve_ns"
+let m_step_ns = Obs.Metrics.histogram "pde.step_ns"
+
 let solve ?(scheme = Imex 0.5) ?(dt = 1e-3) p ~times =
   assert (dt > 0.);
   (match scheme with
@@ -136,6 +141,11 @@ let solve ?(scheme = Imex 0.5) ?(dt = 1e-3) p ~times =
       if Float.is_finite cfl then Float.min dt (0.9 *. cfl) else dt
     | Imex _ | Strang _ -> dt
   in
+  (* Timing syscalls only happen when observability is on; the numeric
+     path is untouched either way. *)
+  let obs_on = Obs.enabled () in
+  let solve_start = if obs_on then Obs.now_ns () else 0 in
+  let steps = ref 0 in
   let u = ref (Array.map p.initial xs) and t = ref p.t0 in
   let snapshots = ref [ (p.t0, Array.copy !u) ] in
   Array.iter
@@ -144,12 +154,23 @@ let solve ?(scheme = Imex 0.5) ?(dt = 1e-3) p ~times =
         invalid_arg "Pde.solve: times must be increasing and >= t0";
       while target -. !t > 1e-12 do
         let step_dt = Float.min dt_macro (target -. !t) in
-        u := step p xs df l scheme !t step_dt !u;
+        if obs_on then begin
+          let t0 = Obs.now_ns () in
+          u := step p xs df l scheme !t step_dt !u;
+          Obs.Metrics.observe m_step_ns (float_of_int (Obs.now_ns () - t0))
+        end
+        else u := step p xs df l scheme !t step_dt !u;
+        incr steps;
         t := !t +. step_dt
       done;
       t := target;
       snapshots := (target, Array.copy !u) :: !snapshots)
     times;
+  if obs_on then begin
+    Obs.Metrics.incr m_solves;
+    Obs.Metrics.incr ~by:!steps m_steps;
+    Obs.Metrics.observe m_solve_ns (float_of_int (Obs.now_ns () - solve_start))
+  end;
   let snaps = Array.of_list (List.rev !snapshots) in
   {
     xs;

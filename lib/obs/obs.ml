@@ -1,0 +1,599 @@
+(* Observability substrate: structured logging, a metrics registry and
+   span tracing, shared by every layer of the DL pipeline.
+
+   Design constraints (see docs/OBSERVABILITY.md):
+   - zero-cost when disabled: one atomic load + branch per site, log
+     field closures never evaluated, no timing syscalls;
+   - domain-safe and deterministic: worker domains record into private
+     shards (installed by Parallel.Pool) that are merged on the calling
+     domain in worker-index order at pool teardown, so counter totals
+     are exact and never racy;
+   - purely observational: nothing here feeds back into the numeric
+     path, so results are bit-identical with observability on or off. *)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* --- global switch --- *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* --- severity levels --- *)
+
+module Level = struct
+  type t = Debug | Info | Warn | Error
+
+  let to_int = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+  let to_string = function
+    | Debug -> "debug"
+    | Info -> "info"
+    | Warn -> "warn"
+    | Error -> "error"
+
+  let valid_names = "debug|info|warn|error"
+
+  let of_string s =
+    match String.lowercase_ascii (String.trim s) with
+    | "debug" -> Ok Debug
+    | "info" -> Ok Info
+    | "warn" | "warning" -> Ok Warn
+    | "error" -> Ok Error
+    | other ->
+      Error (Printf.sprintf "unknown log level %S (%s)" other valid_names)
+end
+
+(* --- JSON helpers (shared by the log sink and the metrics dump) --- *)
+
+let json_escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let json_float v =
+  (* JSON has no NaN/Infinity; map them to null. %.17g round-trips. *)
+  if Float.is_finite v then Printf.sprintf "%.17g" v else "null"
+
+(* --- structured logger --- *)
+
+module Log = struct
+  type value = String of string | Int of int | Float of float | Bool of bool
+  type field = string * value
+
+  let str k v = (k, String v)
+  let int k v = (k, Int v)
+  let float k v = (k, Float v)
+  let bool k v = (k, Bool v)
+
+  type sink = Human | Json
+
+  let cur_sink = Atomic.make Human
+  let set_sink s = Atomic.set cur_sink s
+  let sink () = Atomic.get cur_sink
+
+  (* -1 = logging off; otherwise the minimum Level.to_int to emit. *)
+  let filter = Atomic.make (-1)
+
+  let set_level = function
+    | None -> Atomic.set filter (-1)
+    | Some l -> Atomic.set filter (Level.to_int l)
+
+  let level () =
+    match Atomic.get filter with
+    | 0 -> Some Level.Debug
+    | 1 -> Some Level.Info
+    | 2 -> Some Level.Warn
+    | 3 -> Some Level.Error
+    | _ -> None
+
+  let out = ref (fun line -> prerr_endline line)
+  let set_out f = out := f
+
+  let would_log l =
+    Atomic.get enabled_flag
+    &&
+    let min_level = Atomic.get filter in
+    min_level >= 0 && Level.to_int l >= min_level
+
+  let add_value_json buf = function
+    | String s ->
+      Buffer.add_char buf '"';
+      json_escape_into buf s;
+      Buffer.add_char buf '"'
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (json_float f)
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+
+  let add_value_human buf = function
+    | String s -> Buffer.add_string buf s
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (Printf.sprintf "%g" f)
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+
+  (* The whole record becomes one [!out] call, so concurrent emitters
+     cannot interleave within a line. *)
+  let emit l msg fields =
+    let buf = Buffer.create 128 in
+    (match Atomic.get cur_sink with
+    | Json ->
+      Buffer.add_string buf "{\"ts\":";
+      Buffer.add_string buf (Printf.sprintf "%.6f" (Unix.gettimeofday ()));
+      Buffer.add_string buf ",\"level\":\"";
+      Buffer.add_string buf (Level.to_string l);
+      Buffer.add_string buf "\",\"msg\":\"";
+      json_escape_into buf msg;
+      Buffer.add_char buf '"';
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf ",\"";
+          json_escape_into buf k;
+          Buffer.add_string buf "\":";
+          add_value_json buf v)
+        fields;
+      Buffer.add_char buf '}'
+    | Human ->
+      Buffer.add_string buf (Printf.sprintf "[%-5s] " (Level.to_string l));
+      Buffer.add_string buf msg;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf k;
+          Buffer.add_char buf '=';
+          add_value_human buf v)
+        fields);
+    !out (Buffer.contents buf)
+
+  let log l ?fields msg =
+    if would_log l then
+      emit l msg (match fields with None -> [] | Some f -> f ())
+
+  let debug ?fields msg = log Level.Debug ?fields msg
+  let info ?fields msg = log Level.Info ?fields msg
+  let warn ?fields msg = log Level.Warn ?fields msg
+  let error ?fields msg = log Level.Error ?fields msg
+end
+
+(* --- metric registry (definitions are global and append-only) --- *)
+
+type kind = Kcounter | Kgauge | Khist of float array
+
+type def = { id : int; name : string; label : string option; kind : kind }
+
+let registry : def array ref = ref [||]
+let reg_index : (string * string option, int) Hashtbl.t = Hashtbl.create 64
+
+(* Registration is rare (module init, pool setup); a tiny spin lock
+   keeps it safe if it ever happens off the main domain. *)
+let reg_lock = Atomic.make false
+
+let with_reg_lock f =
+  while not (Atomic.compare_and_set reg_lock false true) do
+    ()
+  done;
+  Fun.protect ~finally:(fun () -> Atomic.set reg_lock false) f
+
+(* --- per-domain context: metric cells + span stack --- *)
+
+type cell =
+  | Ccounter of { mutable c : int }
+  | Cgauge of { mutable gset : bool; mutable g : float }
+  | Chist of {
+      bounds : float array;
+      counts : int array; (* length = Array.length bounds + 1 (overflow) *)
+      mutable total : int;
+      mutable sum : float;
+    }
+
+type span_node = {
+  sname : string;
+  mutable sattrs : Log.field list; (* newest first *)
+  sstart : int;
+  mutable sdur : int;
+  mutable schildren : span_node list; (* newest first *)
+}
+
+type context = {
+  mutable cells : cell option array; (* indexed by def.id, grown on demand *)
+  mutable open_spans : span_node list; (* innermost first *)
+  mutable done_spans : span_node list; (* completed roots, newest first *)
+}
+
+let new_context () = { cells = [||]; open_spans = []; done_spans = [] }
+let ctx_key = Obs_tls.new_key new_context
+let current () = Obs_tls.get ctx_key
+
+let cell_of_def ctx (d : def) =
+  if d.id >= Array.length ctx.cells then begin
+    let n = Array.length ctx.cells in
+    let grown = Array.make (Stdlib.max (d.id + 1) (Stdlib.max 16 (2 * n))) None in
+    Array.blit ctx.cells 0 grown 0 n;
+    ctx.cells <- grown
+  end;
+  match ctx.cells.(d.id) with
+  | Some c -> c
+  | None ->
+    let c =
+      match d.kind with
+      | Kcounter -> Ccounter { c = 0 }
+      | Kgauge -> Cgauge { gset = false; g = 0. }
+      | Khist bounds ->
+        Chist
+          {
+            bounds;
+            counts = Array.make (Array.length bounds + 1) 0;
+            total = 0;
+            sum = 0.;
+          }
+    in
+    ctx.cells.(d.id) <- Some c;
+    c
+
+module Metrics = struct
+  type counter = def
+  type gauge = def
+  type histogram = def
+
+  (* exponential nanosecond buckets: 1 us .. 10 s, then overflow *)
+  let default_buckets = [| 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9; 1e10 |]
+
+  let same_kind a b =
+    match (a, b) with
+    | Kcounter, Kcounter | Kgauge, Kgauge | Khist _, Khist _ -> true
+    | _ -> false
+
+  let register ~name ~label kind =
+    with_reg_lock (fun () ->
+        match Hashtbl.find_opt reg_index (name, label) with
+        | Some id ->
+          let d = !registry.(id) in
+          if not (same_kind d.kind kind) then
+            invalid_arg
+              (Printf.sprintf
+                 "Obs.Metrics: %S re-registered with a different kind" name);
+          d
+        | None ->
+          let id = Array.length !registry in
+          let d = { id; name; label; kind } in
+          registry := Array.append !registry [| d |];
+          Hashtbl.add reg_index (name, label) id;
+          d)
+
+  let counter ?label name = register ~name ~label Kcounter
+  let gauge ?label name = register ~name ~label Kgauge
+
+  let histogram ?label ?(buckets = default_buckets) name =
+    register ~name ~label (Khist buckets)
+
+  let incr ?(by = 1) (d : counter) =
+    if enabled () then
+      match cell_of_def (current ()) d with
+      | Ccounter c -> c.c <- c.c + by
+      | _ -> assert false
+
+  let set (d : gauge) v =
+    if enabled () then
+      match cell_of_def (current ()) d with
+      | Cgauge g ->
+        g.g <- v;
+        g.gset <- true
+      | _ -> assert false
+
+  let observe (d : histogram) v =
+    if enabled () then
+      match cell_of_def (current ()) d with
+      | Chist h ->
+        let i = ref 0 in
+        while !i < Array.length h.bounds && v > h.bounds.(!i) do
+          i := !i + 1
+        done;
+        h.counts.(!i) <- h.counts.(!i) + 1;
+        h.total <- h.total + 1;
+        h.sum <- h.sum +. v
+      | _ -> assert false
+
+  (* readers: values from the calling domain's context (after pool
+     teardown that is the merged view) *)
+
+  let counter_value (d : counter) =
+    match cell_of_def (current ()) d with Ccounter c -> c.c | _ -> assert false
+
+  let gauge_value (d : gauge) =
+    match cell_of_def (current ()) d with
+    | Cgauge g -> if g.gset then Some g.g else None
+    | _ -> assert false
+
+  let histogram_count (d : histogram) =
+    match cell_of_def (current ()) d with
+    | Chist h -> h.total
+    | _ -> assert false
+
+  let histogram_sum (d : histogram) =
+    match cell_of_def (current ()) d with
+    | Chist h -> h.sum
+    | _ -> assert false
+
+  let reset () = (current ()).cells <- [||]
+
+  (* --- JSON dump: schema dlosn-metrics/1 --- *)
+
+  let schema_version = "dlosn-metrics/1"
+
+  let to_json_string () =
+    let ctx = current () in
+    let defs = with_reg_lock (fun () -> !registry) in
+    let buf = Buffer.create 1024 in
+    let add = Buffer.add_string buf in
+    let add_name_label (d : def) =
+      add "{\"name\":\"";
+      json_escape_into buf d.name;
+      add "\",\"label\":";
+      (match d.label with
+      | None -> add "null"
+      | Some l ->
+        add "\"";
+        json_escape_into buf l;
+        add "\"")
+    in
+    let rows keep render =
+      let first = ref true in
+      Array.iter
+        (fun (d : def) ->
+          if keep d.kind then begin
+            if not !first then add ",";
+            first := false;
+            add "\n    ";
+            render d
+          end)
+        defs;
+      if not !first then add "\n  "
+    in
+    add "{\n";
+    add (Printf.sprintf "  \"schema\": %S,\n" schema_version);
+    add "  \"counters\": [";
+    rows
+      (function Kcounter -> true | _ -> false)
+      (fun d ->
+        add_name_label d;
+        add (Printf.sprintf ",\"value\":%d}" (counter_value d)));
+    add "],\n";
+    add "  \"gauges\": [";
+    rows
+      (function Kgauge -> true | _ -> false)
+      (fun d ->
+        add_name_label d;
+        add ",\"value\":";
+        (match gauge_value d with
+        | None -> add "null"
+        | Some v -> add (json_float v));
+        add "}");
+    add "],\n";
+    add "  \"histograms\": [";
+    rows
+      (function Khist _ -> true | _ -> false)
+      (fun d ->
+        match cell_of_def ctx d with
+        | Chist h ->
+          add_name_label d;
+          add
+            (Printf.sprintf ",\"count\":%d,\"sum\":%s,\"buckets\":[" h.total
+               (json_float h.sum));
+          Array.iteri
+            (fun i c ->
+              if i > 0 then add ",";
+              let le =
+                if i < Array.length h.bounds then json_float h.bounds.(i)
+                else "null" (* overflow bucket: le = +inf *)
+              in
+              add (Printf.sprintf "{\"le\":%s,\"count\":%d}" le c))
+            h.counts;
+          add "]}"
+        | _ -> assert false);
+    add "]\n}\n";
+    Buffer.contents buf
+
+  let write_json ~path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_json_string ()))
+end
+
+(* --- span tracing --- *)
+
+module Span = struct
+  type t = {
+    name : string;
+    attrs : Log.field list;
+    dur_ns : int;
+    children : t list;
+  }
+
+  let with_span name ?attrs f =
+    if not (enabled ()) then f ()
+    else begin
+      let ctx = current () in
+      let node =
+        {
+          sname = name;
+          sattrs =
+            (match attrs with None -> [] | Some g -> List.rev (g ()));
+          sstart = now_ns ();
+          sdur = 0;
+          schildren = [];
+        }
+      in
+      ctx.open_spans <- node :: ctx.open_spans;
+      let finish () =
+        node.sdur <- now_ns () - node.sstart;
+        (* Pop up to and including [node]; defensive against a body
+           that leaked opens (it cannot happen via with_span itself). *)
+        let rec pop = function
+          | n :: rest when n == node -> rest
+          | _ :: rest -> pop rest
+          | [] -> []
+        in
+        ctx.open_spans <- pop ctx.open_spans;
+        match ctx.open_spans with
+        | parent :: _ -> parent.schildren <- node :: parent.schildren
+        | [] -> ctx.done_spans <- node :: ctx.done_spans
+      in
+      Fun.protect ~finally:finish f
+    end
+
+  let add_attr k v =
+    if enabled () then
+      match (current ()).open_spans with
+      | node :: _ -> node.sattrs <- (k, v) :: node.sattrs
+      | [] -> ()
+
+  let rec view (n : span_node) =
+    {
+      name = n.sname;
+      attrs = List.rev n.sattrs;
+      dur_ns = n.sdur;
+      children = List.rev_map view n.schildren;
+    }
+
+  let roots () = List.rev_map view (current ()).done_spans
+
+  let reset () =
+    let ctx = current () in
+    ctx.open_spans <- [];
+    ctx.done_spans <- []
+
+  type agg = { path : string; count : int; total_ns : int }
+
+  (* Aggregated by slash-joined path, in first-visit (pre-order) order,
+     so parents always precede their children — a deterministic,
+     tree-shaped profile. *)
+  let summary () =
+    let tbl = Hashtbl.create 32 in
+    let order = ref [] in
+    let rec walk prefix (s : t) =
+      let path = if prefix = "" then s.name else prefix ^ "/" ^ s.name in
+      (match Hashtbl.find_opt tbl path with
+      | None ->
+        Hashtbl.add tbl path (1, s.dur_ns);
+        order := path :: !order
+      | Some (c, tot) -> Hashtbl.replace tbl path (c + 1, tot + s.dur_ns));
+      List.iter (walk path) s.children
+    in
+    List.iter (walk "") (roots ());
+    List.rev_map
+      (fun path ->
+        let count, total_ns = Hashtbl.find tbl path in
+        { path; count; total_ns })
+      !order
+
+  let pp_summary ppf () =
+    let rows = summary () in
+    Format.fprintf ppf "@[<v>%-48s %8s %12s %12s@," "span" "count" "total ms"
+      "mean ms";
+    List.iter
+      (fun { path; count; total_ns } ->
+        let total_ms = float_of_int total_ns /. 1e6 in
+        Format.fprintf ppf "%-48s %8d %12.2f %12.3f@," path count total_ms
+          (total_ms /. float_of_int count))
+      rows;
+    Format.fprintf ppf "@]"
+
+  let log_summary () =
+    List.iter
+      (fun { path; count; total_ns } ->
+        let total_ms = float_of_int total_ns /. 1e6 in
+        Log.info "span.summary"
+          ~fields:(fun () ->
+            [
+              Log.str "span" path;
+              Log.int "count" count;
+              Log.float "total_ms" total_ms;
+              Log.float "mean_ms" (total_ms /. float_of_int count);
+            ]))
+      (summary ())
+end
+
+(* --- shards: how Parallel.Pool gives each worker domain its own
+   recording context, merged deterministically at teardown --- *)
+
+module Shard = struct
+  type t = context
+
+  let create () = new_context ()
+
+  let with_shard (t : t) f =
+    let saved = Obs_tls.get ctx_key in
+    Obs_tls.set ctx_key t;
+    Fun.protect ~finally:(fun () -> Obs_tls.set ctx_key saved) f
+
+  let merge (src : t) =
+    let dst = current () in
+    let defs = with_reg_lock (fun () -> !registry) in
+    Array.iteri
+      (fun id copt ->
+        match copt with
+        | None -> ()
+        | Some src_cell -> (
+          match (src_cell, cell_of_def dst defs.(id)) with
+          | Ccounter a, Ccounter b -> b.c <- b.c + a.c
+          | Cgauge a, Cgauge b ->
+            if a.gset then begin
+              b.g <- a.g;
+              b.gset <- true
+            end
+          | Chist a, Chist b ->
+            Array.iteri
+              (fun i v -> b.counts.(i) <- b.counts.(i) + v)
+              a.counts;
+            b.total <- b.total + a.total;
+            b.sum <- b.sum +. a.sum
+          | _ -> assert false))
+      src.cells;
+    src.cells <- [||];
+    (* Completed span roots attach, in their original order, under the
+       destination's innermost open span (or become roots). *)
+    let spans = List.rev src.done_spans in
+    (match dst.open_spans with
+    | parent :: _ ->
+      List.iter (fun s -> parent.schildren <- s :: parent.schildren) spans
+    | [] ->
+      List.iter (fun s -> dst.done_spans <- s :: dst.done_spans) spans);
+    src.done_spans <- [];
+    src.open_spans <- []
+end
+
+let reset () =
+  Metrics.reset ();
+  Span.reset ()
+
+(* --- environment hook: DLSON_LOG comma-separated tokens --- *)
+
+let env_var = "DLOSN_LOG"
+
+let init_from_env () =
+  match Sys.getenv_opt env_var with
+  | None -> ()
+  | Some s ->
+    set_enabled true;
+    List.iter
+      (fun tok ->
+        match String.lowercase_ascii (String.trim tok) with
+        | "" -> ()
+        | "json" -> Log.set_sink Log.Json
+        | "human" -> Log.set_sink Log.Human
+        | tok -> (
+          match Level.of_string tok with
+          | Ok l -> Log.set_level (Some l)
+          | Error _ -> () (* unknown tokens are ignored, by design *)))
+      (String.split_on_char ',' s)
+
+let () = init_from_env ()

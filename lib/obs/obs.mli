@@ -1,0 +1,186 @@
+(** Observability substrate: structured logging, a metrics registry and
+    span tracing, shared by every layer of the DL pipeline.
+
+    Everything is disabled by default and gated on a single atomic flag,
+    so the instrumented hot paths cost one load + branch when off; log
+    field lists and span attributes are closures that are never
+    evaluated unless a record is actually emitted.  Observability is
+    purely additive: numeric results are bit-identical with it on or
+    off (see [test/test_obs.ml]).
+
+    Metric recording is domain-safe without locks: each worker domain
+    records into a private {!Shard} installed by [Parallel.Pool], and
+    shards are merged on the calling domain, in worker-index order, at
+    pool teardown — totals are exact, deterministic, and never racy. *)
+
+val enabled : unit -> bool
+(** Global observability switch (a single atomic load). *)
+
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Clear the calling domain's metric values and recorded spans.
+    Metric {e definitions} (names, kinds) are global and persist. *)
+
+val now_ns : unit -> int
+(** Wall-clock in integer nanoseconds (from [Unix.gettimeofday]). *)
+
+val env_var : string
+(** ["DLOSN_LOG"] — comma-separated tokens read at module init: a level
+    name enables logging at that level, ["json"]/["human"] select the
+    sink, and setting the variable at all flips {!enabled} on.
+    Example: [DLOSN_LOG=debug,json]. *)
+
+(** Severity levels, ordered [Debug < Info < Warn < Error]. *)
+module Level : sig
+  type t = Debug | Info | Warn | Error
+
+  val to_int : t -> int
+  val to_string : t -> string
+
+  val of_string : string -> (t, string) result
+  (** Case-insensitive; accepts ["warning"] for [Warn].  The error
+      message lists the valid names. *)
+
+  val valid_names : string
+  (** ["debug|info|warn|error"], for usage errors. *)
+end
+
+(** Structured, line-oriented logging with typed key/value fields. *)
+module Log : sig
+  type value = String of string | Int of int | Float of float | Bool of bool
+  type field = string * value
+
+  val str : string -> string -> field
+  val int : string -> int -> field
+  val float : string -> float -> field
+  val bool : string -> bool -> field
+
+  (** [Human] is [[level] msg k=v ...]; [Json] is one JSON object per
+      line: [{"ts":…,"level":…,"msg":…,<fields>}] (non-finite floats
+      become [null]). *)
+  type sink = Human | Json
+
+  val set_sink : sink -> unit
+  val sink : unit -> sink
+
+  val set_level : Level.t option -> unit
+  (** Minimum level to emit; [None] (the default) silences all logs
+      even when {!Obs.enabled} is on. *)
+
+  val level : unit -> Level.t option
+
+  val set_out : (string -> unit) -> unit
+  (** Redirect emitted lines (default: [prerr_endline]).  Each record
+      is a single call, so concurrent emitters cannot interleave
+      within a line.  Used by tests and [--log-*] plumbing. *)
+
+  val would_log : Level.t -> bool
+  (** True iff a record at this level would be emitted now. *)
+
+  val log : Level.t -> ?fields:(unit -> field list) -> string -> unit
+  (** [fields] is only evaluated when the record is emitted. *)
+
+  val debug : ?fields:(unit -> field list) -> string -> unit
+  val info : ?fields:(unit -> field list) -> string -> unit
+  val warn : ?fields:(unit -> field list) -> string -> unit
+  val error : ?fields:(unit -> field list) -> string -> unit
+end
+
+(** Named counters, gauges and fixed-bucket histograms.
+
+    Definitions are global and append-only; registering the same
+    [(name, label)] twice returns the existing handle (and raises
+    [Invalid_argument] on a kind mismatch).  Values live in the calling
+    domain's context; readers see the merged totals after pool
+    teardown.  The catalogue of names used by the pipeline is in
+    [docs/OBSERVABILITY.md]. *)
+module Metrics : sig
+  type counter
+  type gauge
+  type histogram
+
+  val counter : ?label:string -> string -> counter
+  val gauge : ?label:string -> string -> gauge
+
+  val histogram : ?label:string -> ?buckets:float array -> string -> histogram
+  (** [buckets] are upper bounds, strictly increasing; an implicit
+      overflow bucket is appended.  Default: exponential nanosecond
+      buckets 1 µs … 10 s. *)
+
+  val default_buckets : float array
+
+  val incr : ?by:int -> counter -> unit
+  val set : gauge -> float -> unit
+  val observe : histogram -> float -> unit
+
+  val counter_value : counter -> int
+  val gauge_value : gauge -> float option
+  val histogram_count : histogram -> int
+  val histogram_sum : histogram -> float
+
+  val schema_version : string
+  (** ["dlosn-metrics/1"]. *)
+
+  val to_json_string : unit -> string
+  (** Dump every registered metric, in registration order, as a JSON
+      document with [schema], [counters], [gauges] and [histograms]
+      arrays (schema {!schema_version}). *)
+
+  val write_json : path:string -> unit
+
+  val reset : unit -> unit
+  (** Clear values on the calling domain; definitions persist. *)
+end
+
+(** Nested timed scopes forming a duration tree. *)
+module Span : sig
+  type t = {
+    name : string;
+    attrs : Log.field list;
+    dur_ns : int;
+    children : t list;
+  }
+
+  val with_span : string -> ?attrs:(unit -> Log.field list) -> (unit -> 'a) -> 'a
+  (** Run the thunk inside a timed span (exceptions still close it).
+      When {!Obs.enabled} is off this is exactly the thunk — no
+      timing, no allocation.  [attrs] is evaluated at span open. *)
+
+  val add_attr : string -> Log.value -> unit
+  (** Attach a field to the innermost open span (no-op outside one). *)
+
+  val roots : unit -> t list
+  (** Completed top-level spans on this domain, oldest first. *)
+
+  val reset : unit -> unit
+
+  (** One row per distinct slash-joined span path, parents before
+      children (pre-order of first visit). *)
+  type agg = { path : string; count : int; total_ns : int }
+
+  val summary : unit -> agg list
+  val pp_summary : Format.formatter -> unit -> unit
+
+  val log_summary : unit -> unit
+  (** Emit the summary as info-level ["span.summary"] log records. *)
+end
+
+(** Worker-domain recording contexts for [Parallel.Pool].  Not part of
+    the instrumentation API — pool internals only. *)
+module Shard : sig
+  type t
+
+  val create : unit -> t
+
+  val with_shard : t -> (unit -> 'a) -> 'a
+  (** Make [t] the calling domain's recording context for the thunk,
+      restoring the previous context afterwards (exception-safe). *)
+
+  val merge : t -> unit
+  (** Fold [t]'s metric values and completed spans into the calling
+      domain's current context (counters and histograms add; gauges
+      last-merged-wins; spans attach under the innermost open span),
+      then empty [t].  Call once per shard, in worker-index order, for
+      deterministic totals. *)
+end

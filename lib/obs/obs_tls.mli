@@ -1,0 +1,25 @@
+(** Per-domain storage behind {!Obs}'s current-context lookup.
+
+    Two interchangeable implementations exist; dune copies the right one
+    to [obs_tls.ml] based on the compiler version (the same scheme as
+    [lib/parallel]'s [pool_scheduler]):
+
+    - [obs_tls_domains.ml] (OCaml >= 5.0) wraps [Domain.DLS], so each
+      domain sees its own slot;
+    - [obs_tls_seq.ml] (OCaml 4.x) is a single mutable slot, which is
+      exactly right when only one domain can ever run.
+
+    Keys must be created on the main domain before any worker domain
+    that uses them is spawned. *)
+
+type 'a key
+
+val new_key : (unit -> 'a) -> 'a key
+(** [new_key init] makes a key whose per-domain initial value is
+    [init ()] (computed lazily, per domain). *)
+
+val get : 'a key -> 'a
+(** Value of the key on the calling domain. *)
+
+val set : 'a key -> 'a -> unit
+(** Replace the value of the key on the calling domain. *)

@@ -1,0 +1,9 @@
+(* Domain-local storage backend (OCaml >= 5.0): each domain gets its
+   own slot, so worker domains can carry their own metric shard and
+   span stack without synchronisation. *)
+
+type 'a key = 'a Domain.DLS.key
+
+let new_key init = Domain.DLS.new_key init
+let get k = Domain.DLS.get k
+let set k v = Domain.DLS.set k v

@@ -1,0 +1,9 @@
+(* Sequential backend for compilers without Domains (OCaml 4.x): a
+   single mutable slot per key.  Only one "domain" ever runs, so this
+   has the same observable behaviour as domain-local storage. *)
+
+type 'a key = { mutable v : 'a }
+
+let new_key init = { v = init () }
+let get k = k.v
+let set k v = k.v <- v

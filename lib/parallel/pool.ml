@@ -30,6 +30,41 @@ let block ~n ~workers k =
   let lo = k * n / workers and hi = (k + 1) * n / workers in
   (lo, hi)
 
+let m_parallel_calls = Obs.Metrics.counter "pool.parallel_calls"
+let m_imbalance = Obs.Metrics.gauge "pool.imbalance"
+
+(* Per-domain accounting, folded into the merged context after the
+   workers join.  Registration is idempotent, so looking the handles up
+   per call is fine (it is far off the hot path). *)
+let record_domain_stats ~workers ~n ~busy_ns =
+  let total = ref 0 and max_busy = ref 0 in
+  for k = 0 to workers - 1 do
+    let lo, hi = block ~n ~workers k in
+    let label = string_of_int k in
+    Obs.Metrics.incr ~by:(hi - lo)
+      (Obs.Metrics.counter ~label "pool.tasks_per_domain");
+    Obs.Metrics.incr ~by:busy_ns.(k) (Obs.Metrics.counter ~label "pool.busy_ns");
+    total := !total + busy_ns.(k);
+    if busy_ns.(k) > !max_busy then max_busy := busy_ns.(k)
+  done;
+  let mean = float_of_int !total /. float_of_int workers in
+  let imbalance =
+    if mean > 0. then float_of_int !max_busy /. mean else 1.
+  in
+  Obs.Metrics.set m_imbalance imbalance;
+  Obs.Log.debug "pool.summary" ~fields:(fun () ->
+      let busy_ms =
+        String.concat ","
+          (List.init workers (fun k ->
+               Printf.sprintf "%.1f" (float_of_int busy_ns.(k) /. 1e6)))
+      in
+      [
+        Obs.Log.int "workers" workers;
+        Obs.Log.int "tasks" n;
+        Obs.Log.str "busy_ms" busy_ms;
+        Obs.Log.float "imbalance" imbalance;
+      ])
+
 let parallel_for t ~n body =
   if n <= 0 then ()
   else if t.jobs = 1 || n = 1 then
@@ -41,7 +76,16 @@ let parallel_for t ~n body =
     (* One error slot per worker, written only by its owner: no locks
        needed, and the post-join scan below is deterministic. *)
     let errors = Array.make workers None in
-    let worker k () =
+    let obs_on = Obs.enabled () in
+    (* Each worker records metrics and spans into a private shard; the
+       shards are merged below, in worker-index order, so instrumented
+       totals are exact and deterministic. *)
+    let shards =
+      if obs_on then Array.init workers (fun _ -> Obs.Shard.create ())
+      else [||]
+    in
+    let busy_ns = Array.make (if obs_on then workers else 1) 0 in
+    let run_block k () =
       let lo, hi = block ~n ~workers k in
       let i = ref lo in
       while !i < hi && errors.(k) = None do
@@ -52,7 +96,23 @@ let parallel_for t ~n body =
         incr i
       done
     in
+    let worker k () =
+      if obs_on then
+        (* with_shard also saves/restores the calling domain's context,
+           which matters because worker 0 runs on the calling domain. *)
+        Obs.Shard.with_shard shards.(k) (fun () ->
+            let t0 = Obs.now_ns () in
+            Fun.protect
+              ~finally:(fun () -> busy_ns.(k) <- Obs.now_ns () - t0)
+              (run_block k))
+      else run_block k ()
+    in
     Pool_scheduler.run (Array.init workers worker);
+    if obs_on then begin
+      Array.iter Obs.Shard.merge shards;
+      Obs.Metrics.incr m_parallel_calls;
+      record_domain_stats ~workers ~n ~busy_ns
+    end;
     (* Blocks are index-ordered, so the first recorded error is the one
        with the smallest failing item index. *)
     Array.iter

@@ -26,7 +26,18 @@
 
     On OCaml 4.x (no Domains) every pool degrades to [jobs = 1] and the
     loops run sequentially on the calling thread; results are identical
-    by the same contract. *)
+    by the same contract.
+
+    {2 Observability}
+
+    When {!Obs.enabled} is on, each worker domain records metrics and
+    spans into a private [Obs.Shard], merged on the calling domain in
+    worker-index order after the join — so instrumented parallel runs
+    report exact totals and stay bit-identical in their numeric
+    results.  Each parallel call additionally records
+    [pool.tasks_per_domain] and [pool.busy_ns] counters (labelled by
+    worker index), a [pool.imbalance] gauge (max busy time over mean),
+    and a debug-level [pool.summary] log line at teardown. *)
 
 type t
 (** A pool is just a worker-count policy; workers are spawned per call

@@ -19,4 +19,5 @@ let () =
       ("report-export", Test_report_export.suite);
       ("pde2d-joint", Test_pde2d.suite);
       ("parallel", Test_parallel.suite);
+      ("obs", Test_obs.suite);
     ]
