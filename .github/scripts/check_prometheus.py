@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition scrape from `dlosn serve`.
+
+Usage: check_prometheus.py METRICS_TXT [REQUIRED_SERIES ...]
+
+Fails (exit 1) unless the file is well-formed exposition format
+(version 0.0.4): every sample line parses as `name[{labels}] value`,
+every sample's family has a preceding `# TYPE` line with a known kind,
+histogram buckets are cumulative and end with a `+Inf` bucket whose
+count equals `_count`, and every REQUIRED_SERIES name prefix (default:
+dlosn_fit_, dlosn_pde_, dlosn_pool_, dlosn_serve_) matches at least
+one sample.
+"""
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"  # metric name
+    r"(\{[^}]*\})?"  # optional label set
+    r" (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$"  # value
+)
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+KINDS = {"counter", "gauge", "histogram"}
+SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def fail(msg):
+    print(f"check_prometheus: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def family_of(name):
+    for suffix in SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    path = sys.argv[1]
+    required = sys.argv[2:] or [
+        "dlosn_fit_",
+        "dlosn_pde_",
+        "dlosn_pool_",
+        "dlosn_serve_",
+    ]
+
+    typed = {}
+    samples = []  # (name, labels-dict, value)
+    with open(path) as f:
+        for i, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split(" ")
+                if len(parts) != 4 or parts[3] not in KINDS:
+                    fail(f"line {i}: malformed TYPE line: {line!r}")
+                typed[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                continue
+            m = SAMPLE_RE.match(line)
+            if not m:
+                fail(f"line {i}: unparseable sample: {line!r}")
+            name, labelblock, value = m.groups()
+            labels = {}
+            if labelblock:
+                for pair in labelblock[1:-1].split(","):
+                    lm = LABEL_RE.match(pair)
+                    if not lm:
+                        fail(f"line {i}: bad label pair {pair!r}")
+                    labels[lm.group(1)] = lm.group(2)
+            family = family_of(name)
+            if name not in typed and family not in typed:
+                fail(f"line {i}: sample {name} has no preceding TYPE line")
+            samples.append((name, labels, float(value)))
+
+    # histogram bucket discipline: cumulative, +Inf present, total = _count
+    for family, kind in typed.items():
+        if kind != "histogram":
+            continue
+        buckets = [
+            (labels.get("le"), v)
+            for name, labels, v in samples
+            if name == f"{family}_bucket"
+        ]
+        counts = [v for name, _, v in samples if name == f"{family}_count"]
+        if not buckets:
+            fail(f"histogram {family} has no buckets")
+        if buckets[-1][0] != "+Inf":
+            fail(f"histogram {family} does not end with a +Inf bucket")
+        values = [v for _, v in buckets]
+        if values != sorted(values):
+            fail(f"histogram {family} buckets are not cumulative: {values}")
+        if len(counts) != 1 or counts[0] != values[-1]:
+            fail(
+                f"histogram {family}: +Inf bucket {values[-1]} "
+                f"!= _count {counts}"
+            )
+
+    names = {name for name, _, _ in samples}
+    for prefix in required:
+        if not any(n.startswith(prefix) for n in names):
+            fail(f"no series matching {prefix!r} (have {sorted(names)[:10]}...)")
+
+    print(
+        f"check_prometheus: OK — {len(samples)} samples in "
+        f"{len(typed)} families, all required series present"
+    )
+
+
+if __name__ == "__main__":
+    main()

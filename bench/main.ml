@@ -850,7 +850,86 @@ let json_escape s =
 let json_float v =
   if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
 
-let write_bench_json ~path ~scale_name ~scaling ~micro =
+(* ------------------------------------------------------------------ *)
+(* Serve load: loopback throughput of the prediction-serving layer     *)
+(* ------------------------------------------------------------------ *)
+
+type serve_load = {
+  sl_requests : int;
+  sl_seconds : float;
+  sl_rps : float;
+  sl_p50_ms : float;
+  sl_p99_ms : float;
+}
+
+let serve_fit_body =
+  {|{"distances":[1,2,3,4,5],"times":[1,2,3,4,5,6],
+     "density":[[2.0,3.0,4.0,4.8,5.4,5.8],[1.2,1.9,2.7,3.4,4.0,4.4],
+                [0.7,1.1,1.6,2.1,2.5,2.8],[0.4,0.6,0.9,1.2,1.5,1.7],
+                [0.2,0.3,0.5,0.7,0.9,1.0]],
+     "starts":1,"seed":3}|}
+
+let run_serve_load () =
+  section "Serve: loopback request throughput (/predict + /healthz)";
+  let jobs = if Parallel.Pool.domains_available then 2 else 1 in
+  let config =
+    { Serve.Server.default_config with Serve.Server.port = 0; jobs }
+  in
+  let server = Serve.Server.create ~config () in
+  let th = Thread.create Serve.Server.run server in
+  let port = Serve.Server.port server in
+  let fit =
+    Serve.Client.request ~port ~body:serve_fit_body "POST" "/fit"
+  in
+  (match fit with
+  | Ok r when r.Serve.Client.status = 200 -> ()
+  | Ok r -> failwith (Printf.sprintf "bench fit failed: %d" r.Serve.Client.status)
+  | Error e -> failwith ("bench fit failed: " ^ e));
+  let n = 200 in
+  (* latencies also land in the Obs registry so the bench metrics dump
+     carries the full histogram, not just the two percentiles below *)
+  let latency = Obs.Metrics.histogram "serve.bench_latency_ns" in
+  let lat_ms = Array.make n 0. in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    let target =
+      match i mod 4 with
+      | 0 -> "/healthz"
+      | k -> Printf.sprintf "/predict?x=2&t=%d" (1 + k)
+    in
+    let s = Unix.gettimeofday () in
+    (match Serve.Client.request ~port "GET" target with
+    | Ok r when r.Serve.Client.status = 200 -> ()
+    | Ok r ->
+      failwith (Printf.sprintf "bench %s failed: %d" target r.Serve.Client.status)
+    | Error e -> failwith (Printf.sprintf "bench %s failed: %s" target e));
+    let dt = Unix.gettimeofday () -. s in
+    lat_ms.(i) <- dt *. 1e3;
+    Obs.Metrics.observe latency (dt *. 1e9)
+  done;
+  let seconds = Unix.gettimeofday () -. t0 in
+  Serve.Server.stop server;
+  Thread.join th;
+  Array.sort compare lat_ms;
+  let pct p = lat_ms.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+  let load =
+    {
+      sl_requests = n;
+      sl_seconds = seconds;
+      sl_rps = float_of_int n /. seconds;
+      sl_p50_ms = pct 0.50;
+      sl_p99_ms = pct 0.99;
+    }
+  in
+  Format.printf
+    "  %d requests in %.2f s (%d worker%s): %.0f req/s, p50 %.2f ms, p99 \
+     %.2f ms@."
+    load.sl_requests load.sl_seconds jobs
+    (if jobs = 1 then "" else "s")
+    load.sl_rps load.sl_p50_ms load.sl_p99_ms;
+  load
+
+let write_bench_json ~path ~scale_name ~scaling ~micro ~serve_load =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -880,7 +959,15 @@ let write_bench_json ~path ~scale_name ~scaling ~micro =
         (json_float ns)
         (if i = List.length micro - 1 then "" else ","))
     micro;
-  out "  ]\n";
+  out "  ],\n";
+  out
+    "  \"serve\": {\"requests\": %d, \"seconds\": %s, \"rps\": %s, \
+     \"p50_ms\": %s, \"p99_ms\": %s}\n"
+    serve_load.sl_requests
+    (json_float serve_load.sl_seconds)
+    (json_float serve_load.sl_rps)
+    (json_float serve_load.sl_p50_ms)
+    (json_float serve_load.sl_p99_ms);
   out "}\n";
   close_out oc;
   Format.printf "@.bench JSON written to %s@." path
@@ -1206,13 +1293,14 @@ let () =
   print_future_work_twitter ();
 
   let scaling = print_parallel_scaling ds in
+  let serve_load = run_serve_load () in
   let micro = run_benchmarks () in
   let json_path =
     match Sys.getenv_opt "DLOSN_BENCH_JSON" with
     | Some p -> p
     | None -> "bench_results.json"
   in
-  write_bench_json ~path:json_path ~scale_name ~scaling ~micro;
+  write_bench_json ~path:json_path ~scale_name ~scaling ~micro ~serve_load;
   let metrics_path =
     match Sys.getenv_opt "DLOSN_BENCH_METRICS" with
     | Some p -> p

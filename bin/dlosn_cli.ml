@@ -572,6 +572,61 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Print corpus-level statistics.")
     Term.(const run $ obs_term $ scale_arg $ seed_arg $ load_arg)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let port_arg =
+    Arg.(
+      value & opt int 8080
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on (0 picks an ephemeral port, \
+                printed at startup).")
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let max_conns_arg =
+    Arg.(
+      value & opt int Serve.Server.default_config.Serve.Server.max_conns
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"In-flight connection cap; connections beyond it are \
+                shed with an immediate 503.")
+  in
+  let run obs port host max_conns jobs =
+   with_obs obs @@ fun () ->
+    let jobs =
+      match jobs with Some j -> j | None -> Parallel.Pool.default_jobs ()
+    in
+    let config =
+      {
+        Serve.Server.default_config with
+        Serve.Server.host;
+        port;
+        jobs;
+        max_conns;
+      }
+    in
+    let server = Serve.Server.create ~config () in
+    Serve.Server.install_signal_handlers server;
+    Format.printf "dlosn serving on http://%s:%d (%d worker%s) — SIGINT or \
+                   SIGTERM drains and exits@."
+      host
+      (Serve.Server.port server)
+      jobs
+      (if jobs = 1 then "" else "s");
+    Format.print_flush ();
+    Serve.Server.run server;
+    Format.printf "served %d requests@." (Serve.Server.requests_handled server)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve DL-model fits and predictions over HTTP \
+             (/healthz, /metrics, /fit, /predict).")
+    Term.(
+      const run $ obs_term $ port_arg $ host_arg $ max_conns_arg $ jobs_arg)
+
 let () =
   let doc = "diffusive-logistic information diffusion in online social networks" in
   let info = Cmd.info "dlosn" ~version:"1.0.0" ~doc in
@@ -579,4 +634,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; characterize_cmd; predict_cmd; properties_cmd;
-            sweep_cmd; batch_cmd; stats_cmd ]))
+            sweep_cmd; batch_cmd; stats_cmd; serve_cmd ]))

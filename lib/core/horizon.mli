@@ -11,6 +11,13 @@ type point = {
   accuracy : float;      (** overall accuracy at [train_until + horizon]; nan if undefined *)
 }
 
+val fit_hours : train_until:float -> float array
+(** The integer fitting hours implied by a training window:
+    [2 .. round train_until].  A fractional window rounds to the
+    nearest hour ([9.9] trains through t = 10).
+    @raise Invalid_argument if [train_until] rounds below 2 (t = 1 is
+    reserved for the initial condition, so no fitting hour remains). *)
+
 val curve :
   ?config:Fit.config ->
   Numerics.Rng.t ->
@@ -19,9 +26,14 @@ val curve :
   horizons:float array ->
   point array
 (** [curve rng obs ~train_untils ~horizons] fits once per training
-    window (overriding [config]'s [fit_times] with the integer hours 2
-    .. train_until) and evaluates each horizon against the observed
-    densities.  [obs] must start at t = 1 and contain every needed
-    hour. *)
+    window (overriding [config]'s [fit_times] with
+    {!fit_hours}[ ~train_until]) and evaluates each horizon against the
+    observed densities.  [obs] must start at t = 1 and contain every
+    needed hour.  A point whose evaluation fails for an expected reason
+    (solver blow-up, domain error, or an evaluation time that was never
+    recorded) gets [accuracy = nan] and a warn-level
+    ["horizon.point_undefined"] log record; unexpected exceptions
+    ([Out_of_memory], [Stack_overflow], ...) propagate.
+    @raise Invalid_argument if any training window rounds below 2. *)
 
 val pp : Format.formatter -> point array -> unit

@@ -12,11 +12,27 @@ type t =
   | Pchip of { knots : (float * float) array; h : Hermite.t }
 
 let validate ~xs ~densities =
+  let nx = Array.length xs and nd = Array.length densities in
+  if nx <> nd then
+    invalid_arg
+      (Printf.sprintf
+         "Initial.of_observations: %d distances but %d densities" nx nd);
+  if nx < 2 then
+    invalid_arg "Initial.of_observations: need at least two observation points";
+  for i = 0 to nx - 2 do
+    (* the negated comparison also rejects NaN coordinates *)
+    if not (xs.(i) < xs.(i + 1)) then
+      invalid_arg
+        (Printf.sprintf
+           "Initial.of_observations: xs must be strictly increasing \
+            (xs.(%d) = %g, xs.(%d) = %g)"
+           i xs.(i) (i + 1)
+           xs.(i + 1))
+  done;
   if Array.exists (fun v -> v < 0.) densities then
     invalid_arg "Initial.of_observations: densities must be non-negative";
   if Array.for_all (fun v -> v = 0.) densities then
-    invalid_arg "Initial.of_observations: phi must not be identically zero";
-  ignore xs
+    invalid_arg "Initial.of_observations: phi must not be identically zero"
 
 let of_observations_with ~construction ~xs ~densities =
   validate ~xs ~densities;

@@ -27,7 +27,11 @@ type t
 val of_observations : xs:float array -> densities:float array -> t
 (** [xs] are the (strictly increasing) distance values, [densities]
     the observed I(x, 1) (non-negative, not all zero).  Uses the
-    paper's [`Cubic_spline] construction. *)
+    paper's [`Cubic_spline] construction.
+    @raise Invalid_argument (with a message naming
+    [Initial.of_observations]) if the arrays differ in length, have
+    fewer than two points, [xs] is not strictly increasing (or contains
+    NaN), a density is negative, or every density is zero. *)
 
 val of_observations_with :
   construction:construction ->

@@ -406,6 +406,183 @@ module Metrics = struct
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () -> output_string oc (to_json_string ()))
+
+  (* --- exposition: registry snapshot + Prometheus text rendering --- *)
+
+  type histogram_snapshot = {
+    h_count : int;
+    h_sum : float;
+    h_cumulative : (float * int) array;
+  }
+
+  type sample =
+    | Counter_sample of int
+    | Gauge_sample of float option
+    | Histogram_sample of histogram_snapshot
+
+  type exposition_row = {
+    row_name : string;
+    row_label : string option;
+    row_sample : sample;
+  }
+
+  let expose () =
+    let ctx = current () in
+    let defs = with_reg_lock (fun () -> !registry) in
+    Array.to_list defs
+    |> List.map (fun (d : def) ->
+           let row_sample =
+             match cell_of_def ctx d with
+             | Ccounter c -> Counter_sample c.c
+             | Cgauge g -> Gauge_sample (if g.gset then Some g.g else None)
+             | Chist h ->
+               let acc = ref 0 in
+               let cumulative =
+                 Array.mapi
+                   (fun i c ->
+                     acc := !acc + c;
+                     let le =
+                       if i < Array.length h.bounds then h.bounds.(i)
+                       else infinity
+                     in
+                     (le, !acc))
+                   h.counts
+               in
+               Histogram_sample
+                 { h_count = h.total; h_sum = h.sum; h_cumulative = cumulative }
+           in
+           { row_name = d.name; row_label = d.label; row_sample })
+
+  let prom_sanitize buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+        | _ -> Buffer.add_char buf '_')
+      s
+
+  let prom_label_escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s
+
+  (* Prometheus floats allow the non-finite spellings JSON forbids. *)
+  let prom_float v =
+    if Float.is_nan v then "NaN"
+    else if v = infinity then "+Inf"
+    else if v = neg_infinity then "-Inf"
+    else Printf.sprintf "%.17g" v
+
+  let prom_le v = if v = infinity then "+Inf" else Printf.sprintf "%g" v
+
+  let to_prometheus_string ?(namespace = "dlosn") () =
+    let rows = expose () in
+    (* group rows by metric name, preserving first-registration order,
+       so each family gets exactly one TYPE line *)
+    let order = ref [] in
+    let families = Hashtbl.create 32 in
+    List.iter
+      (fun row ->
+        match Hashtbl.find_opt families row.row_name with
+        | None ->
+          Hashtbl.add families row.row_name (ref [ row ]);
+          order := row.row_name :: !order
+        | Some rs -> rs := row :: !rs)
+      rows;
+    let buf = Buffer.create 4096 in
+    let family_name name ~suffix =
+      let b = Buffer.create 48 in
+      prom_sanitize b namespace;
+      Buffer.add_char b '_';
+      prom_sanitize b name;
+      Buffer.add_string b suffix;
+      Buffer.contents b
+    in
+    let add_labels = function
+      | [] -> ()
+      | kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf k;
+            Buffer.add_string buf "=\"";
+            prom_label_escape buf v;
+            Buffer.add_char buf '"')
+          kvs;
+        Buffer.add_char buf '}'
+    in
+    let sample_line name labels value =
+      Buffer.add_string buf name;
+      add_labels labels;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf value;
+      Buffer.add_char buf '\n'
+    in
+    let base_labels row =
+      match row.row_label with None -> [] | Some l -> [ ("label", l) ]
+    in
+    List.iter
+      (fun name ->
+        let rows = List.rev !(Hashtbl.find families name) in
+        match rows with
+        | [] -> ()
+        | first :: _ -> (
+          match first.row_sample with
+          | Counter_sample _ ->
+            let n = family_name name ~suffix:"_total" in
+            Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+            List.iter
+              (fun row ->
+                match row.row_sample with
+                | Counter_sample v ->
+                  sample_line n (base_labels row) (string_of_int v)
+                | _ -> ())
+              rows
+          | Gauge_sample _ ->
+            let set =
+              List.filter
+                (function
+                  | { row_sample = Gauge_sample (Some _); _ } -> true
+                  | _ -> false)
+                rows
+            in
+            if set <> [] then begin
+              let n = family_name name ~suffix:"" in
+              Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n);
+              List.iter
+                (fun row ->
+                  match row.row_sample with
+                  | Gauge_sample (Some v) ->
+                    sample_line n (base_labels row) (prom_float v)
+                  | _ -> ())
+                set
+            end
+          | Histogram_sample _ ->
+            let n = family_name name ~suffix:"" in
+            Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+            List.iter
+              (fun row ->
+                match row.row_sample with
+                | Histogram_sample h ->
+                  let labels = base_labels row in
+                  Array.iter
+                    (fun (le, c) ->
+                      sample_line (n ^ "_bucket")
+                        (labels @ [ ("le", prom_le le) ])
+                        (string_of_int c))
+                    h.h_cumulative;
+                  sample_line (n ^ "_sum") labels (prom_float h.h_sum);
+                  sample_line (n ^ "_count") labels (string_of_int h.h_count)
+                | _ -> ())
+              rows))
+      (List.rev !order);
+    Buffer.contents buf
 end
 
 (* --- span tracing --- *)

@@ -129,6 +129,48 @@ module Metrics : sig
 
   val write_json : path:string -> unit
 
+  (** {2 Exposition}
+
+      A read-only snapshot of every registered metric as seen from the
+      calling domain's context, for exporters (the [/metrics] endpoint
+      in [lib/serve] renders it as Prometheus text format). *)
+
+  type histogram_snapshot = {
+    h_count : int;
+    h_sum : float;
+    h_cumulative : (float * int) array;
+        (** [(upper bound, cumulative count)] pairs, Prometheus-style:
+            each count includes every observation [<=] the bound; the
+            final bound is [infinity] (the overflow bucket), so its
+            count equals [h_count]. *)
+  }
+
+  type sample =
+    | Counter_sample of int
+    | Gauge_sample of float option  (** [None] when never set *)
+    | Histogram_sample of histogram_snapshot
+
+  type exposition_row = {
+    row_name : string;
+    row_label : string option;
+    row_sample : sample;
+  }
+
+  val expose : unit -> exposition_row list
+  (** Every registered metric, in registration order, with the calling
+      domain's current values (zero / [None] / empty when never
+      recorded here). *)
+
+  val to_prometheus_string : ?namespace:string -> unit -> string
+  (** Render {!expose} in the Prometheus text exposition format
+      (version 0.0.4).  Metric names are prefixed with
+      [namespace ^ "_"] (default ["dlosn"]) and sanitised to
+      [[a-zA-Z0-9_]]; counters gain the conventional [_total] suffix;
+      registry labels are emitted as a [label="..."] Prometheus label;
+      histograms expand to [_bucket{le=...}] series plus [_sum] and
+      [_count].  Families sharing a name emit one [# TYPE] line;
+      never-set gauges are omitted. *)
+
   val reset : unit -> unit
   (** Clear values on the calling domain; definitions persist. *)
 end

@@ -133,3 +133,7 @@ let parallel_map t f xs =
 
 let map_reduce t ~map ~fold ~init xs =
   Array.fold_left fold init (parallel_map t map xs)
+
+let run_workers ~jobs body =
+  if jobs < 1 then invalid_arg "Parallel.Pool.run_workers: jobs must be >= 1";
+  Pool_scheduler.run (Array.init jobs (fun k () -> body k))

@@ -88,3 +88,15 @@ val map_reduce :
 (** [map_reduce pool ~map ~fold ~init xs] maps in parallel, then folds
     the mapped values {e sequentially in index order} — deterministic
     even for non-commutative [fold]. *)
+
+val run_workers : jobs:int -> (int -> unit) -> unit
+(** [run_workers ~jobs body] runs [body 0 .. body (jobs - 1)] as
+    long-lived cooperating workers and returns once every body has
+    finished.  Unlike {!parallel_for} this makes no determinism or
+    independence promises: it is the raw scheduler hook for components
+    that coordinate through their own synchronisation — e.g. a server's
+    accept loop feeding connection handlers.  [body 0] runs on the
+    calling domain.  On OCaml 4.x (or [jobs = 1]) the bodies run
+    {e sequentially in order}, so they must be written to terminate
+    without relying on each other running concurrently.
+    @raise Invalid_argument if [jobs < 1]. *)

@@ -1,0 +1,120 @@
+type response = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+let recv_all fd =
+  let chunk = Bytes.create 4096 in
+  let buf = Buffer.create 1024 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Ok (Buffer.contents buf)
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Error "read timed out"
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "read failed: %s" (Unix.error_message e))
+  in
+  go ()
+
+let find_separator raw =
+  let n = String.length raw in
+  let rec go i =
+    if i + 3 >= n then None
+    else if
+      raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+      && raw.[i + 3] = '\n'
+    then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let parse_response raw =
+  match
+    Option.map
+      (fun i ->
+        ( String.sub raw 0 i,
+          String.sub raw (i + 4) (String.length raw - i - 4) ))
+      (find_separator raw)
+  with
+  | Some (head, body) -> (
+    match String.split_on_char '\r' head with
+    | status_line :: _ -> (
+      match String.split_on_char ' ' status_line with
+      | _ :: code :: _ -> (
+        match int_of_string_opt code with
+        | Some status ->
+          let headers =
+            String.split_on_char '\n' head
+            |> List.filter_map (fun line ->
+                   let line = String.trim line in
+                   match String.index_opt line ':' with
+                   | None -> None
+                   | Some colon ->
+                     Some
+                       ( String.lowercase_ascii
+                           (String.trim (String.sub line 0 colon)),
+                         String.trim
+                           (String.sub line (colon + 1)
+                              (String.length line - colon - 1)) ))
+          in
+          Ok { status; headers; body }
+        | None -> Error (Printf.sprintf "bad status line %S" status_line))
+      | _ -> Error (Printf.sprintf "bad status line %S" status_line))
+    | [] -> Error "empty response")
+  | None -> Error "no header/body separator in response"
+
+let send_and_receive ?(timeout = 10.) ~port payload =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  match
+    Unix.connect fd
+      (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port))
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "connect failed: %s" (Unix.error_message e))
+  | () -> (
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
+    let payload = Bytes.of_string payload in
+    let total = Bytes.length payload in
+    let rec write_all off =
+      if off >= total then Ok ()
+      else
+        match Unix.write fd payload off (total - off) with
+        | n -> write_all (off + n)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
+        | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "write failed: %s" (Unix.error_message e))
+    in
+    match write_all 0 with
+    | Error _ as e -> e
+    | Ok () -> (
+      match recv_all fd with
+      | Error _ as e -> e
+      | Ok raw -> parse_response raw))
+
+let request ?body ?timeout ~port meth target =
+  let payload =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "%s %s HTTP/1.1\r\n" meth target);
+    Buffer.add_string buf "Host: 127.0.0.1\r\n";
+    (match body with
+    | None -> ()
+    | Some b ->
+      Buffer.add_string buf "Content-Type: application/json\r\n";
+      Buffer.add_string buf
+        (Printf.sprintf "Content-Length: %d\r\n" (String.length b)));
+    Buffer.add_string buf "Connection: close\r\n\r\n";
+    Option.iter (Buffer.add_string buf) body;
+    Buffer.contents buf
+  in
+  send_and_receive ?timeout ~port payload
+
+let request_raw ?timeout ~port bytes = send_and_receive ?timeout ~port bytes

@@ -1,0 +1,28 @@
+(** A minimal blocking HTTP/1.1 client for loopback use — the test
+    suite and the serve bench talk to {!Server} with it.  One request
+    per connection, matching the server's [Connection: close]
+    discipline. *)
+
+type response = {
+  status : int;
+  headers : (string * string) list;  (** names lower-cased *)
+  body : string;
+}
+
+val request :
+  ?body:string ->
+  ?timeout:float ->
+  port:int ->
+  string ->
+  string ->
+  (response, string) result
+(** [request ~port meth target] connects to [127.0.0.1:port], sends
+    one request (with [Content-Length] when [body] is given) and reads
+    the response to EOF.  [timeout] (default 10 s) bounds each socket
+    read and write.  Errors (refused connection, timeout, malformed
+    status line) come back as [Error msg] — never an exception. *)
+
+val request_raw :
+  ?timeout:float -> port:int -> string -> (response, string) result
+(** Send [bytes] verbatim and read the response — for exercising the
+    server's handling of malformed or oversized requests. *)

@@ -1,0 +1,236 @@
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  headers : (string * string) list;
+  body : string;
+}
+
+type read_error =
+  | Closed
+  | Timeout
+  | Too_large of string
+  | Bad of string
+
+let status_reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Content Too Large"
+  | 422 -> "Unprocessable Content"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+(* --- reading --- *)
+
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let percent_decode s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '%' when !i + 2 < n -> (
+      match (hex_value s.[!i + 1], hex_value s.[!i + 2]) with
+      | Some hi, Some lo ->
+        Buffer.add_char buf (Char.chr ((hi * 16) + lo));
+        i := !i + 2
+      | _ -> Buffer.add_char buf '%')
+    | '+' -> Buffer.add_char buf ' '
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+let parse_query q =
+  if q = "" then []
+  else
+    String.split_on_char '&' q
+    |> List.filter_map (fun kv ->
+           if kv = "" then None
+           else
+             match String.index_opt kv '=' with
+             | None -> Some (percent_decode kv, "")
+             | Some eq ->
+               Some
+                 ( percent_decode (String.sub kv 0 eq),
+                   percent_decode
+                     (String.sub kv (eq + 1) (String.length kv - eq - 1)) ))
+
+(* A read that maps the socket-level failure modes the server arranges
+   for (SO_RCVTIMEO, peer reset) onto read_error. *)
+let read_some fd buf off len =
+  match Unix.read fd buf off len with
+  | n -> Ok n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    Error Timeout
+  | exception Unix.Unix_error (Unix.ETIMEDOUT, _, _) -> Error Timeout
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+    Error Closed
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> Ok 0
+
+let find_header_end s len =
+  (* index just past "\r\n\r\n", scanning only the new tail *)
+  let rec go i =
+    if i + 3 >= len then None
+    else if
+      s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+    then Some (i + 4)
+    else go (i + 1)
+  in
+  go 0
+
+let parse_headers lines =
+  List.filter_map
+    (fun line ->
+      match String.index_opt line ':' with
+      | None -> None
+      | Some colon ->
+        let name =
+          String.lowercase_ascii (String.trim (String.sub line 0 colon))
+        in
+        let value =
+          String.trim
+            (String.sub line (colon + 1) (String.length line - colon - 1))
+        in
+        Some (name, value))
+    lines
+
+let split_crlf s =
+  (* String.split_on_char '\n' then strip the trailing '\r' *)
+  String.split_on_char '\n' s
+  |> List.map (fun line ->
+         let n = String.length line in
+         if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1)
+         else line)
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+let read_request fd ~max_header ~max_body =
+  let chunk = Bytes.create 4096 in
+  let acc = Buffer.create 1024 in
+  (* 1. accumulate until the blank line ending the header block *)
+  let rec read_head () =
+    let contents = Buffer.contents acc in
+    match find_header_end contents (String.length contents) with
+    | Some head_end -> Ok (contents, head_end)
+    | None ->
+      if Buffer.length acc > max_header then
+        Error (Too_large (Printf.sprintf "header block over %d bytes" max_header))
+      else
+        let* n = read_some fd chunk 0 (Bytes.length chunk) in
+        if n = 0 && Buffer.length acc = 0 then Error Closed
+        else if n = 0 then Error (Bad "connection closed mid-header")
+        else begin
+          Buffer.add_subbytes acc chunk 0 n;
+          read_head ()
+        end
+  in
+  let* contents, head_end = read_head () in
+  let head = String.sub contents 0 (head_end - 4) in
+  let* meth, target, lines =
+    match split_crlf head with
+    | request_line :: rest -> (
+      match String.split_on_char ' ' request_line with
+      | [ meth; target; version ]
+        when version = "HTTP/1.1" || version = "HTTP/1.0" ->
+        Ok (meth, target, rest)
+      | _ -> Error (Bad (Printf.sprintf "malformed request line %S" request_line)))
+    | [] -> Error (Bad "empty request")
+  in
+  let headers = parse_headers lines in
+  let header name = List.assoc_opt name headers in
+  (* 2. body, bounded by Content-Length which is bounded by max_body *)
+  let* content_length =
+    match header "content-length" with
+    | None -> Ok 0
+    | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n >= 0 -> Ok n
+      | _ -> Error (Bad (Printf.sprintf "bad Content-Length %S" v)))
+  in
+  let* () =
+    if content_length > max_body then
+      Error (Too_large (Printf.sprintf "body of %d bytes over the %d limit"
+                          content_length max_body))
+    else Ok ()
+  in
+  let already = String.length contents - head_end in
+  let body_buf = Buffer.create content_length in
+  Buffer.add_string body_buf
+    (String.sub contents head_end (min already content_length));
+  let rec read_body () =
+    if Buffer.length body_buf >= content_length then
+      Ok (Buffer.sub body_buf 0 content_length)
+    else
+      let* n = read_some fd chunk 0 (Bytes.length chunk) in
+      if n = 0 then Error (Bad "connection closed mid-body")
+      else begin
+        Buffer.add_subbytes body_buf chunk 0 n;
+        read_body ()
+      end
+  in
+  let* body = read_body () in
+  let path, query =
+    match String.index_opt target '?' with
+    | None -> (percent_decode target, [])
+    | Some q ->
+      ( percent_decode (String.sub target 0 q),
+        parse_query (String.sub target (q + 1) (String.length target - q - 1))
+      )
+  in
+  Ok { meth; path; query; headers; body }
+
+(* --- writing --- *)
+
+type response = {
+  status : int;
+  reason : string;
+  content_type : string;
+  extra_headers : (string * string) list;
+  body : string;
+}
+
+let response ?(content_type = "text/plain; charset=utf-8")
+    ?(extra_headers = []) status body =
+  { status; reason = status_reason status; content_type; extra_headers; body }
+
+let json_response status json =
+  response ~content_type:"application/json" status (Tiny_json.to_string json)
+
+let write_response fd resp =
+  let buf = Buffer.create (String.length resp.body + 256) in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" resp.status resp.reason);
+  Buffer.add_string buf
+    (Printf.sprintf "Content-Type: %s\r\n" resp.content_type);
+  Buffer.add_string buf
+    (Printf.sprintf "Content-Length: %d\r\n" (String.length resp.body));
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    resp.extra_headers;
+  Buffer.add_string buf "Connection: close\r\n\r\n";
+  Buffer.add_string buf resp.body;
+  let payload = Buffer.to_bytes buf in
+  let total = Bytes.length payload in
+  let rec write_all off =
+    if off >= total then true
+    else
+      match Unix.write fd payload off (total - off) with
+      | n -> write_all (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
+      | exception Unix.Unix_error _ -> false
+  in
+  write_all 0
+
+let header req name = List.assoc_opt (String.lowercase_ascii name) req.headers
+let query_param req name = List.assoc_opt name req.query

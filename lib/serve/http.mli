@@ -1,0 +1,59 @@
+(** HTTP/1.1 wire protocol over a Unix file descriptor.
+
+    Just enough of RFC 9112 for the serving layer: one request per
+    connection (every response carries [Connection: close]), bounded
+    header and body sizes, and socket-level read/write timeouts set by
+    the server via [SO_RCVTIMEO]/[SO_SNDTIMEO].  No TLS, no chunked
+    transfer encoding, no keep-alive — the load balancer's job, not
+    the model server's. *)
+
+type request = {
+  meth : string;  (** verb, upper-case as received (["GET"], ["POST"]) *)
+  path : string;  (** decoded path without the query string *)
+  query : (string * string) list;  (** decoded query parameters, in order *)
+  headers : (string * string) list;  (** names lower-cased *)
+  body : string;
+}
+
+type read_error =
+  | Closed  (** peer vanished before a full request arrived *)
+  | Timeout  (** the socket read timeout expired mid-request *)
+  | Too_large of string  (** header block or body over its bound *)
+  | Bad of string  (** malformed request line, header or length *)
+
+val read_request :
+  Unix.file_descr -> max_header:int -> max_body:int ->
+  (request, read_error) result
+(** Read one request.  The header block (request line + headers) is
+    bounded by [max_header] bytes and the body by [max_body]; a
+    [Content-Length] over the bound fails fast with [Too_large]
+    without reading the body. *)
+
+type response = {
+  status : int;
+  reason : string;
+  content_type : string;
+  extra_headers : (string * string) list;
+  body : string;
+}
+
+val response :
+  ?content_type:string -> ?extra_headers:(string * string) list ->
+  int -> string -> response
+(** [response status body] with the standard reason phrase for
+    [status] and content type [text/plain] unless overridden. *)
+
+val json_response : int -> Tiny_json.t -> response
+
+val write_response : Unix.file_descr -> response -> bool
+(** Serialise and send (adds [Content-Length] and
+    [Connection: close]).  Returns [false] if the peer closed or the
+    write timeout expired — the caller just closes the socket either
+    way. *)
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup. *)
+
+val query_param : request -> string -> string option
+
+val status_reason : int -> string

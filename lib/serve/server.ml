@@ -1,0 +1,613 @@
+(* The dlosn prediction-serving layer.  See server.mli for the design
+   contract (endpoints, concurrency model, shard-based metrics
+   aggregation, graceful drain). *)
+
+type config = {
+  host : string;
+  port : int;
+  jobs : int;
+  max_conns : int;
+  read_timeout : float;
+  write_timeout : float;
+  max_body : int;
+  fit_starts_cap : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 8080;
+    jobs = 1;
+    max_conns = 64;
+    read_timeout = 10.;
+    write_timeout = 10.;
+    max_body = 2 * 1024 * 1024;
+    fit_starts_cap = 16;
+  }
+
+let max_header = 16 * 1024
+let max_cached_solutions = 64
+
+type fit_entry = {
+  fe_id : string;
+  fe_params : Dl.Params.t;
+  fe_phi : Dl.Initial.t;
+  fe_training_error : float;
+  fe_evaluations : int;
+  mutable fe_sols : (int64 * Dl.Model.solution) list;  (* newest first *)
+}
+
+type t = {
+  cfg : config;
+  lfd : Unix.file_descr;
+  bound_port : int;
+  stop_flag : bool Atomic.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  queue : Unix.file_descr Queue.t;
+  qmutex : Mutex.t;
+  qcond : Condition.t;
+  mutable qclosed : bool;
+  inflight : int Atomic.t;
+  handled : int Atomic.t;
+  agg : Obs.Shard.t;
+  agg_mutex : Mutex.t;
+  cache : (string, fit_entry) Hashtbl.t;
+  cache_mutex : Mutex.t;
+  mutable last_fit : string option;
+}
+
+(* --- serve.* metrics (handles are idempotent to register) --- *)
+
+let m_request_ns = Obs.Metrics.histogram "serve.request_ns"
+let m_shed = Obs.Metrics.counter "serve.shed"
+let m_inflight = Obs.Metrics.gauge "serve.inflight"
+let m_cache_hits = Obs.Metrics.counter "serve.fit_cache_hits"
+let m_cache_misses = Obs.Metrics.counter "serve.fit_cache_misses"
+let m_requests label = Obs.Metrics.counter ~label "serve.requests"
+let m_responses status = Obs.Metrics.counter ~label:(string_of_int status) "serve.responses"
+
+(* Run [f] with the server-wide aggregate context installed, under its
+   lock.  Used to fold request shards in, to record accept-loop events,
+   and to render /metrics — never concurrently, so never racily. *)
+let with_agg t f =
+  Mutex.lock t.agg_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.agg_mutex) (fun () ->
+      Obs.Shard.with_shard t.agg f)
+
+(* --- lifecycle --- *)
+
+let create ?(config = default_config) () =
+  if config.jobs < 1 then invalid_arg "Serve.Server.create: jobs must be >= 1";
+  (* a metrics endpoint over a disabled registry would only serve zeros *)
+  Obs.set_enabled true;
+  let addr = Unix.inet_addr_of_string config.host in
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+     Unix.bind lfd (Unix.ADDR_INET (addr, config.port));
+     Unix.listen lfd 128;
+     Unix.set_nonblock lfd
+   with e ->
+     Unix.close lfd;
+     raise e);
+  let bound_port =
+    match Unix.getsockname lfd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  {
+    cfg = config;
+    lfd;
+    bound_port;
+    stop_flag = Atomic.make false;
+    wake_r;
+    wake_w;
+    queue = Queue.create ();
+    qmutex = Mutex.create ();
+    qcond = Condition.create ();
+    qclosed = false;
+    inflight = Atomic.make 0;
+    handled = Atomic.make 0;
+    agg = Obs.Shard.create ();
+    agg_mutex = Mutex.create ();
+    cache = Hashtbl.create 16;
+    cache_mutex = Mutex.create ();
+    last_fit = None;
+  }
+
+let port t = t.bound_port
+let requests_handled t = Atomic.get t.handled
+
+let stop t =
+  if not (Atomic.exchange t.stop_flag true) then
+    try ignore (Unix.write t.wake_w (Bytes.of_string "!") 0 1)
+    with Unix.Unix_error _ -> ()
+
+let install_signal_handlers t =
+  let handle = Sys.Signal_handle (fun _ -> stop t) in
+  Sys.set_signal Sys.sigint handle;
+  Sys.set_signal Sys.sigterm handle
+
+(* --- /fit: request parsing and calibration --- *)
+
+type fit_spec = {
+  fs_obs : Socialnet.Density.t;
+  fs_fit_times : float array;
+  fs_starts : int;
+  fs_seed : int;
+}
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+let json_field_list obj name conv =
+  match Tiny_json.member name obj with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+    match Tiny_json.to_list v with
+    | None -> Error (Printf.sprintf "field %S must be an array" name)
+    | Some items -> (
+      let rec map acc = function
+        | [] -> Ok (Array.of_list (List.rev acc))
+        | item :: rest -> (
+          match conv item with
+          | Some x -> map (x :: acc) rest
+          | None -> Error (Printf.sprintf "field %S has a non-numeric element" name))
+      in
+      map [] items))
+
+let parse_fit_spec body =
+  let* json =
+    match Tiny_json.parse body with Ok j -> Ok j | Error e -> Error e
+  in
+  let* distances = json_field_list json "distances" Tiny_json.to_int in
+  let* times = json_field_list json "times" Tiny_json.to_float in
+  let* () =
+    if Array.length times = 0 || times.(0) <> 1. then
+      Error "times must start at 1 (the initial observation hour provides phi)"
+    else Ok ()
+  in
+  let* density =
+    match Tiny_json.member "density" json with
+    | None -> Error "missing field \"density\""
+    | Some v -> (
+      match Tiny_json.to_list v with
+      | None -> Error "field \"density\" must be an array of per-distance rows"
+      | Some rows ->
+        let rec map acc = function
+          | [] -> Ok (Array.of_list (List.rev acc))
+          | row :: rest -> (
+            match
+              Tiny_json.to_list row
+              |> Option.map (List.map Tiny_json.to_float)
+            with
+            | Some cells when List.for_all Option.is_some cells ->
+              map (Array.of_list (List.map Option.get cells) :: acc) rest
+            | _ -> Error "field \"density\" rows must be arrays of numbers")
+        in
+        map [] rows)
+  in
+  let* () =
+    if Array.length density <> Array.length distances then
+      Error
+        (Printf.sprintf "density has %d rows but there are %d distances"
+           (Array.length density) (Array.length distances))
+    else if
+      Array.exists (fun row -> Array.length row <> Array.length times) density
+    then Error "every density row must have one value per time"
+    else Ok ()
+  in
+  let* population =
+    match Tiny_json.member "population" json with
+    | None -> Ok (Array.make (Array.length distances) 100)
+    | Some _ -> json_field_list json "population" Tiny_json.to_int
+  in
+  let* () =
+    if Array.length population <> Array.length distances then
+      Error "population must have one entry per distance"
+    else Ok ()
+  in
+  let* fit_times =
+    match Tiny_json.member "fit_times" json with
+    | None ->
+      (* default: calibrate on every posted hour past the initial one *)
+      Ok
+        (Array.of_list
+           (List.filter (fun tm -> tm > 1.) (Array.to_list times)))
+    | Some _ -> json_field_list json "fit_times" Tiny_json.to_float
+  in
+  let* () =
+    if Array.length fit_times = 0 then
+      Error "fit_times is empty (post at least one observation hour past t = 1)"
+    else if
+      Array.exists
+        (fun ft -> not (Array.exists (fun tm -> tm = ft) times))
+        fit_times
+    then Error "every fit_times entry must be one of the posted times"
+    else Ok ()
+  in
+  let int_field name default =
+    match Tiny_json.member name json with
+    | None -> Ok default
+    | Some v -> (
+      match Tiny_json.to_int v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "field %S must be an integer" name))
+  in
+  let* starts = int_field "starts" 0 in
+  let* seed = int_field "seed" 7 in
+  Ok
+    {
+      fs_obs =
+        { Socialnet.Density.distances; times; density; population };
+      fs_fit_times = fit_times;
+      fs_starts = starts;
+      fs_seed = seed;
+    }
+
+let run_fit t ~id spec =
+  let obs = spec.fs_obs in
+  let phi =
+    Dl.Initial.of_observations
+      ~xs:(Array.map float_of_int obs.Socialnet.Density.distances)
+      ~densities:
+        (Array.map (fun row -> row.(0)) obs.Socialnet.Density.density)
+  in
+  let starts =
+    if spec.fs_starts <= 0 then Dl.Fit.default_config.Dl.Fit.starts
+    else min spec.fs_starts t.cfg.fit_starts_cap
+  in
+  let config =
+    { Dl.Fit.default_config with Dl.Fit.fit_times = spec.fs_fit_times; starts }
+  in
+  let rng = Numerics.Rng.create spec.fs_seed in
+  let result = Dl.Fit.fit ~config rng obs in
+  {
+    fe_id = id;
+    fe_params = result.Dl.Fit.params;
+    fe_phi = phi;
+    fe_training_error = result.Dl.Fit.training_error;
+    fe_evaluations = result.Dl.Fit.evaluations;
+    fe_sols = [];
+  }
+
+let growth_json = function
+  | Dl.Growth.Constant v ->
+    Tiny_json.Object
+      [ ("kind", Tiny_json.String "constant"); ("value", Tiny_json.Number v) ]
+  | Dl.Growth.Exp_decay { a; b; c } ->
+    Tiny_json.Object
+      [
+        ("kind", Tiny_json.String "exp_decay");
+        ("a", Tiny_json.Number a);
+        ("b", Tiny_json.Number b);
+        ("c", Tiny_json.Number c);
+      ]
+
+let fit_json entry ~cached =
+  let p = entry.fe_params in
+  Tiny_json.Object
+    [
+      ("fit", Tiny_json.String entry.fe_id);
+      ("cached", Tiny_json.Bool cached);
+      ("training_error", Tiny_json.Number entry.fe_training_error);
+      ("evaluations", Tiny_json.Number (float_of_int entry.fe_evaluations));
+      ( "params",
+        Tiny_json.Object
+          [
+            ("d", Tiny_json.Number p.Dl.Params.d);
+            ("k", Tiny_json.Number p.Dl.Params.k);
+            ("r", growth_json p.Dl.Params.r);
+            ("l", Tiny_json.Number p.Dl.Params.l);
+            ("L", Tiny_json.Number p.Dl.Params.big_l);
+          ] );
+    ]
+
+let error_json status msg =
+  Http.json_response status
+    (Tiny_json.Object [ ("error", Tiny_json.String msg) ])
+
+let handle_fit t (req : Http.request) =
+  match parse_fit_spec req.Http.body with
+  | Error msg -> error_json 400 msg
+  | Ok spec -> (
+    let id = Digest.to_hex (Digest.string req.Http.body) in
+    let cached =
+      Mutex.lock t.cache_mutex;
+      let entry = Hashtbl.find_opt t.cache id in
+      Mutex.unlock t.cache_mutex;
+      entry
+    in
+    match cached with
+    | Some entry ->
+      Obs.Metrics.incr m_cache_hits;
+      Http.json_response 200 (fit_json entry ~cached:true)
+    | None -> (
+      Obs.Metrics.incr m_cache_misses;
+      match run_fit t ~id spec with
+      | exception Invalid_argument msg -> error_json 422 msg
+      | exception Failure msg -> error_json 422 msg
+      | entry ->
+        Mutex.lock t.cache_mutex;
+        (* a concurrent identical fit may have won the race; keep one *)
+        let entry =
+          match Hashtbl.find_opt t.cache id with
+          | Some existing -> existing
+          | None ->
+            Hashtbl.replace t.cache id entry;
+            entry
+        in
+        t.last_fit <- Some id;
+        Mutex.unlock t.cache_mutex;
+        Obs.Log.info "serve.fit" ~fields:(fun () ->
+            [
+              Obs.Log.str "fit" id;
+              Obs.Log.float "training_error" entry.fe_training_error;
+              Obs.Log.int "evaluations" entry.fe_evaluations;
+            ]);
+        Http.json_response 200 (fit_json entry ~cached:false)))
+
+(* --- /predict --- *)
+
+let solution_for t entry ~at =
+  let key = Int64.bits_of_float at in
+  let hit =
+    Mutex.lock t.cache_mutex;
+    let s = List.assoc_opt key entry.fe_sols in
+    Mutex.unlock t.cache_mutex;
+    s
+  in
+  match hit with
+  | Some sol -> sol
+  | None ->
+    let sol = Dl.Model.solve entry.fe_params ~phi:entry.fe_phi ~times:[| at |] in
+    Mutex.lock t.cache_mutex;
+    if not (List.mem_assoc key entry.fe_sols) then begin
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      entry.fe_sols <-
+        (key, sol) :: take (max_cached_solutions - 1) entry.fe_sols
+    end;
+    Mutex.unlock t.cache_mutex;
+    sol
+
+let handle_predict t (req : Http.request) =
+  let float_param name =
+    match Http.query_param req name with
+    | None -> Error (Printf.sprintf "missing query parameter %S" name)
+    | Some raw -> (
+      match float_of_string_opt raw with
+      | Some v when Float.is_finite v -> Ok v
+      | _ -> Error (Printf.sprintf "query parameter %S is not a finite number" name))
+  in
+  match
+    let* x = float_param "x" in
+    let* tq = float_param "t" in
+    Ok (x, tq)
+  with
+  | Error msg -> error_json 400 msg
+  | Ok (x, tq) -> (
+    let entry =
+      Mutex.lock t.cache_mutex;
+      let id =
+        match Http.query_param req "fit" with
+        | Some id -> Some id
+        | None -> t.last_fit
+      in
+      let e = Option.bind id (Hashtbl.find_opt t.cache) in
+      Mutex.unlock t.cache_mutex;
+      e
+    in
+    match entry with
+    | None ->
+      error_json 404
+        "no such fit (POST /fit first, or pass a valid fit= parameter)"
+    | Some entry ->
+      let p = entry.fe_params in
+      if tq < 1. then
+        error_json 400 "t must be >= 1 (the model starts at the t = 1 snapshot)"
+      else if x < p.Dl.Params.l || x > p.Dl.Params.big_l then
+        error_json 400
+          (Printf.sprintf "x must lie in the fitted domain [%g, %g]"
+             p.Dl.Params.l p.Dl.Params.big_l)
+      else
+        let density =
+          if tq <= 1. +. 1e-9 then Dl.Initial.eval entry.fe_phi x
+          else Dl.Model.predict (solution_for t entry ~at:tq) ~x ~t:tq
+        in
+        Http.json_response 200
+          (Tiny_json.Object
+             [
+               ("fit", Tiny_json.String entry.fe_id);
+               ("x", Tiny_json.Number x);
+               ("t", Tiny_json.Number tq);
+               ("density", Tiny_json.Number density);
+             ]))
+
+(* --- routing --- *)
+
+let handle_metrics t =
+  let body = with_agg t (fun () -> Obs.Metrics.to_prometheus_string ()) in
+  Http.response ~content_type:"text/plain; version=0.0.4; charset=utf-8" 200
+    body
+
+let route t (req : Http.request) =
+  let label =
+    match (req.Http.meth, req.Http.path) with
+    | _, "/healthz" -> "healthz"
+    | _, "/metrics" -> "metrics"
+    | _, "/fit" -> "fit"
+    | _, "/predict" -> "predict"
+    | _ -> "other"
+  in
+  Obs.Metrics.incr (m_requests label);
+  Obs.Metrics.set m_inflight (float_of_int (Atomic.get t.inflight));
+  match (req.Http.meth, req.Http.path) with
+  | "GET", "/healthz" -> Http.response 200 "ok\n"
+  | "GET", "/metrics" -> handle_metrics t
+  | "POST", "/fit" -> handle_fit t req
+  | "GET", "/predict" -> handle_predict t req
+  | _, ("/healthz" | "/metrics" | "/fit" | "/predict") ->
+    error_json 405 (Printf.sprintf "method %s not allowed here" req.Http.meth)
+  | _ -> error_json 404 (Printf.sprintf "no such endpoint %s" req.Http.path)
+
+(* --- per-connection handling --- *)
+
+let handle_conn t fd =
+  let shard = Obs.Shard.create () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Atomic.decr t.inflight;
+      Atomic.incr t.handled;
+      with_agg t (fun () -> Obs.Shard.merge shard))
+  @@ fun () ->
+  Obs.Shard.with_shard shard @@ fun () ->
+  let t0 = Obs.now_ns () in
+  let resp =
+    match
+      Http.read_request fd ~max_header ~max_body:t.cfg.max_body
+    with
+    | Error Http.Closed -> None
+    | Error Http.Timeout -> Some (Http.response 408 "request read timed out\n")
+    | Error (Http.Too_large msg) -> Some (Http.response 413 (msg ^ "\n"))
+    | Error (Http.Bad msg) -> Some (Http.response 400 (msg ^ "\n"))
+    | Ok req -> (
+      match route t req with
+      | resp -> Some resp
+      | exception e ->
+        Obs.Log.error "serve.handler_crashed" ~fields:(fun () ->
+            [
+              Obs.Log.str "path" req.Http.path;
+              Obs.Log.str "exn" (Printexc.to_string e);
+            ]);
+        Some (error_json 500 "internal error"))
+  in
+  (match resp with
+  | None -> ()
+  | Some resp ->
+    ignore (Http.write_response fd resp : bool);
+    Obs.Metrics.incr (m_responses resp.Http.status));
+  Obs.Metrics.observe m_request_ns (float_of_int (Obs.now_ns () - t0))
+
+(* --- accept loop + worker pool --- *)
+
+let shed t fd =
+  ignore
+    (Http.write_response fd
+       (Http.response 503 "connection limit reached, try again\n")
+      : bool);
+  (* closing with unread request bytes pending would RST away the 503;
+     send our FIN, then drain what the peer sent until it closes *)
+  (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  (let buf = Bytes.create 1024 in
+   let rec drain budget =
+     if budget > 0 then
+       match Unix.read fd buf 0 1024 with
+       | 0 -> ()
+       | n -> drain (budget - n)
+       | exception Unix.Unix_error _ -> ()
+   in
+   drain (64 * 1024));
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Atomic.decr t.inflight;
+  Atomic.incr t.handled;
+  with_agg t (fun () ->
+      Obs.Metrics.incr m_shed;
+      Obs.Metrics.incr (m_responses 503))
+
+let dispatch t ~inline fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.read_timeout;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.write_timeout;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  let inflight = Atomic.fetch_and_add t.inflight 1 in
+  if inflight >= t.cfg.max_conns then shed t fd
+  else if inline then handle_conn t fd
+  else begin
+    Mutex.lock t.qmutex;
+    Queue.push fd t.queue;
+    Condition.signal t.qcond;
+    Mutex.unlock t.qmutex
+  end
+
+let drain_wake t =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.wake_r buf 0 64 with
+    | n when n > 0 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  go ()
+
+let rec accept_batch t ~inline =
+  match Unix.accept t.lfd with
+  | fd, _ ->
+    dispatch t ~inline fd;
+    accept_batch t ~inline
+  | exception
+      Unix.Unix_error
+        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+    ->
+    ()
+
+let accept_loop t ~inline =
+  while not (Atomic.get t.stop_flag) do
+    match Unix.select [ t.lfd; t.wake_r ] [] [] 0.5 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+      if List.memq t.wake_r ready then drain_wake t;
+      if (not (Atomic.get t.stop_flag)) && List.memq t.lfd ready then
+        accept_batch t ~inline
+  done;
+  (* graceful drain: no new connections; queued ones still get served *)
+  (try Unix.close t.lfd with Unix.Unix_error _ -> ());
+  Mutex.lock t.qmutex;
+  t.qclosed <- true;
+  Condition.broadcast t.qcond;
+  Mutex.unlock t.qmutex
+
+let rec worker_loop t =
+  Mutex.lock t.qmutex;
+  while Queue.is_empty t.queue && not t.qclosed do
+    Condition.wait t.qcond t.qmutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.qmutex (* closed + drained *)
+  else begin
+    let fd = Queue.pop t.queue in
+    Mutex.unlock t.qmutex;
+    handle_conn t fd;
+    worker_loop t
+  end
+
+let run t =
+  (* a peer closing mid-write must not kill the process *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let jobs =
+    if Parallel.Pool.domains_available then max 1 t.cfg.jobs else 1
+  in
+  Obs.Log.info "serve.listening" ~fields:(fun () ->
+      [
+        Obs.Log.str "host" t.cfg.host;
+        Obs.Log.int "port" t.bound_port;
+        Obs.Log.int "jobs" jobs;
+      ]);
+  if jobs = 1 then accept_loop t ~inline:true
+  else
+    Parallel.Pool.run_workers ~jobs:(jobs + 1) (fun k ->
+        if k = 0 then accept_loop t ~inline:false else worker_loop t);
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+  (* fold the server's aggregate into the caller's context so a final
+     metrics dump (--metrics-out, bench) sees every serve.* series *)
+  Mutex.lock t.agg_mutex;
+  Obs.Shard.merge t.agg;
+  Mutex.unlock t.agg_mutex;
+  Obs.Log.info "serve.stopped" ~fields:(fun () ->
+      [ Obs.Log.int "requests_handled" (Atomic.get t.handled) ])

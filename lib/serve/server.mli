@@ -1,0 +1,80 @@
+(** The dlosn prediction-serving layer: a dependency-free HTTP/1.1
+    server on Unix sockets exposing fitted DL-model predictions and the
+    {!Obs} metrics registry.
+
+    {2 Endpoints}
+
+    - [GET /healthz] — liveness: [200 ok].
+    - [GET /metrics] — the {!Obs.Metrics} registry in Prometheus text
+      exposition format (all [fit.*]/[pde.*]/[pool.*]/[serve.*] series
+      recorded by this process).
+    - [POST /fit] — calibrate the DL model against a posted density
+      observation (JSON; see [docs/SERVING.md]); the result is cached
+      keyed by the MD5 of the request body, so re-posting identical
+      input is a cache hit.
+    - [GET /predict?x=&t=[&fit=]] — density I(x, t) under a cached fit
+      ([fit] defaults to the most recently completed one).
+
+    {2 Concurrency and robustness}
+
+    An accept loop on the calling domain feeds a worker pool run via
+    {!Parallel.Pool.run_workers} (sequential inline handling when
+    Domains are unavailable or [jobs = 1]).  Each connection gets
+    socket read/write timeouts, the header block and body are bounded,
+    and connections beyond [max_conns] in flight are shed with an
+    immediate [503].  {!stop} (wired to SIGINT/SIGTERM by
+    {!install_signal_handlers}) stops accepting, drains queued and
+    in-flight requests, and returns from {!run}.
+
+    {2 Observability}
+
+    Each request records into a private {!Obs.Shard} merged under a
+    lock into a server-wide aggregate context after the response is
+    written — [GET /metrics] renders that aggregate, so worker-domain
+    metrics are never read racily.  When {!run} returns, the aggregate
+    is merged into the calling domain's context so a final
+    [--metrics-out] dump sees everything the server recorded. *)
+
+type config = {
+  host : string;  (** bind address (default ["127.0.0.1"]) *)
+  port : int;  (** 0 picks an ephemeral port, see {!port} *)
+  jobs : int;
+      (** request-handling workers; clamped to 1 without Domains *)
+  max_conns : int;
+      (** in-flight connection cap before 503 shedding (default 64) *)
+  read_timeout : float;  (** seconds per request read (default 10) *)
+  write_timeout : float;  (** seconds per response write (default 10) *)
+  max_body : int;  (** request body cap in bytes (default 2 MiB) *)
+  fit_starts_cap : int;
+      (** upper bound on the Nelder--Mead restarts a [/fit] request may
+          ask for (default 16) *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Bind and listen (the port is ready once [create] returns, so a
+    caller may start issuing requests as soon as {!run} is entered in
+    another thread).  Forces {!Obs.set_enabled}[ true]: a metrics
+    endpoint on a disabled registry would serve only zeros.
+    @raise Unix.Unix_error if the address cannot be bound. *)
+
+val port : t -> int
+(** The actual bound port (useful with [config.port = 0]). *)
+
+val run : t -> unit
+(** Serve until {!stop}.  Blocks the calling domain; spawns
+    [config.jobs] worker domains when available. *)
+
+val stop : t -> unit
+(** Request shutdown: stop accepting, drain in-flight requests, make
+    {!run} return.  Safe to call from a signal handler or another
+    thread/domain; idempotent. *)
+
+val install_signal_handlers : t -> unit
+(** Route SIGINT and SIGTERM to {!stop} (graceful drain). *)
+
+val requests_handled : t -> int
+(** Connections fully handled so far (shed connections included). *)

@@ -1,0 +1,131 @@
+(* Tests for the Horizon fitting-window fixes (fractional train_until
+   rounding, sub-2h guard, narrowed failure handling) and the
+   Initial.of_observations input validation. *)
+
+open Numerics
+
+let expect_invalid_arg ~substr f =
+  match f () with
+  | _ -> Alcotest.failf "expected Invalid_argument mentioning %S" substr
+  | exception Invalid_argument msg ->
+    if
+      not
+        (String.length msg >= String.length substr
+        &&
+        let rec has i =
+          i + String.length substr <= String.length msg
+          && (String.sub msg i (String.length substr) = substr || has (i + 1))
+        in
+        has 0)
+    then
+      Alcotest.failf "Invalid_argument %S does not mention %S" msg substr
+
+(* --- Horizon.fit_hours --- *)
+
+let check_hours name expected actual =
+  Alcotest.(check (array (float 1e-9))) name expected actual
+
+let test_fit_hours_rounds_up () =
+  (* the original truncation bug: 9.9 must train through t = 10 *)
+  check_hours "9.9 -> 2..10"
+    [| 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9.; 10. |]
+    (Dl.Horizon.fit_hours ~train_until:9.9)
+
+let test_fit_hours_rounds_down () =
+  check_hours "2.4 -> [2]" [| 2. |] (Dl.Horizon.fit_hours ~train_until:2.4)
+
+let test_fit_hours_fractional_minimum () =
+  (* 1.6 rounds to 2, the smallest legal window *)
+  check_hours "1.6 -> [2]" [| 2. |] (Dl.Horizon.fit_hours ~train_until:1.6)
+
+let test_fit_hours_exact () =
+  check_hours "4 -> 2..4" [| 2.; 3.; 4. |]
+    (Dl.Horizon.fit_hours ~train_until:4.)
+
+let test_fit_hours_too_small () =
+  (* pre-fix these produced an empty or negative-length Array.init *)
+  List.iter
+    (fun tu ->
+      expect_invalid_arg ~substr:"Horizon.fit_hours" (fun () ->
+          Dl.Horizon.fit_hours ~train_until:tu))
+    [ 1.4; 1.0; 0.5; 0.; -3. ]
+
+(* --- Horizon.curve --- *)
+
+let test_curve_fractional_window_fits_through_rounded_hour () =
+  (* train_until = 9.9 fits through t = 10 and predicts t = 11 well on
+     data the model can represent exactly *)
+  let obs = Test_forecasting.dl_ground_obs () in
+  let points =
+    Dl.Horizon.curve (Rng.create 11) obs ~train_untils:[| 9.9 |]
+      ~horizons:[| 1.1 |]
+  in
+  Alcotest.(check int) "one point" 1 (Array.length points);
+  let p = points.(0) in
+  Alcotest.(check bool) "defined" false (Float.is_nan p.Dl.Horizon.accuracy);
+  Alcotest.(check bool) "accurate" true (p.Dl.Horizon.accuracy > 0.8)
+
+let test_curve_sub2_window_raises () =
+  let obs = Test_forecasting.dl_ground_obs () in
+  expect_invalid_arg ~substr:"Horizon.fit_hours" (fun () ->
+      Dl.Horizon.curve (Rng.create 11) obs ~train_untils:[| 1.2 |]
+        ~horizons:[| 1. |])
+
+(* --- Initial.of_observations validation --- *)
+
+let test_initial_rejects_mismatched_lengths () =
+  expect_invalid_arg ~substr:"Initial.of_observations" (fun () ->
+      Dl.Initial.of_observations ~xs:[| 1.; 2.; 3. |] ~densities:[| 1.; 2. |])
+
+let test_initial_rejects_single_point () =
+  expect_invalid_arg ~substr:"Initial.of_observations" (fun () ->
+      Dl.Initial.of_observations ~xs:[| 1. |] ~densities:[| 1. |])
+
+let test_initial_rejects_non_increasing_xs () =
+  expect_invalid_arg ~substr:"strictly increasing" (fun () ->
+      Dl.Initial.of_observations
+        ~xs:[| 1.; 3.; 2. |]
+        ~densities:[| 3.; 2.; 1. |]);
+  expect_invalid_arg ~substr:"strictly increasing" (fun () ->
+      Dl.Initial.of_observations
+        ~xs:[| 1.; 2.; 2. |]
+        ~densities:[| 3.; 2.; 1. |])
+
+let test_initial_rejects_nan_xs () =
+  expect_invalid_arg ~substr:"strictly increasing" (fun () ->
+      Dl.Initial.of_observations
+        ~xs:[| 1.; Float.nan; 3. |]
+        ~densities:[| 3.; 2.; 1. |])
+
+let test_initial_accepts_valid_input () =
+  let phi =
+    Dl.Initial.of_observations ~xs:[| 1.; 2.; 4. |] ~densities:[| 3.; 2.; 0.5 |]
+  in
+  Alcotest.(check (float 1e-9)) "interpolates the knots" 3. (Dl.Initial.eval phi 1.)
+
+let suite =
+  [
+    Alcotest.test_case "fit_hours rounds 9.9 up to 10" `Quick
+      test_fit_hours_rounds_up;
+    Alcotest.test_case "fit_hours rounds 2.4 down" `Quick
+      test_fit_hours_rounds_down;
+    Alcotest.test_case "fit_hours accepts 1.6" `Quick
+      test_fit_hours_fractional_minimum;
+    Alcotest.test_case "fit_hours exact window" `Quick test_fit_hours_exact;
+    Alcotest.test_case "fit_hours rejects windows under 2h" `Quick
+      test_fit_hours_too_small;
+    Alcotest.test_case "curve fits through the rounded hour" `Slow
+      test_curve_fractional_window_fits_through_rounded_hour;
+    Alcotest.test_case "curve rejects sub-2h windows" `Quick
+      test_curve_sub2_window_raises;
+    Alcotest.test_case "initial rejects mismatched lengths" `Quick
+      test_initial_rejects_mismatched_lengths;
+    Alcotest.test_case "initial rejects a single point" `Quick
+      test_initial_rejects_single_point;
+    Alcotest.test_case "initial rejects non-increasing xs" `Quick
+      test_initial_rejects_non_increasing_xs;
+    Alcotest.test_case "initial rejects NaN xs" `Quick
+      test_initial_rejects_nan_xs;
+    Alcotest.test_case "initial accepts valid input" `Quick
+      test_initial_accepts_valid_input;
+  ]

@@ -20,4 +20,6 @@ let () =
       ("pde2d-joint", Test_pde2d.suite);
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
+      ("horizon", Test_horizon.suite);
+      ("serve", Test_serve.suite);
     ]

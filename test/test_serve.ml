@@ -1,0 +1,358 @@
+(* Tests for the prediction-serving layer: JSON codec, Prometheus
+   rendering, and loopback round-trips against a live Server.t
+   (endpoints, caching, limits, shedding, graceful drain). *)
+
+module J = Serve.Tiny_json
+
+(* --- Tiny_json --- *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      ({|{"a":1,"b":[true,null,"x"],"c":{"d":-2.5}}|} : string);
+      {|[]|};
+      {|{}|};
+      {|"é\n\t\\"|};
+      {|-1.25e-3|};
+    ]
+  in
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Error e -> Alcotest.failf "parse %S failed: %s" s e
+      | Ok v -> (
+        (* round-trip through to_string must re-parse to the same value *)
+        match J.parse (J.to_string v) with
+        | Ok v' -> Alcotest.(check bool) "round-trip" true (v = v')
+        | Error e -> Alcotest.failf "re-parse of %S failed: %s" s e))
+    cases
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Ok _ -> Alcotest.failf "expected a parse error for %S" s
+      | Error msg ->
+        Alcotest.(check bool) "mentions byte offset" true
+          (String.length msg > 0))
+    [ "{"; "[1,"; {|{"a"}|}; "tru"; "1.2.3"; {|"unterminated|}; "[] []" ]
+
+let test_json_accessors () =
+  match J.parse {|{"n":3,"f":2.5,"s":"hi","l":[1,2]}|} with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+    Alcotest.(check (option int)) "to_int" (Some 3)
+      (Option.bind (J.member "n" v) J.to_int);
+    Alcotest.(check (option int)) "to_int rejects fractions" None
+      (Option.bind (J.member "f" v) J.to_int);
+    Alcotest.(check (option string)) "to_string_opt" (Some "hi")
+      (Option.bind (J.member "s" v) J.to_string_opt);
+    Alcotest.(check int) "to_list" 2
+      (List.length (Option.get (Option.bind (J.member "l" v) J.to_list)))
+
+(* --- Prometheus rendering --- *)
+
+(* every non-comment line must be `name{labels} value` with a parseable
+   value; TYPE lines must precede their family's samples *)
+let check_prometheus_format body =
+  let typed = Hashtbl.create 16 in
+  String.split_on_char '\n' body
+  |> List.iter (fun line ->
+         if line = "" then ()
+         else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then (
+           match String.split_on_char ' ' line with
+           | [ _; _; name; kind ] ->
+             Alcotest.(check bool)
+               (Printf.sprintf "known kind %s" kind)
+               true
+               (List.mem kind [ "counter"; "gauge"; "histogram" ]);
+             Hashtbl.replace typed name ()
+           | _ -> Alcotest.failf "malformed TYPE line %S" line)
+         else if line.[0] = '#' then ()
+         else
+           match String.rindex_opt line ' ' with
+           | None -> Alcotest.failf "sample line without value: %S" line
+           | Some sp ->
+             let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+             (match float_of_string_opt value with
+             | Some _ -> ()
+             | None ->
+               Alcotest.(check bool)
+                 (Printf.sprintf "parseable value in %S" line)
+                 true
+                 (List.mem value [ "+Inf"; "-Inf"; "NaN" ]));
+             let metric = String.sub line 0 sp in
+             let base =
+               match String.index_opt metric '{' with
+               | Some b -> String.sub metric 0 b
+               | None -> metric
+             in
+             let family =
+               (* strip histogram/counter sample suffixes back to the
+                  family name carrying the TYPE line *)
+               List.fold_left
+                 (fun acc suffix ->
+                   match acc with
+                   | Some _ -> acc
+                   | None ->
+                     let ls = String.length suffix and lb = String.length base in
+                     if lb > ls && String.sub base (lb - ls) ls = suffix then
+                       Some (String.sub base 0 (lb - ls))
+                     else None)
+                 None
+                 [ "_bucket"; "_sum"; "_count" ]
+               |> Option.value ~default:base
+             in
+             Alcotest.(check bool)
+               (Printf.sprintf "TYPE line seen before %S" line)
+               true
+               (Hashtbl.mem typed base || Hashtbl.mem typed family))
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_prometheus_renderer () =
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) @@ fun () ->
+  let shard = Obs.Shard.create () in
+  let body =
+    Obs.Shard.with_shard shard (fun () ->
+        let c = Obs.Metrics.counter "fit.fits" in
+        Obs.Metrics.incr ~by:3 c;
+        Obs.Metrics.to_prometheus_string ())
+  in
+  Alcotest.(check bool) "counter family present" true
+    (contains ~needle:"# TYPE dlosn_fit_fits_total counter" body);
+  Alcotest.(check bool) "counter value present" true
+    (contains ~needle:"dlosn_fit_fits_total 3" body);
+  check_prometheus_format body
+
+(* --- live-server round-trips --- *)
+
+let base_config = { Serve.Server.default_config with Serve.Server.port = 0 }
+
+let with_server ?(config = base_config) f =
+  let server = Serve.Server.create ~config () in
+  let th = Thread.create Serve.Server.run server in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop server;
+      Thread.join th;
+      Obs.set_enabled false)
+    (fun () -> f (Serve.Server.port server))
+
+let ok = function
+  | Ok (r : Serve.Client.response) -> r
+  | Error msg -> Alcotest.failf "request failed: %s" msg
+
+let json_of (r : Serve.Client.response) =
+  match J.parse r.Serve.Client.body with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "bad JSON body %S: %s" r.Serve.Client.body e
+
+(* a small observation a fit converges on quickly (single NM start) *)
+let fit_body =
+  {|{"distances":[1,2,3,4],"times":[1,2,3,4,5],
+     "density":[[2.0,3.0,4.0,4.8,5.4],[1.2,1.9,2.7,3.4,4.0],
+                [0.7,1.1,1.6,2.1,2.5],[0.4,0.6,0.9,1.2,1.5]],
+     "starts":1,"seed":3}|}
+
+let test_healthz () =
+  with_server @@ fun port ->
+  let r = ok (Serve.Client.request ~port "GET" "/healthz") in
+  Alcotest.(check int) "status" 200 r.Serve.Client.status;
+  Alcotest.(check string) "body" "ok\n" r.Serve.Client.body
+
+let test_fit_predict_and_cache () =
+  with_server @@ fun port ->
+  (* no fit yet: predict must 404, not crash *)
+  let r0 = ok (Serve.Client.request ~port "GET" "/predict?x=2&t=3") in
+  Alcotest.(check int) "predict before fit" 404 r0.Serve.Client.status;
+  let r1 = ok (Serve.Client.request ~port ~body:fit_body "POST" "/fit") in
+  Alcotest.(check int) "fit status" 200 r1.Serve.Client.status;
+  let j1 = json_of r1 in
+  Alcotest.(check (option bool)) "first fit is not cached" (Some false)
+    (match J.member "cached" j1 with Some (J.Bool b) -> Some b | _ -> None);
+  let id =
+    match Option.bind (J.member "fit" j1) J.to_string_opt with
+    | Some id -> id
+    | None -> Alcotest.fail "fit response lacks an id"
+  in
+  (* identical body: cache hit with the same id *)
+  let r2 = ok (Serve.Client.request ~port ~body:fit_body "POST" "/fit") in
+  let j2 = json_of r2 in
+  Alcotest.(check (option bool)) "second fit is cached" (Some true)
+    (match J.member "cached" j2 with Some (J.Bool b) -> Some b | _ -> None);
+  Alcotest.(check (option string)) "same id" (Some id)
+    (Option.bind (J.member "fit" j2) J.to_string_opt);
+  (* predict against the implicit latest fit and the explicit id *)
+  List.iter
+    (fun target ->
+      let r = ok (Serve.Client.request ~port "GET" target) in
+      Alcotest.(check int) (target ^ " status") 200 r.Serve.Client.status;
+      let d =
+        Option.bind (J.member "density" (json_of r)) J.to_float |> Option.get
+      in
+      Alcotest.(check bool) (target ^ " density sane") true
+        (Float.is_finite d && d >= 0.))
+    [ "/predict?x=2&t=4"; "/predict?x=2.5&t=4.5&fit=" ^ id ];
+  (* t = 1 is served straight from phi *)
+  let r = ok (Serve.Client.request ~port "GET" "/predict?x=1&t=1") in
+  let d = Option.bind (J.member "density" (json_of r)) J.to_float |> Option.get in
+  Alcotest.(check (float 1e-6)) "phi at the first knot" 2.0 d
+
+let test_input_rejection () =
+  with_server @@ fun port ->
+  let post body = ok (Serve.Client.request ~port ~body "POST" "/fit") in
+  Alcotest.(check int) "malformed JSON" 400 (post "{oops").Serve.Client.status;
+  Alcotest.(check int) "missing fields" 400 (post "{}").Serve.Client.status;
+  Alcotest.(check int) "times not from 1" 400
+    (post
+       {|{"distances":[1,2],"times":[2,3],"density":[[1,2],[1,2]]}|})
+      .Serve.Client.status;
+  Alcotest.(check int) "ragged density" 400
+    (post
+       {|{"distances":[1,2],"times":[1,2],"density":[[1,2],[1]]}|})
+      .Serve.Client.status;
+  (* validation failures inside the model layer surface as 422 *)
+  Alcotest.(check int) "all-zero densities" 422
+    (post
+       {|{"distances":[1,2],"times":[1,2],"density":[[0,1],[0,1]]}|})
+      .Serve.Client.status;
+  Alcotest.(check int) "bad predict params" 400
+    (ok (Serve.Client.request ~port "GET" "/predict?x=abc&t=2"))
+      .Serve.Client.status;
+  Alcotest.(check int) "unknown path" 404
+    (ok (Serve.Client.request ~port "GET" "/nope")).Serve.Client.status;
+  Alcotest.(check int) "wrong method" 405
+    (ok (Serve.Client.request ~port "GET" "/fit")).Serve.Client.status
+
+let test_metrics_endpoint () =
+  with_server @@ fun port ->
+  ignore (ok (Serve.Client.request ~port ~body:fit_body "POST" "/fit"));
+  let r = ok (Serve.Client.request ~port "GET" "/metrics") in
+  Alcotest.(check int) "status" 200 r.Serve.Client.status;
+  (match List.assoc_opt "content-type" r.Serve.Client.headers with
+  | Some ct ->
+    Alcotest.(check bool) "exposition content type" true
+      (contains ~needle:"version=0.0.4" ct)
+  | None -> Alcotest.fail "missing content type");
+  let body = r.Serve.Client.body in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains ~needle body))
+    [
+      "dlosn_fit_fits_total 1";
+      "dlosn_pde_solves_total";
+      "dlosn_pool_parallel_calls_total";
+      "# TYPE dlosn_serve_requests_total counter";
+      {|dlosn_serve_requests_total{label="fit"} 1|};
+      "dlosn_serve_fit_cache_misses_total 1";
+      "dlosn_serve_request_ns_bucket";
+    ];
+  check_prometheus_format body
+
+let test_oversized_body_rejected () =
+  let config = { base_config with Serve.Server.max_body = 256 } in
+  with_server ~config @@ fun port ->
+  let big = String.make 1024 'x' in
+  let r = ok (Serve.Client.request ~port ~body:big "POST" "/fit") in
+  Alcotest.(check int) "413" 413 r.Serve.Client.status
+
+let test_read_timeout () =
+  let config = { base_config with Serve.Server.read_timeout = 0.2 } in
+  with_server ~config @@ fun port ->
+  (* a request that never finishes its header block *)
+  let r = ok (Serve.Client.request_raw ~port "GET /healthz HTTP/1.1\r\n") in
+  Alcotest.(check int) "408" 408 r.Serve.Client.status
+
+let test_shedding () =
+  (* max_conns = 0 sheds every connection — exercises the 503 path
+     deterministically in any worker mode *)
+  let config = { base_config with Serve.Server.max_conns = 0 } in
+  with_server ~config @@ fun port ->
+  let r = ok (Serve.Client.request ~port "GET" "/healthz") in
+  Alcotest.(check int) "503" 503 r.Serve.Client.status
+
+let test_graceful_drain () =
+  let server = Serve.Server.create ~config:base_config () in
+  let th = Thread.create Serve.Server.run server in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop server;
+      Thread.join th;
+      Obs.set_enabled false)
+  @@ fun () ->
+  let port = Serve.Server.port server in
+  (* open a connection and send only half the request ... *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+  let send s = ignore (Unix.write_substring fd s 0 (String.length s)) in
+  send "GET /healthz HTTP/1.1\r\n";
+  Thread.delay 0.2;
+  (* ... request shutdown while it is in flight ... *)
+  Serve.Server.stop server;
+  Thread.delay 0.2;
+  (* ... then finish the request: the drain must still answer it *)
+  send "Connection: close\r\n\r\n";
+  let buf = Bytes.create 4096 in
+  let n = Unix.read fd buf 0 4096 in
+  let head = Bytes.sub_string buf 0 n in
+  Alcotest.(check bool) "drained request got a 200" true
+    (contains ~needle:"200 OK" head);
+  Thread.join th;
+  Alcotest.(check bool) "run returned after drain" true
+    (Serve.Server.requests_handled server >= 1)
+
+let test_parallel_workers () =
+  if not Parallel.Pool.domains_available then ()
+  else begin
+    let config = { base_config with Serve.Server.jobs = 2 } in
+    with_server ~config @@ fun port ->
+    ignore (ok (Serve.Client.request ~port ~body:fit_body "POST" "/fit"));
+    (* several concurrent predicts through the worker queue *)
+    let results = Array.make 8 0 in
+    let threads =
+      Array.init 8 (fun i ->
+          Thread.create
+            (fun i ->
+              let r =
+                ok
+                  (Serve.Client.request ~port "GET"
+                     (Printf.sprintf "/predict?x=2&t=%d" (2 + (i mod 3))))
+              in
+              results.(i) <- r.Serve.Client.status)
+            i)
+    in
+    Array.iter Thread.join threads;
+    Array.iteri
+      (fun i status ->
+        Alcotest.(check int) (Printf.sprintf "predict %d" i) 200 status)
+      results
+  end
+
+let suite =
+  [
+    Alcotest.test_case "json round-trips" `Quick test_json_roundtrip;
+    Alcotest.test_case "json reports errors" `Quick test_json_errors;
+    Alcotest.test_case "json accessors" `Quick test_json_accessors;
+    Alcotest.test_case "prometheus renderer" `Quick test_prometheus_renderer;
+    Alcotest.test_case "healthz" `Quick test_healthz;
+    Alcotest.test_case "fit, predict and cache" `Slow
+      test_fit_predict_and_cache;
+    Alcotest.test_case "input rejection" `Quick test_input_rejection;
+    Alcotest.test_case "metrics endpoint" `Slow test_metrics_endpoint;
+    Alcotest.test_case "oversized body rejected" `Quick
+      test_oversized_body_rejected;
+    Alcotest.test_case "read timeout" `Quick test_read_timeout;
+    Alcotest.test_case "shedding under load" `Quick test_shedding;
+    Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
+    Alcotest.test_case "parallel workers" `Slow test_parallel_workers;
+  ]
