@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Gate the PDE-solver fast path against the committed baseline.
+
+Usage: check_bench.py CURRENT_JSON BASELINE_JSON
+
+Reads the "solver" section of two dlosn-bench/1 files and fails
+(exit 1) when the fresh run regresses against bench/baseline.json:
+
+- output divergence: every scheme must report identical=true (the
+  workspace path is only allowed to exist while it is bit-identical to
+  the reference stepper);
+- allocation regression: fast_minor_words_per_solve may not exceed the
+  baseline by more than 20% (minor-word counts are deterministic, so
+  this is a tight absolute check), and alloc_ratio (reference / fast)
+  must stay >= 2 — the headline claim of the optimisation — for every
+  scheme with a cached implicit operator.  A baseline entry may set
+  "min_alloc_ratio" to override the floor: FTCS has no factorization
+  to cache and its remaining allocations (boxed floats crossing the
+  user-supplied reaction closure) are shared with the reference path,
+  so it carries a lower floor;
+- time regression: ns/step is machine-dependent, so the check is
+  relative — fast_ns_per_step / ref_ns_per_step, both measured in the
+  same run on the same machine, may not exceed the baseline ratio by
+  more than 20%.
+"""
+import json
+import sys
+
+TOLERANCE = 1.20
+MIN_ALLOC_RATIO = 2.0
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def schemes_of(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "dlosn-bench/1":
+        fail(f"{path}: unexpected schema {doc.get('schema')!r}")
+    solver = doc.get("solver")
+    if not solver or not solver.get("schemes"):
+        fail(f"{path}: no solver section")
+    return {s["name"]: s for s in solver["schemes"]}
+
+
+def main():
+    current = schemes_of(sys.argv[1])
+    baseline = schemes_of(sys.argv[2])
+
+    checked = 0
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            fail(f"scheme {name!r} present in baseline but missing from run")
+
+        if cur.get("identical") is not True:
+            fail(f"{name}: fast path is not bit-identical to the reference")
+
+        words = cur["fast_minor_words_per_solve"]
+        base_words = base["fast_minor_words_per_solve"]
+        if words > base_words * TOLERANCE:
+            fail(
+                f"{name}: allocation regression — "
+                f"{words:.0f} minor words/solve vs baseline {base_words:.0f} "
+                f"(>{TOLERANCE:.0%})"
+            )
+
+        ratio = cur["alloc_ratio"]
+        min_ratio = base.get("min_alloc_ratio", MIN_ALLOC_RATIO)
+        if ratio < min_ratio:
+            fail(
+                f"{name}: alloc_ratio {ratio:.2f} below the required "
+                f"{min_ratio}x reference-to-fast reduction"
+            )
+
+        rel = cur["fast_ns_per_step"] / cur["ref_ns_per_step"]
+        base_rel = base["fast_ns_per_step"] / base["ref_ns_per_step"]
+        if rel > base_rel * TOLERANCE:
+            fail(
+                f"{name}: time regression — fast/ref step-time ratio "
+                f"{rel:.3f} vs baseline {base_rel:.3f} (>{TOLERANCE:.0%})"
+            )
+        checked += 1
+        print(
+            f"check_bench: {name}: identical, {words:.0f} words/solve "
+            f"(baseline {base_words:.0f}), alloc x{ratio:.1f}, "
+            f"fast/ref time {rel:.3f} (baseline {base_rel:.3f})"
+        )
+
+    if checked == 0:
+        fail("baseline contained no schemes")
+    print(f"check_bench: OK — {checked} schemes within tolerance")
+
+
+if __name__ == "__main__":
+    main()

@@ -97,19 +97,37 @@ let metrics_out_arg =
               gauge and histogram to FILE as JSON (schema \
               dlosn-metrics/1).")
 
+let no_solver_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-solver-cache" ]
+        ~doc:"Disable the solver fast paths: run the per-step-allocating \
+              reference PDE stepper instead of the cached-factorization \
+              workspace, and turn off fitting-objective memoization.  \
+              Results are bit-identical either way; this is an escape \
+              hatch for debugging and benchmarking.  The \
+              $(b,DLOSN_BENCH_REFERENCE_SOLVER) environment variable \
+              disables the workspace path only.")
+
 type obs_opts = { metrics_out : string option }
 
-let setup_obs level json metrics_out =
+let setup_obs level json metrics_out no_solver_cache =
   if level <> None || json || metrics_out <> None then Obs.set_enabled true;
   (match (level, json) with
   | Some l, _ -> Obs.Log.set_level (Some l)
   | None, true -> Obs.Log.set_level (Some Obs.Level.Info)
   | None, false -> ());
   if json then Obs.Log.set_sink Obs.Log.Json;
+  if no_solver_cache then begin
+    Numerics.Pde.set_use_reference_stepper true;
+    Dl.Fit.set_objective_memo false
+  end;
   { metrics_out }
 
 let obs_term =
-  Term.(const setup_obs $ log_level_arg $ log_json_arg $ metrics_out_arg)
+  Term.(
+    const setup_obs $ log_level_arg $ log_json_arg $ metrics_out_arg
+    $ no_solver_cache_arg)
 
 (* Runs even when the command raises, so a failed run still leaves its
    profile and metrics behind. *)

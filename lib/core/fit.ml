@@ -42,6 +42,7 @@ let phi_of_obs (obs : Socialnet.Density.t) =
 let objective ?(nx = 101) ?(dt = 0.01) ~phi ~obs ~fit_times params =
   try
     let sol = Model.solve ~nx ~dt params ~phi ~times:fit_times in
+    let predict = Model.predictor sol in
     let err = ref 0. and count = ref 0 in
     Array.iter
       (fun x ->
@@ -49,15 +50,32 @@ let objective ?(nx = 101) ?(dt = 0.01) ~phi ~obs ~fit_times params =
           (fun t ->
             let actual = Socialnet.Density.at obs ~distance:x ~time:t in
             if actual > 0. then begin
-              let predicted = Model.predict sol ~x:(float_of_int x) ~t in
+              let predicted = predict ~x:(float_of_int x) ~t in
               err := !err +. (Float.abs (predicted -. actual) /. actual);
               incr count
             end)
           fit_times)
       obs.Socialnet.Density.distances;
     if !count = 0 then infinity else !err /. float_of_int !count
-  with _ -> infinity
+  with
+  | (Failure _ | Invalid_argument _ | Mat.Singular | Not_found) as e ->
+    (* expected blow-ups of a bad trial point (diverged solve, singular
+       operator, out-of-range query); anything else is a bug and must
+       propagate *)
+    Obs.Log.warn "fit.objective_failed" ~fields:(fun () ->
+        [ Obs.Log.str "exn" (Printexc.to_string e) ]);
+    infinity
 
+(* Nelder--Mead re-evaluates clamped boundary points often (every
+   vertex pushed past the box collapses onto its projection), so the
+   objective part of the penalised function is memoized per restart.
+   Process-wide toggle for the CLI [--no-solver-cache] hatch. *)
+let memo_enabled = ref true
+let set_objective_memo b = memo_enabled := b
+let objective_memo_enabled () = !memo_enabled
+let memo_capacity = 512
+
+let m_objective_cache_hits = Obs.Metrics.counter "fit.objective_cache_hits"
 let m_fits = Obs.Metrics.counter "fit.fits"
 let m_restarts = Obs.Metrics.counter "fit.restarts"
 let m_nm_iterations = Obs.Metrics.counter "fit.nm_iterations"
@@ -95,7 +113,7 @@ let fit ?(config = default_config) ?(pool = Parallel.Pool.sequential) rng
     Params.make ~d ~k ~r:(Growth.Exp_decay { a; b; c }) ~l ~big_l
   in
   let starts = Stdlib.max 1 config.starts in
-  let f v =
+  let penalty_of v =
     (* quadratic penalty keeps the simplex near the box; the params
        themselves are always clamped into it *)
     let penalty = ref 0. in
@@ -104,9 +122,41 @@ let fit ?(config = default_config) ?(pool = Parallel.Pool.sequential) rng
         let excess = Float.max 0. (Float.max (lo.(i) -. x) (x -. hi.(i))) in
         penalty := !penalty +. (excess *. excess))
       v;
+    !penalty
+  in
+  let objective_at ~d ~k ~a ~b ~c =
     objective ~nx:config.solver_nx ~dt:config.solver_dt ~phi ~obs
-      ~fit_times:config.fit_times (of_vector v)
-    +. !penalty
+      ~fit_times:config.fit_times
+      (Params.make ~d ~k ~r:(Growth.Exp_decay { a; b; c }) ~l ~big_l)
+  in
+  (* The PDE-solve part of the penalised function depends only on the
+     clamped parameter vector, so each restart keeps a private bounded
+     memo keyed on it (private per restart: worker domains share no
+     mutable state).  A hit returns the previously computed float, so
+     the optimisation path is bit-identical with the memo on or off —
+     only the solve is skipped.  The penalty is recomputed every call
+     because it depends on the unclamped vector. *)
+  let make_f () =
+    let tbl = if !memo_enabled then Some (Hashtbl.create 64) else None in
+    fun v ->
+      let d = clamp 0 v.(0) and k = clamp 1 v.(1) in
+      let a = clamp 2 v.(2) and b = clamp 3 v.(3) and c = clamp 4 v.(4) in
+      let base =
+        match tbl with
+        | None -> objective_at ~d ~k ~a ~b ~c
+        | Some tbl -> (
+          let key = (d, k, a, b, c) in
+          match Hashtbl.find_opt tbl key with
+          | Some cached ->
+            Obs.Metrics.incr m_objective_cache_hits;
+            cached
+          | None ->
+            let value = objective_at ~d ~k ~a ~b ~c in
+            if Hashtbl.length tbl < memo_capacity then
+              Hashtbl.add tbl key value;
+            value)
+      in
+      base +. penalty_of v
   in
   (* Starting points are drawn sequentially up front, in the same order
      the sequential multi-start used, so the rng stream (and therefore
@@ -125,6 +175,7 @@ let fit ?(config = default_config) ?(pool = Parallel.Pool.sequential) rng
     Obs.Span.with_span "fit.restart"
       ~attrs:(fun () -> [ Obs.Log.int "restart" k ])
       (fun () ->
+        let f = make_f () in
         let r = Optimize.nelder_mead ~tol:1e-6 ~max_iter:250 f ~x0:x0s.(k) in
         Obs.Span.add_attr "iterations" (Obs.Log.Int r.Optimize.iterations);
         Obs.Span.add_attr "objective" (Obs.Log.Float r.Optimize.f);

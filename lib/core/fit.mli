@@ -74,4 +74,17 @@ val objective :
   Params.t -> float
 (** The raw fitting objective (exposed for tests and ablations): mean
     relative error of the model under the given parameters, [infinity]
-    if the solve blows up. *)
+    if the solve blows up on an expected failure ([Failure],
+    [Invalid_argument], [Mat.Singular], [Not_found] — logged at warn
+    level as [fit.objective_failed]).  Unexpected exceptions
+    propagate. *)
+
+val set_objective_memo : bool -> unit
+val objective_memo_enabled : unit -> bool
+(** Process-wide default for the per-restart objective memo inside
+    {!fit}: Nelder--Mead trial points that clamp onto an
+    already-solved parameter vector reuse the cached objective value
+    (bit-identical — it {e is} the previous float; counted by the
+    [fit.objective_cache_hits] metric).  On by default; the CLI
+    [--no-solver-cache] escape hatch turns it off.  Flip before
+    fitting, not concurrently with one. *)

@@ -58,6 +58,7 @@ let solve_extended ?(scheme = Crank_nicolson) ?(nx = 101) ?(dt = 0.01) params
   { params; pde = Pde.solve ~scheme:pde_scheme ~dt p ~times }
 
 let predict sol ~x ~t = Pde.eval sol.pde ~x ~t
+let predictor sol = Pde.evaluator sol.pde
 
 let predict_profile sol ~t =
   let snap = Pde.snapshot sol.pde ~t in

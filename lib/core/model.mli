@@ -33,7 +33,14 @@ val solve_extended :
     domain. *)
 
 val predict : solution -> x:float -> t:float -> float
-(** Interpolated I(x, t) from the recorded snapshots. *)
+(** Interpolated I(x, t) from the recorded snapshots.
+    @raise Invalid_argument on NaN [x] or [t]. *)
+
+val predictor : solution -> x:float -> t:float -> float
+(** {!predict} with the snapshot-table bounds hoisted into the
+    closure: build once, query many times without allocating.  The
+    fitting objective evaluates it at every observed (distance, time)
+    cell per solve. *)
 
 val predict_profile : solution -> t:float -> (float * float) array
 (** [(x, I(x, t))] at every grid point, at the recorded time nearest

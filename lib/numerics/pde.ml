@@ -29,13 +29,16 @@ let face_diffusion p xs =
   Array.init (p.nx - 1) (fun i ->
       (p.diffusion xs.(i) +. p.diffusion xs.(i + 1)) /. 2.)
 
-let cfl_limit p =
-  let xs = grid p in
+(* CFL bound from an already-built grid, so [solve] (which owns one)
+   never rebuilds it just to size the FTCS step. *)
+let cfl_of p xs =
   let dmax =
     Array.fold_left (fun acc x -> Float.max acc (p.diffusion x)) 0. xs
   in
   let h = dx p in
   if dmax <= 0. then infinity else h *. h /. (2. *. dmax)
+
+let cfl_limit p = cfl_of p (grid p)
 
 (* Finite-volume discretisation of (d u_x)_x with zero-flux faces:
    (L u)_i = (F_{i+1/2} - F_{i-1/2}) / (h c_i),  F = d (u_{i+1} - u_i)/h,
@@ -78,12 +81,21 @@ let shifted c l =
     ~sup:(Array.map (fun v -> c *. v) l.Tridiag.sup)
 
 let logistic_reaction_step ~r ~k : reaction_step =
- fun ~x:_ ~t ~dt ~u ->
-  if u = 0. then 0.
-  else begin
-    let integral = Quadrature.simpson r ~a:t ~b:(t +. dt) ~n:8 in
-    Ode.logistic_varying_r ~r_integral:(fun _ -> integral) ~k ~n0:u dt
-  end
+  (* The r(t)-integral is x-independent, so the one-slot memo turns the
+     per-cell Simpson evaluation into a per-(t, dt) one — same value,
+     bit for bit, since a hit returns the previously computed float.
+     [current] feeds the cached value through Ode's closed form without
+     allocating a fresh closure per cell.  Stateful: build one step
+     closure per solve; do not share across domains. *)
+  let integral = Quadrature.simpson_memo r ~n:8 in
+  let current = ref 0. in
+  let r_integral _ = !current in
+  fun ~x:_ ~t ~dt ~u ->
+    if u = 0. then 0.
+    else begin
+      current := integral ~a:t ~b:(t +. dt);
+      Ode.logistic_varying_r ~r_integral ~k ~n0:u dt
+    end
 
 (* Second-order (Heun) increment of the reaction term over [t, t+dt]. *)
 let reaction_rk2 p xs t dt u =
@@ -96,7 +108,14 @@ let reaction_rk2 p xs t dt u =
     u
 
 (* One macro time step of size dt, dispatching on the scheme.  For
-   FTCS the caller has already split dt below the CFL limit. *)
+   FTCS the caller has already split dt below the CFL limit.
+
+   This is the RETAINED REFERENCE STEPPER: it allocates fresh arrays
+   and operators every step, exactly as the original solver did.  The
+   workspace fast path below must stay bit-identical to it — same
+   floating-point operations in the same order — which
+   [test/test_pde_perf.ml] enforces per cell.  Do not "optimise" this
+   function; it is the oracle. *)
 let step p xs df l scheme t dt u =
   match scheme with
   | Ftcs ->
@@ -119,25 +138,151 @@ let step p xs df l scheme t dt u =
       (fun i ui -> react ~x:xs.(i) ~t:(t +. half) ~dt:half ~u:ui)
       u2
 
+(* --- workspace fast path ---------------------------------------- *)
+
+(* Everything a solve's hot loop needs, allocated once up front: a
+   double-buffered state, rhs/stage scratch, the hoisted dx^2
+   cell-weight table, and (for the implicit schemes) the shifted
+   operators and their Thomas factorization for the macro step size.
+   Ragged final partial steps before a snapshot target build throwaway
+   operators and leave the dt_macro cache intact. *)
+type workspace = {
+  mutable w_u : float array;     (* current state *)
+  mutable w_next : float array;  (* written by the step, then swapped *)
+  w_rhs : float array;
+  w_stage : float array;
+  w_h2w : float array;           (* dx^2 * cell_weight, per cell *)
+  w_dt_macro : float;
+  mutable w_ops : (Tridiag.t * Tridiag.factored) option;
+  mutable w_reuses : int;        (* steps served by the cached ops *)
+  mutable w_rebuilds : int;      (* operator (re)builds, incl. the first *)
+}
+
+let make_workspace p u0 dt_macro =
+  let n = p.nx in
+  let h2 = dx p ** 2. in
+  {
+    w_u = u0;
+    w_next = Array.make n 0.;
+    w_rhs = Array.make n 0.;
+    w_stage = Array.make n 0.;
+    w_h2w = Array.init n (fun i -> h2 *. cell_weight n i);
+    w_dt_macro = dt_macro;
+    w_ops = None;
+    w_reuses = 0;
+    w_rebuilds = 0;
+  }
+
+(* (I + c L) pairs for one step of size dt: the explicit operator and
+   the factorized implicit one.  Same [shifted] coefficients as the
+   reference stepper. *)
+let build_ops l scheme dt =
+  match scheme with
+  | Ftcs -> assert false (* no implicit operator in FTCS *)
+  | Imex theta ->
+    ( shifted ((1. -. theta) *. dt) l,
+      Tridiag.factorize (shifted (-.(theta *. dt)) l) )
+  | Strang _ ->
+    (shifted (dt /. 2.) l, Tridiag.factorize (shifted (-.(dt /. 2.)) l))
+
+let ops_for ws l scheme dt =
+  if dt = ws.w_dt_macro then (
+    match ws.w_ops with
+    | Some ops ->
+      ws.w_reuses <- ws.w_reuses + 1;
+      ops
+    | None ->
+      let ops = build_ops l scheme dt in
+      ws.w_ops <- Some ops;
+      ws.w_rebuilds <- ws.w_rebuilds + 1;
+      ops)
+  else begin
+    ws.w_rebuilds <- ws.w_rebuilds + 1;
+    build_ops l scheme dt
+  end
+
+(* Allocation-free step into [ws.w_next], then a buffer swap.  Each
+   branch performs the reference stepper's floating-point operations in
+   the same order (and calls [p.reaction] / [react] in the same cell
+   order), so outputs are bit-identical; only the array churn is gone. *)
+let step_ws p xs df l scheme ws t dt =
+  let n = p.nx in
+  let u = ws.w_u and next = ws.w_next in
+  (match scheme with
+  | Ftcs ->
+    for i = 0 to n - 1 do
+      let flux_right = if i = n - 1 then 0. else df.(i) *. (u.(i + 1) -. u.(i)) in
+      let flux_left = if i = 0 then 0. else df.(i - 1) *. (u.(i) -. u.(i - 1)) in
+      let lu = (flux_right -. flux_left) /. ws.w_h2w.(i) in
+      let x = xs.(i) in
+      let ui = u.(i) in
+      let k1 = p.reaction ~x ~t ~u:ui in
+      let k2 = p.reaction ~x ~t:(t +. dt) ~u:(ui +. (dt *. k1)) in
+      next.(i) <- ui +. (dt *. lu) +. (dt *. (k1 +. k2) /. 2.)
+    done
+  | Imex _ ->
+    let exp_op, imp = ops_for ws l scheme dt in
+    Tridiag.mv_into exp_op u ~dst:ws.w_rhs;
+    for i = 0 to n - 1 do
+      let x = xs.(i) in
+      let ui = u.(i) in
+      let k1 = p.reaction ~x ~t ~u:ui in
+      let k2 = p.reaction ~x ~t:(t +. dt) ~u:(ui +. (dt *. k1)) in
+      ws.w_rhs.(i) <- ws.w_rhs.(i) +. (dt *. (k1 +. k2) /. 2.)
+    done;
+    Tridiag.solve_factored imp ~src:ws.w_rhs ~dst:next
+  | Strang react ->
+    let half = dt /. 2. in
+    let exp_op, imp = ops_for ws l scheme dt in
+    let stage = ws.w_stage in
+    for i = 0 to n - 1 do
+      stage.(i) <- react ~x:xs.(i) ~t ~dt:half ~u:u.(i)
+    done;
+    Tridiag.mv_into exp_op stage ~dst:ws.w_rhs;
+    Tridiag.solve_factored imp ~src:ws.w_rhs ~dst:stage;
+    for i = 0 to n - 1 do
+      next.(i) <- react ~x:xs.(i) ~t:(t +. half) ~dt:half ~u:stage.(i)
+    done);
+  ws.w_u <- next;
+  ws.w_next <- u
+
+(* --- solver entry point ------------------------------------------ *)
+
+let reference_env_var = "DLOSN_BENCH_REFERENCE_SOLVER"
+
+let use_reference =
+  ref
+    (match Sys.getenv_opt reference_env_var with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false)
+
+let set_use_reference_stepper b = use_reference := b
+let use_reference_stepper () = !use_reference
+
 let m_solves = Obs.Metrics.counter "pde.solves"
 let m_steps = Obs.Metrics.counter "pde.steps"
+let m_ws_reuses = Obs.Metrics.counter "pde.workspace_reuses"
+let m_ws_rebuilds = Obs.Metrics.counter "pde.factor_rebuilds"
 let m_solve_ns = Obs.Metrics.histogram "pde.solve_ns"
 let m_step_ns = Obs.Metrics.histogram "pde.step_ns"
 
-let solve ?(scheme = Imex 0.5) ?(dt = 1e-3) p ~times =
+let solve ?(scheme = Imex 0.5) ?(dt = 1e-3) ?reference p ~times =
   assert (dt > 0.);
   (match scheme with
   | Imex theta ->
     if theta < 0.5 || theta > 1. then
       invalid_arg "Pde.solve: theta must be in [0.5, 1]"
   | Ftcs | Strang _ -> ());
+  let reference =
+    match reference with Some b -> b | None -> !use_reference
+  in
   let xs = grid p in
   let df = face_diffusion p xs in
   let l = operator_tridiag p df in
   let dt_macro =
     match scheme with
     | Ftcs ->
-      let cfl = cfl_limit p in
+      let cfl = cfl_of p xs in
       if Float.is_finite cfl then Float.min dt (0.9 *. cfl) else dt
     | Imex _ | Strang _ -> dt
   in
@@ -146,8 +291,16 @@ let solve ?(scheme = Imex 0.5) ?(dt = 1e-3) p ~times =
   let obs_on = Obs.enabled () in
   let solve_start = if obs_on then Obs.now_ns () else 0 in
   let steps = ref 0 in
-  let u = ref (Array.map p.initial xs) and t = ref p.t0 in
-  let snapshots = ref [ (p.t0, Array.copy !u) ] in
+  let u0 = Array.map p.initial xs in
+  let ws = if reference then None else Some (make_workspace p u0 dt_macro) in
+  let u = ref u0 and t = ref p.t0 in
+  let advance step_dt =
+    match ws with
+    | None -> u := step p xs df l scheme !t step_dt !u
+    | Some w -> step_ws p xs df l scheme w !t step_dt
+  in
+  let current () = match ws with None -> !u | Some w -> w.w_u in
+  let snapshots = ref [ (p.t0, Array.copy u0) ] in
   Array.iter
     (fun target ->
       if target < !t -. 1e-12 then
@@ -156,19 +309,24 @@ let solve ?(scheme = Imex 0.5) ?(dt = 1e-3) p ~times =
         let step_dt = Float.min dt_macro (target -. !t) in
         if obs_on then begin
           let t0 = Obs.now_ns () in
-          u := step p xs df l scheme !t step_dt !u;
+          advance step_dt;
           Obs.Metrics.observe m_step_ns (float_of_int (Obs.now_ns () - t0))
         end
-        else u := step p xs df l scheme !t step_dt !u;
+        else advance step_dt;
         incr steps;
         t := !t +. step_dt
       done;
       t := target;
-      snapshots := (target, Array.copy !u) :: !snapshots)
+      snapshots := (target, Array.copy (current ())) :: !snapshots)
     times;
   if obs_on then begin
     Obs.Metrics.incr m_solves;
     Obs.Metrics.incr ~by:!steps m_steps;
+    (match ws with
+    | Some w ->
+      Obs.Metrics.incr ~by:w.w_reuses m_ws_reuses;
+      Obs.Metrics.incr ~by:w.w_rebuilds m_ws_rebuilds
+    | None -> ());
     Obs.Metrics.observe m_solve_ns (float_of_int (Obs.now_ns () - solve_start))
   end;
   let snaps = Array.of_list (List.rev !snapshots) in
@@ -178,23 +336,45 @@ let solve ?(scheme = Imex 0.5) ?(dt = 1e-3) p ~times =
     values = Array.map snd snaps;
   }
 
-let eval sol ~x ~t =
-  (* values.(it).(ix): bilinear wants values.(ix).(it); transpose view
-     via a small wrapper to avoid materialising. *)
+(* Top level, not per call: the old per-call [clampf] closure was an
+   allocation on the prediction hot path. *)
+let clampf lo hi v = Float.max lo (Float.min hi v)
+
+(* values.(it).(ix): bilinear wants values.(ix).(it); transpose view
+   via index juggling to avoid materialising.  A NaN query would sail
+   through the clamps ([Float.min hi nan] is NaN) and turn the bracket
+   search into garbage, so it is rejected up front. *)
+let eval_core xs ts values nx nt x_lo x_hi t_lo t_hi ~x ~t =
+  if Float.is_nan x || Float.is_nan t then
+    invalid_arg
+      (Printf.sprintf
+         "Pde.eval: NaN input (x = %g, t = %g); clamping a NaN is \
+          meaningless" x t);
+  let x = clampf x_lo x_hi x in
+  let t = clampf t_lo t_hi t in
+  let i = if nx = 1 then 0 else Interp.bracket xs x in
+  let j = if nt = 1 then 0 else Interp.bracket ts t in
+  let i1 = Stdlib.min (i + 1) (nx - 1) and j1 = Stdlib.min (j + 1) (nt - 1) in
+  let wx = if i1 = i then 0. else (x -. xs.(i)) /. (xs.(i1) -. xs.(i)) in
+  let wt = if j1 = j then 0. else (t -. ts.(j)) /. (ts.(j1) -. ts.(j)) in
+  ((1. -. wx) *. (1. -. wt) *. values.(j).(i))
+  +. (wx *. (1. -. wt) *. values.(j).(i1))
+  +. ((1. -. wx) *. wt *. values.(j1).(i))
+  +. (wx *. wt *. values.(j1).(i1))
+
+let evaluator sol =
   let nt = Array.length sol.ts and nx = Array.length sol.xs in
   assert (nt >= 1 && nx >= 1);
-  let clampf lo hi v = Float.max lo (Float.min hi v) in
-  let x = clampf sol.xs.(0) sol.xs.(nx - 1) x in
-  let t = clampf sol.ts.(0) sol.ts.(nt - 1) t in
-  let i = if nx = 1 then 0 else Interp.bracket sol.xs x in
-  let j = if nt = 1 then 0 else Interp.bracket sol.ts t in
-  let i1 = Stdlib.min (i + 1) (nx - 1) and j1 = Stdlib.min (j + 1) (nt - 1) in
-  let wx = if i1 = i then 0. else (x -. sol.xs.(i)) /. (sol.xs.(i1) -. sol.xs.(i)) in
-  let wt = if j1 = j then 0. else (t -. sol.ts.(j)) /. (sol.ts.(j1) -. sol.ts.(j)) in
-  ((1. -. wx) *. (1. -. wt) *. sol.values.(j).(i))
-  +. (wx *. (1. -. wt) *. sol.values.(j).(i1))
-  +. ((1. -. wx) *. wt *. sol.values.(j1).(i))
-  +. (wx *. wt *. sol.values.(j1).(i1))
+  let xs = sol.xs and ts = sol.ts and values = sol.values in
+  let x_lo = xs.(0) and x_hi = xs.(nx - 1) in
+  let t_lo = ts.(0) and t_hi = ts.(nt - 1) in
+  fun ~x ~t -> eval_core xs ts values nx nt x_lo x_hi t_lo t_hi ~x ~t
+
+let eval sol ~x ~t =
+  let nt = Array.length sol.ts and nx = Array.length sol.xs in
+  assert (nt >= 1 && nx >= 1);
+  eval_core sol.xs sol.ts sol.values nx nt sol.xs.(0)
+    sol.xs.(nx - 1) sol.ts.(0) sol.ts.(nt - 1) ~x ~t
 
 let snapshot sol ~t =
   let nt = Array.length sol.ts in

@@ -53,20 +53,52 @@ val cfl_limit : problem -> float
 (** Largest stable explicit time step for the diffusion term. *)
 
 val solve :
-  ?scheme:scheme -> ?dt:float -> problem -> times:float array -> solution
+  ?scheme:scheme -> ?dt:float -> ?reference:bool ->
+  problem -> times:float array -> solution
 (** [solve problem ~times] marches from [t0] and records a snapshot at
     [t0] and at each requested (strictly increasing, [>= t0]) time.
     Default scheme [Imex 0.5], default [dt = 1e-3] time units (FTCS
-    additionally sub-steps to stay within the CFL limit). *)
+    additionally sub-steps to stay within the CFL limit).
+
+    By default the solver runs its allocation-free workspace path:
+    state is double-buffered, rhs/stage scratch is reused, and the
+    implicit schemes build the shifted operators and their Thomas
+    factorization once per macro step size (ragged final partial steps
+    before a snapshot target rebuild throwaway operators).  The output
+    is {e bit-identical} to the retained per-step-allocating reference
+    stepper — same floating-point operations in the same order —
+    enforced by [test/test_pde_perf.ml].  Pass [~reference:true] (or
+    flip {!set_use_reference_stepper}) to run the reference stepper
+    instead, e.g. for before/after benchmarking. *)
+
+val reference_env_var : string
+(** ["DLOSN_BENCH_REFERENCE_SOLVER"] — setting it to [1]/[true]/[yes]
+    makes every [solve] default to the reference stepper (read once at
+    module init). *)
+
+val use_reference_stepper : unit -> bool
+val set_use_reference_stepper : bool -> unit
+(** Process-wide default for [solve]'s [?reference] argument; the CLI
+    [--no-solver-cache] escape hatch sets it.  Flip it before spawning
+    worker domains, not concurrently with solves. *)
 
 val logistic_reaction_step : r:(float -> float) -> k:float -> reaction_step
 (** Exact flow of the logistic reaction [u' = r(t) u (1 - u/K)], using
     the closed form with the integral of [r] evaluated by Simpson's
-    rule on the sub-step.  Intended for [Strang]. *)
+    rule on the sub-step.  Intended for [Strang].  The returned closure
+    memoizes the (x-independent) integral per [(t, dt)], so it is
+    stateful: build one per solve and do not share it across domains. *)
 
 val eval : solution -> x:float -> t:float -> float
 (** Bilinear interpolation in the snapshot table (clamped at the
-    borders). *)
+    borders).
+    @raise Invalid_argument if [x] or [t] is NaN (a NaN would silently
+    clamp to garbage). *)
+
+val evaluator : solution -> x:float -> t:float -> float
+(** Like {!eval} with the table bounds and lengths hoisted out: build
+    the closure once, then each call is allocation-free.  Intended for
+    prediction loops that query one solution many times. *)
 
 val snapshot : solution -> t:float -> float array
 (** Solution profile at the recorded time nearest to [t]. *)

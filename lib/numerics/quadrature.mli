@@ -10,6 +10,14 @@ val trapezoid : (float -> float) -> a:float -> b:float -> n:int -> float
 val simpson : (float -> float) -> a:float -> b:float -> n:int -> float
 (** Composite Simpson rule; [n] is rounded up to an even count. *)
 
+val simpson_memo : (float -> float) -> n:int -> (a:float -> b:float -> float)
+(** [simpson_memo f ~n] is {!simpson} behind a one-slot memo on
+    [(a, b)]: a repeat of the previous interval returns the cached
+    value (bit-identical — it {e is} the previous value).  Built for
+    per-time-step integrals that are re-requested once per grid cell.
+    The returned closure is stateful: create one per solve and do not
+    share it across domains. *)
+
 val trapezoid_sampled : xs:float array -> ys:float array -> float
 (** Trapezoid rule over an already-sampled (possibly non-uniform)
     grid. *)

@@ -19,8 +19,32 @@ val solve : t -> Vec.t -> Vec.t
 (** [solve sys b] solves the tridiagonal system in [O(n)].
     @raise Mat.Singular on a (numerically) zero pivot. *)
 
+type factored
+(** A precomputed Thomas factorization (the c'-sweep of {!solve}):
+    amortises the forward elimination over many right-hand sides with
+    the same matrix, as in a time-stepping loop.  Shares the matrix's
+    sub-diagonal — do not mutate the matrix while the factorization is
+    in use. *)
+
+val factorize : t -> factored
+(** Runs the pivot sweep once.
+    @raise Mat.Singular on a (numerically) zero pivot. *)
+
+val factored_dim : factored -> int
+
+val solve_factored : factored -> src:Vec.t -> dst:Vec.t -> unit
+(** [solve_factored f ~src ~dst] solves into [dst] without allocating,
+    using only the d'-sweep and back-substitution.  [src == dst] is
+    allowed (in-place solve).  The result is bit-identical to
+    [solve t src] for the matrix [f] was built from: the remaining
+    floating-point operations are the same, in the same order. *)
+
 val mv : t -> Vec.t -> Vec.t
 (** Product of the tridiagonal matrix with a vector, in [O(n)]. *)
+
+val mv_into : t -> Vec.t -> dst:Vec.t -> unit
+(** Allocation-free {!mv} into [dst] (which must not alias the input;
+    asserted).  Bit-identical to [mv]. *)
 
 val to_dense : t -> Mat.t
 (** Expansion to a dense matrix; intended for tests. *)

@@ -5,6 +5,7 @@ let () =
       ("linalg", Test_linalg.suite);
       ("spline", Test_spline.suite);
       ("ode-pde", Test_ode_pde.suite);
+      ("pde-perf", Test_pde_perf.suite);
       ("optimize-stats", Test_optimize_stats.suite);
       ("graph", Test_graph.suite);
       ("socialnet", Test_socialnet.suite);
