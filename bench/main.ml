@@ -1044,7 +1044,112 @@ let run_solver_bench () =
     rows;
   rows
 
-let write_bench_json ~path ~scale_name ~scaling ~micro ~serve_load ~solver =
+(* ------------------------------------------------------------------ *)
+(* Store: append throughput and recovery time                          *)
+(* ------------------------------------------------------------------ *)
+
+type store_bench = {
+  sb_records : int;
+  sb_appends_per_s : float;       (* fsync off: raw framing + write cost *)
+  sb_fsync_appends_per_s : float; (* fsync on: the durable serve path *)
+  sb_wal_recovery_s : float;      (* reopen with every record in the WAL *)
+  sb_snapshot_recovery_s : float; (* reopen after gc folded the WAL in *)
+  sb_wal_bytes : int;
+}
+
+let run_store_bench () =
+  section "Store: WAL append throughput and recovery time";
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dlosn-store-bench-%d" (Unix.getpid ()))
+  in
+  let rmrf () =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  rmrf ();
+  let synth i =
+    {
+      Store.Format.id = Printf.sprintf "bench-%06d" i;
+      story = Printf.sprintf "story-%d" (i mod 97);
+      source = "bench";
+      created_ns = i;
+      params =
+        Dl.Params.make ~d:0.01 ~k:25.
+          ~r:(Dl.Growth.Exp_decay { a = 1.4; b = 1.5; c = 0.25 })
+          ~l:1. ~big_l:6.;
+      phi_xs = [| 1.; 2.; 3.; 4.; 5. |];
+      phi_densities = [| 11.1; 6.1; 2.1; 1.6; 0. |];
+      phi_construction = `Pchip;
+      scheme = Dl.Model.Strang;
+      nx = 41;
+      dt = 0.05;
+      reference_stepper = false;
+      fit_times = [| 2.; 3.; 4. |];
+      training_error = 0.05 +. (float_of_int i *. 1e-9);
+      evaluations = 1200 + i;
+      starts = 4;
+    }
+  in
+  let n = 10_000 in
+  (* fsync off: how fast the WAL itself goes *)
+  let store = Store.open_ ~fsync:false ~source:"bench" dir in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to n do
+    Store.append store (synth i)
+  done;
+  let append_s = Unix.gettimeofday () -. t0 in
+  let wal_bytes = Store.wal_bytes store in
+  Store.close store;
+  (* recovery: replay the full WAL *)
+  let t0 = Unix.gettimeofday () in
+  let store = Store.open_ ~fsync:false ~source:"bench" dir in
+  let wal_recovery_s = Unix.gettimeofday () -. t0 in
+  assert (Store.record_count store = n);
+  (* recovery again, this time from the gc'd snapshot *)
+  Store.gc store;
+  Store.close store;
+  let t0 = Unix.gettimeofday () in
+  let store = Store.open_ ~fsync:false ~source:"bench" dir in
+  let snapshot_recovery_s = Unix.gettimeofday () -. t0 in
+  assert (Store.record_count store = n);
+  Store.close store;
+  (* a small fsync-on batch: the per-fit durable append the server pays *)
+  let store = Store.open_ ~source:"bench" dir in
+  let n_sync = 64 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to n_sync do
+    Store.append store (synth (n + i))
+  done;
+  let sync_s = Unix.gettimeofday () -. t0 in
+  Store.close store;
+  rmrf ();
+  let b =
+    {
+      sb_records = n;
+      sb_appends_per_s = float_of_int n /. append_s;
+      sb_fsync_appends_per_s = float_of_int n_sync /. sync_s;
+      sb_wal_recovery_s = wal_recovery_s;
+      sb_snapshot_recovery_s = snapshot_recovery_s;
+      sb_wal_bytes = wal_bytes;
+    }
+  in
+  Format.printf
+    "  %d records (%.1f MiB WAL)@.  appends/s: %.0f (no fsync), %.0f \
+     (fsync)@.  recovery: %.3f s from WAL, %.3f s from snapshot@."
+    b.sb_records
+    (float_of_int b.sb_wal_bytes /. 1024. /. 1024.)
+    b.sb_appends_per_s b.sb_fsync_appends_per_s b.sb_wal_recovery_s
+    b.sb_snapshot_recovery_s;
+  b
+
+let write_bench_json ~path ~scale_name ~scaling ~micro ~serve_load ~solver
+    ~store =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -1100,7 +1205,17 @@ let write_bench_json ~path ~scale_name ~scaling ~micro ~serve_load ~solver =
         (json_float b.vb_alloc_ratio) b.vb_identical
         (if i = List.length solver - 1 then "" else ","))
     solver;
-  out "  ]}\n";
+  out "  ]},\n";
+  out
+    "  \"store\": {\"records\": %d, \"appends_per_s\": %s, \
+     \"fsync_appends_per_s\": %s, \"wal_recovery_s\": %s, \
+     \"snapshot_recovery_s\": %s, \"wal_bytes\": %d}\n"
+    store.sb_records
+    (json_float store.sb_appends_per_s)
+    (json_float store.sb_fsync_appends_per_s)
+    (json_float store.sb_wal_recovery_s)
+    (json_float store.sb_snapshot_recovery_s)
+    store.sb_wal_bytes;
   out "}\n";
   close_out oc;
   Format.printf "@.bench JSON written to %s@." path
@@ -1428,6 +1543,7 @@ let () =
   let scaling = print_parallel_scaling ds in
   let serve_load = run_serve_load () in
   let solver = run_solver_bench () in
+  let store = run_store_bench () in
   let micro = run_benchmarks () in
   let json_path =
     match Sys.getenv_opt "DLOSN_BENCH_JSON" with
@@ -1435,7 +1551,7 @@ let () =
     | None -> "bench_results.json"
   in
   write_bench_json ~path:json_path ~scale_name ~scaling ~micro ~serve_load
-    ~solver;
+    ~solver ~store;
   let metrics_path =
     match Sys.getenv_opt "DLOSN_BENCH_METRICS" with
     | Some p -> p

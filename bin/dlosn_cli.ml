@@ -61,6 +61,29 @@ let pool_of_jobs = function
   | Some j -> Parallel.Pool.create ~jobs:j ()
   | None -> Parallel.Pool.create ()
 
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:"Persist every completed calibration into the model store \
+              at DIR (created if missing) so it can be inspected with \
+              $(b,dlosn store) or warm-start $(b,dlosn serve).")
+
+(* Run [f] with the process-wide fit hook wired to a store at [dir],
+   so every Fit.fit completed inside [f] is durably checkpointed. *)
+let with_fit_store store_dir f =
+  match store_dir with
+  | None -> f ()
+  | Some dir ->
+    let store = Store.open_ ~source:"cli" dir in
+    Store.attach_fit_hook store ();
+    Fun.protect
+      ~finally:(fun () ->
+        Store.detach_fit_hook ();
+        Store.close store)
+      f
+
 (* --- observability options (shared by every subcommand) --- *)
 
 let log_level_conv =
@@ -339,8 +362,10 @@ let predict_cmd =
           ~doc:"Write plot-ready TSV exports (densities, predictions, \
                 accuracy, surface) into DIR.")
   in
-  let run obs scale seed load metric story params baselines report export jobs =
+  let run obs scale seed load metric story params baselines report export jobs
+      store_dir =
    with_obs obs @@ fun () ->
+   with_fit_store store_dir @@ fun () ->
     let ds, rep_ids = get_dataset load scale seed in
     let pool = pool_of_jobs jobs in
     let story = get_story ds rep_ids story in
@@ -414,7 +439,7 @@ let predict_cmd =
     Term.(
       const run $ obs_term $ scale_arg $ seed_arg $ load_arg $ metric_arg
       $ story_arg $ params_arg $ baselines_arg $ report_arg $ export_arg
-      $ jobs_arg)
+      $ jobs_arg $ store_arg)
 
 (* --- properties --- *)
 
@@ -528,8 +553,9 @@ let batch_cmd =
           ~doc:"Parameter protocol per story: $(b,paper), $(b,insample) \
                 or $(b,oos).")
   in
-  let run obs scale seed load metric n mode jobs =
+  let run obs scale seed load metric n mode jobs store_dir =
    with_obs obs @@ fun () ->
+   with_fit_store store_dir @@ fun () ->
     let ds, _ = get_dataset load scale seed in
     let pool = pool_of_jobs jobs in
     let stories = Dl.Batch.top_stories ds ~n in
@@ -561,7 +587,7 @@ let batch_cmd =
        ~doc:"Evaluate the DL pipeline across the corpus's top stories.")
     Term.(
       const run $ obs_term $ scale_arg $ seed_arg $ load_arg $ metric_arg
-      $ n_arg $ mode_arg $ jobs_arg)
+      $ n_arg $ mode_arg $ jobs_arg $ store_arg)
 
 (* --- stats --- *)
 
@@ -612,7 +638,17 @@ let serve_cmd =
           ~doc:"In-flight connection cap; connections beyond it are \
                 shed with an immediate 503.")
   in
-  let run obs port host max_conns jobs =
+  let serve_store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:"Persistent model store: warm-start the fit cache from \
+                DIR on boot (a restart serves previously fitted \
+                stories without refitting) and durably append every \
+                new fit there.")
+  in
+  let run obs port host max_conns jobs store_dir =
    with_obs obs @@ fun () ->
     let jobs =
       match jobs with Some j -> j | None -> Parallel.Pool.default_jobs ()
@@ -624,6 +660,7 @@ let serve_cmd =
         port;
         jobs;
         max_conns;
+        store_dir;
       }
     in
     let server = Serve.Server.create ~config () in
@@ -643,7 +680,213 @@ let serve_cmd =
        ~doc:"Serve DL-model fits and predictions over HTTP \
              (/healthz, /metrics, /fit, /predict).")
     Term.(
-      const run $ obs_term $ port_arg $ host_arg $ max_conns_arg $ jobs_arg)
+      const run $ obs_term $ port_arg $ host_arg $ max_conns_arg $ jobs_arg
+      $ serve_store_arg)
+
+(* --- store --- *)
+
+let store_dir_pos =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Model store directory.")
+
+let created_string ns =
+  let tm = Unix.localtime (float_of_int ns /. 1e9) in
+  Printf.sprintf "%04d-%02d-%02d %02d:%02d:%02d" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let load_store_or_warn dir =
+  let records, info = Store.load dir in
+  (match info.Store.corruption with
+  | Some msg ->
+    Format.eprintf "warning: partial recovery — %s (%d bytes dropped)@." msg
+      info.Store.dropped_bytes
+  | None -> ());
+  (records, info)
+
+let record_json (r : Store.Format.record) =
+  let module J = Serve.Tiny_json in
+  let num v = J.Number v in
+  let arr f xs = J.List (Array.to_list (Array.map f xs)) in
+  let growth =
+    match r.Store.Format.params.Dl.Params.r with
+    | Dl.Growth.Constant v ->
+      J.Object [ ("kind", J.String "constant"); ("value", num v) ]
+    | Dl.Growth.Exp_decay { a; b; c } ->
+      J.Object
+        [
+          ("kind", J.String "exp_decay");
+          ("a", num a);
+          ("b", num b);
+          ("c", num c);
+        ]
+  in
+  let p = r.Store.Format.params in
+  J.Object
+    [
+      ("id", J.String r.Store.Format.id);
+      ("story", J.String r.Store.Format.story);
+      ("source", J.String r.Store.Format.source);
+      ("created_ns", num (float_of_int r.Store.Format.created_ns));
+      ( "params",
+        J.Object
+          [
+            ("d", num p.Dl.Params.d);
+            ("k", num p.Dl.Params.k);
+            ("r", growth);
+            ("l", num p.Dl.Params.l);
+            ("L", num p.Dl.Params.big_l);
+          ] );
+      ( "phi",
+        J.Object
+          [
+            ("xs", arr num r.Store.Format.phi_xs);
+            ("densities", arr num r.Store.Format.phi_densities);
+          ] );
+      ("scheme", J.String (Store.Format.scheme_name r.Store.Format.scheme));
+      ("nx", num (float_of_int r.Store.Format.nx));
+      ("dt", num r.Store.Format.dt);
+      ("reference_stepper", J.Bool r.Store.Format.reference_stepper);
+      ("fit_times", arr num r.Store.Format.fit_times);
+      ("training_error", num r.Store.Format.training_error);
+      ("evaluations", num (float_of_int r.Store.Format.evaluations));
+      ("starts", num (float_of_int r.Store.Format.starts));
+    ]
+
+let store_cmd =
+  let ls_cmd =
+    let run dir =
+      let records, info = load_store_or_warn dir in
+      Format.printf "%d record%s (%d from snapshot, %d from wal)@."
+        (List.length records)
+        (if List.length records = 1 then "" else "s")
+        info.Store.snapshot_records info.Store.wal_records;
+      List.iter
+        (fun (r : Store.Format.record) ->
+          Format.printf "  %-34s %-10s %-6s %s  %-14s nx=%-4d dt=%-5g err=%.4g@."
+            r.Store.Format.id
+            (if r.Store.Format.story = "" then "-" else r.Store.Format.story)
+            r.Store.Format.source
+            (created_string r.Store.Format.created_ns)
+            (Store.Format.scheme_name r.Store.Format.scheme)
+            r.Store.Format.nx r.Store.Format.dt r.Store.Format.training_error)
+        records
+    in
+    Cmd.v
+      (Cmd.info "ls" ~doc:"List the fit records in a model store.")
+      Term.(const run $ store_dir_pos)
+  in
+  let find_record records id =
+    let exact =
+      List.filter (fun (r : Store.Format.record) -> r.Store.Format.id = id)
+        records
+    in
+    let matches =
+      if exact <> [] then exact
+      else
+        List.filter
+          (fun (r : Store.Format.record) ->
+            String.length id > 0
+            && String.starts_with ~prefix:id r.Store.Format.id)
+          records
+    in
+    match matches with
+    | [ r ] -> Ok r
+    | [] -> Error (Printf.sprintf "no record matches %S" id)
+    | _ :: _ ->
+      Error (Printf.sprintf "%d records match %S; use the full id"
+               (List.length matches) id)
+  in
+  let show_cmd =
+    let id_arg =
+      Arg.(
+        required
+        & pos 1 (some string) None
+        & info [] ~docv:"ID" ~doc:"Record id (or a unique prefix of one).")
+    in
+    let run dir id =
+      let records, _ = load_store_or_warn dir in
+      match find_record records id with
+      | Error msg ->
+        prerr_endline ("dlosn store show: " ^ msg);
+        exit 1
+      | Ok r ->
+        Format.printf "id:              %s@." r.Store.Format.id;
+        Format.printf "story:           %s@."
+          (if r.Store.Format.story = "" then "-" else r.Store.Format.story);
+        Format.printf "source:          %s@." r.Store.Format.source;
+        Format.printf "created:         %s@."
+          (created_string r.Store.Format.created_ns);
+        Format.printf "params:          %a@." Dl.Params.pp r.Store.Format.params;
+        Format.printf "phi knots:       %d@."
+          (Array.length r.Store.Format.phi_xs);
+        Format.printf "solver:          %s, nx=%d, dt=%g%s@."
+          (Store.Format.scheme_name r.Store.Format.scheme)
+          r.Store.Format.nx r.Store.Format.dt
+          (if r.Store.Format.reference_stepper then ", reference stepper" else "");
+        Format.printf "fit times:       %s@."
+          (String.concat ", "
+             (Array.to_list
+                (Array.map (Printf.sprintf "%g") r.Store.Format.fit_times)));
+        Format.printf "training error:  %.6g@." r.Store.Format.training_error;
+        Format.printf "evaluations:     %d (over %d starts)@."
+          r.Store.Format.evaluations r.Store.Format.starts
+    in
+    Cmd.v
+      (Cmd.info "show" ~doc:"Print one record in full.")
+      Term.(const run $ store_dir_pos $ id_arg)
+  in
+  let export_cmd =
+    let out_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "out" ] ~docv:"FILE"
+            ~doc:"Write to FILE instead of standard output.")
+    in
+    let run dir out =
+      let records, _ = load_store_or_warn dir in
+      let lines =
+        List.map
+          (fun r -> Serve.Tiny_json.to_string (record_json r))
+          records
+      in
+      let text = String.concat "\n" lines ^ if lines = [] then "" else "\n" in
+      match out with
+      | None -> print_string text
+      | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Format.printf "exported %d records to %s@." (List.length records) path
+    in
+    Cmd.v
+      (Cmd.info "export"
+         ~doc:"Dump every record as JSON lines (params, phi knots, \
+               solver config, accuracy).")
+      Term.(const run $ store_dir_pos $ out_arg)
+  in
+  let gc_cmd =
+    let run dir =
+      let store = Store.open_ ~source:"cli" dir in
+      let before = Store.wal_bytes store in
+      Store.gc store;
+      Format.printf "compacted %d records (wal %d -> %d bytes)@."
+        (Store.record_count store) before (Store.wal_bytes store);
+      Store.close store
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:"Compact: fold the WAL into a fresh snapshot and truncate it.")
+      Term.(const run $ store_dir_pos)
+  in
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Inspect and maintain persistent model stores ($(b,ls), \
+             $(b,show), $(b,export), $(b,gc)).")
+    [ ls_cmd; show_cmd; export_cmd; gc_cmd ]
 
 let () =
   let doc = "diffusive-logistic information diffusion in online social networks" in
@@ -652,4 +895,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; characterize_cmd; predict_cmd; properties_cmd;
-            sweep_cmd; batch_cmd; stats_cmd; serve_cmd ]))
+            sweep_cmd; batch_cmd; stats_cmd; serve_cmd; store_cmd ]))

@@ -10,6 +10,7 @@ type config = {
   starts : int;
   solver_nx : int;
   solver_dt : float;
+  solver_scheme : Model.scheme;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     starts = 4;
     solver_nx = 41;
     solver_dt = 0.05;
+    solver_scheme = Model.Strang;
   }
 
 type result = {
@@ -39,9 +41,10 @@ let phi_of_obs (obs : Socialnet.Density.t) =
   let densities = Array.map (fun row -> row.(0)) obs.Socialnet.Density.density in
   Initial.of_observations ~xs ~densities
 
-let objective ?(nx = 101) ?(dt = 0.01) ~phi ~obs ~fit_times params =
+let objective ?(scheme = Model.Strang) ?(nx = 101) ?(dt = 0.01) ~phi ~obs
+    ~fit_times params =
   try
-    let sol = Model.solve ~nx ~dt params ~phi ~times:fit_times in
+    let sol = Model.solve ~scheme ~nx ~dt params ~phi ~times:fit_times in
     let predict = Model.predictor sol in
     let err = ref 0. and count = ref 0 in
     Array.iter
@@ -75,6 +78,35 @@ let set_objective_memo b = memo_enabled := b
 let objective_memo_enabled () = !memo_enabled
 let memo_capacity = 512
 
+(* --- completed-fit hook (persistence integration) ---
+
+   The store layer (lib/store) installs a process-wide observer here so
+   every completed fit can be made durable without this module knowing
+   anything about disks.  A per-call [?on_fit] overrides the global
+   hook; hook failures are logged and swallowed — persistence troubles
+   must not fail a fit that already succeeded. *)
+
+type event = {
+  ev_id : string option;
+  ev_phi : Initial.t;
+  ev_obs : Socialnet.Density.t;
+  ev_config : config;
+  ev_result : result;
+}
+
+let global_on_fit : (event -> unit) option ref = ref None
+let set_on_fit h = global_on_fit := h
+let on_fit_installed () = Option.is_some !global_on_fit
+
+let notify_fit ?on_fit ev =
+  match (match on_fit with Some _ -> on_fit | None -> !global_on_fit) with
+  | None -> ()
+  | Some h -> (
+    try h ev
+    with e ->
+      Obs.Log.warn "fit.on_fit_failed" ~fields:(fun () ->
+          [ Obs.Log.str "exn" (Printexc.to_string e) ]))
+
 let m_objective_cache_hits = Obs.Metrics.counter "fit.objective_cache_hits"
 let m_fits = Obs.Metrics.counter "fit.fits"
 let m_restarts = Obs.Metrics.counter "fit.restarts"
@@ -82,8 +114,8 @@ let m_nm_iterations = Obs.Metrics.counter "fit.nm_iterations"
 let m_objective_evals = Obs.Metrics.counter "fit.objective_evals"
 let m_bootstrap_resamples = Obs.Metrics.counter "fit.bootstrap_resamples"
 
-let fit ?(config = default_config) ?(pool = Parallel.Pool.sequential) rng
-    (obs : Socialnet.Density.t) =
+let fit ?(config = default_config) ?(pool = Parallel.Pool.sequential) ?id
+    ?on_fit rng (obs : Socialnet.Density.t) =
  Obs.Span.with_span "fit.fit" @@ fun () ->
   let distances = obs.Socialnet.Density.distances in
   if Array.length distances < 2 then
@@ -125,8 +157,8 @@ let fit ?(config = default_config) ?(pool = Parallel.Pool.sequential) rng
     !penalty
   in
   let objective_at ~d ~k ~a ~b ~c =
-    objective ~nx:config.solver_nx ~dt:config.solver_dt ~phi ~obs
-      ~fit_times:config.fit_times
+    objective ~scheme:config.solver_scheme ~nx:config.solver_nx
+      ~dt:config.solver_dt ~phi ~obs ~fit_times:config.fit_times
       (Params.make ~d ~k ~r:(Growth.Exp_decay { a; b; c }) ~l ~big_l)
   in
   (* The PDE-solve part of the penalised function depends only on the
@@ -203,7 +235,10 @@ let fit ?(config = default_config) ?(pool = Parallel.Pool.sequential) rng
   let evaluations =
     Array.fold_left (fun acc r -> acc + r.Optimize.evaluations) 0 runs
   in
-  let training_error = objective ~phi ~obs ~fit_times:config.fit_times params in
+  let training_error =
+    objective ~scheme:config.solver_scheme ~phi ~obs
+      ~fit_times:config.fit_times params
+  in
   Obs.Metrics.incr m_fits;
   Obs.Log.debug "fit.done" ~fields:(fun () ->
       [
@@ -212,7 +247,11 @@ let fit ?(config = default_config) ?(pool = Parallel.Pool.sequential) rng
         Obs.Log.float "best_objective" !best.Optimize.f;
         Obs.Log.float "training_error" training_error;
       ]);
-  { params; training_error; evaluations }
+  let result = { params; training_error; evaluations } in
+  notify_fit ?on_fit
+    { ev_id = id; ev_phi = phi; ev_obs = obs; ev_config = config;
+      ev_result = result };
+  result
 
 type uncertainty = {
   d_ci : float * float;

@@ -25,6 +25,11 @@ type config = {
       (** grid resolution used {e during} fitting (default 41 — final
           predictions still use the full-resolution solver) *)
   solver_dt : float;           (** fitting time step (default 0.05) *)
+  solver_scheme : Model.scheme;
+      (** PDE scheme used for the fitting solves {e and} the reported
+          training error (default [Strang]).  Part of a fit's solver
+          signature: the serving layer keys its fit cache on it, and
+          the persistent store records it with every checkpoint. *)
 }
 
 val default_config : config
@@ -36,8 +41,30 @@ type result = {
   evaluations : int;  (** number of PDE solves spent *)
 }
 
+(** A completed calibration, as seen by the {!set_on_fit} observer:
+    everything a persistence layer needs to checkpoint the fit. *)
+type event = {
+  ev_id : string option;  (** caller-supplied label ([fit]'s [?id]) *)
+  ev_phi : Initial.t;  (** the initial density the fit solved from *)
+  ev_obs : Socialnet.Density.t;
+  ev_config : config;
+  ev_result : result;
+}
+
+val set_on_fit : (event -> unit) option -> unit
+(** Install (or clear) the process-wide completed-fit observer.  It
+    runs on the calling domain after each successful {!fit} — including
+    the refits inside {!bootstrap} and fits triggered through
+    [Pipeline.run] — and its exceptions are logged
+    ([fit.on_fit_failed], warn) and swallowed: persistence trouble
+    must not fail a fit that already succeeded.  [lib/store] installs
+    its WAL appender here ([Store.attach_fit_hook]). *)
+
+val on_fit_installed : unit -> bool
+
 val fit :
   ?config:config -> ?pool:Parallel.Pool.t ->
+  ?id:string -> ?on_fit:(event -> unit) ->
   Numerics.Rng.t -> Socialnet.Density.t -> result
 (** [fit rng obs] calibrates against [obs], whose first recorded time
     must be 1 (it provides phi).  The domain [\[l, L\]] is taken from
@@ -47,6 +74,9 @@ val fit :
     over worker domains.  Starting points are drawn from [rng] up
     front in the sequential order, and each restart is deterministic
     given its start, so the result is bit-identical for any pool size.
+
+    [id] labels the completed-fit {!event}; [on_fit] overrides the
+    global {!set_on_fit} observer for this call only.
     @raise Invalid_argument if [obs] lacks a t = 1 snapshot or has
     fewer than two distances. *)
 
@@ -69,7 +99,7 @@ val bootstrap :
     shared [rng] and stay sequential so the stream is unchanged). *)
 
 val objective :
-  ?nx:int -> ?dt:float ->
+  ?scheme:Model.scheme -> ?nx:int -> ?dt:float ->
   phi:Initial.t -> obs:Socialnet.Density.t -> fit_times:float array ->
   Params.t -> float
 (** The raw fitting objective (exposed for tests and ablations): mean

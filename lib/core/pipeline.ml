@@ -62,7 +62,7 @@ let m_runs = Obs.Metrics.counter "pipeline.runs"
 
 let run ?(params = Paper) ?(pool = Parallel.Pool.sequential)
     ?(predict_times = default_predict_times)
-    ?(construction = `Cubic_spline) ds ~story ~metric =
+    ?(construction = `Cubic_spline) ?fit_id ?on_fit ds ~story ~metric =
  Obs.Span.with_span "pipeline.run"
    ~attrs:(fun () -> [ Obs.Log.int "story" story.Types.id ])
  @@ fun () ->
@@ -87,7 +87,14 @@ let run ?(params = Paper) ?(pool = Parallel.Pool.sequential)
       in
       (Params.with_domain base ~l ~big_l, None)
     | Auto { rng; config } ->
-      let r = Fit.fit ~config ~pool rng obs in
+      (* label the fit with the story so store checkpoints are
+         self-describing (overridable via [fit_id]) *)
+      let id =
+        match fit_id with
+        | Some i -> i
+        | None -> "story-" ^ string_of_int story.Types.id
+      in
+      let r = Fit.fit ~config ~pool ~id ?on_fit rng obs in
       (r.Fit.params, Some r.Fit.training_error)
   in
   let solution = Model.solve chosen ~phi ~times:predict_times in

@@ -44,6 +44,8 @@ val run :
   ?pool:Parallel.Pool.t ->
   ?predict_times:float array ->
   ?construction:Initial.construction ->
+  ?fit_id:string ->
+  ?on_fit:(Fit.event -> unit) ->
   Socialnet.Dataset.t ->
   story:Socialnet.Types.story ->
   metric:metric ->
@@ -54,7 +56,12 @@ val run :
     observation and compared against the actual densities at each
     prediction time.  [pool] (default sequential) parallelises the
     calibration restarts when [params] is [Auto]; results are
-    bit-identical for any pool size. *)
+    bit-identical for any pool size.
+
+    When [params] is [Auto], the completed fit is reported to the
+    {!Fit.set_on_fit} observer (or [on_fit] when given) under
+    [fit_id], which defaults to ["story-<id>"] — so a run with a
+    store hook attached checkpoints its calibration durably. *)
 
 val baseline_table :
   experiment -> baseline:Baselines.predictor -> Accuracy.table

@@ -11,6 +11,7 @@ type config = {
   write_timeout : float;
   max_body : int;
   fit_starts_cap : int;
+  store_dir : string option;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     write_timeout = 10.;
     max_body = 2 * 1024 * 1024;
     fit_starts_cap = 16;
+    store_dir = None;
   }
 
 let max_header = 16 * 1024
@@ -55,6 +57,7 @@ type t = {
   cache : (string, fit_entry) Hashtbl.t;
   cache_mutex : Mutex.t;
   mutable last_fit : string option;
+  store : Store.t option;
 }
 
 (* --- serve.* metrics (handles are idempotent to register) --- *)
@@ -64,6 +67,7 @@ let m_shed = Obs.Metrics.counter "serve.shed"
 let m_inflight = Obs.Metrics.gauge "serve.inflight"
 let m_cache_hits = Obs.Metrics.counter "serve.fit_cache_hits"
 let m_cache_misses = Obs.Metrics.counter "serve.fit_cache_misses"
+let m_batch_points = Obs.Metrics.counter "serve.predict_batch_points"
 let m_requests label = Obs.Metrics.counter ~label "serve.requests"
 let m_responses status = Obs.Metrics.counter ~label:(string_of_int status) "serve.responses"
 
@@ -76,6 +80,28 @@ let with_agg t f =
       Obs.Shard.with_shard t.agg f)
 
 (* --- lifecycle --- *)
+
+(* A recovered checkpoint becomes a warm cache entry: params and phi
+   (rebuilt bit-exactly from the stored knots) are all /predict needs,
+   so a restart serves previously fitted stories without refitting. *)
+let warm_entry (r : Store.Format.record) =
+  match Store.Format.phi r with
+  | phi ->
+    Some
+      {
+        fe_id = r.Store.Format.id;
+        fe_params = r.Store.Format.params;
+        fe_phi = phi;
+        fe_training_error = r.Store.Format.training_error;
+        fe_evaluations = r.Store.Format.evaluations;
+        fe_sols = [];
+      }
+  | exception Invalid_argument msg ->
+    (* CRC-valid but semantically broken knots (hand-edited store);
+       serve what can be served and say why the rest was skipped *)
+    Obs.Log.warn "store.record_rejected" ~fields:(fun () ->
+        [ Obs.Log.str "id" r.Store.Format.id; Obs.Log.str "error" msg ]);
+    None
 
 let create ?(config = default_config) () =
   if config.jobs < 1 then invalid_arg "Serve.Server.create: jobs must be >= 1";
@@ -98,6 +124,34 @@ let create ?(config = default_config) () =
   in
   let wake_r, wake_w = Unix.pipe () in
   Unix.set_nonblock wake_r;
+  let agg = Obs.Shard.create () in
+  (* Recovery runs inside the aggregate shard so the store.* counters
+     (replayed/dropped records, partial recoveries) show up on
+     /metrics, which renders that shard. *)
+  let store, warm, last_fit =
+    match config.store_dir with
+    | None -> (None, [], None)
+    | Some dir ->
+      Obs.Shard.with_shard agg @@ fun () ->
+      (try
+         let store = Store.open_ ~source:"serve" dir in
+         let warm = List.filter_map warm_entry (Store.records store) in
+         let last =
+           (* default /predict target: the most recently fitted story,
+              as before the restart — but only if it warmed cleanly *)
+           match Store.last_id store with
+           | Some id when List.exists (fun e -> e.fe_id = id) warm -> Some id
+           | _ -> None
+         in
+         (Some store, warm, last)
+       with e ->
+         Unix.close lfd;
+         Unix.close wake_r;
+         Unix.close wake_w;
+         raise e)
+  in
+  let cache = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace cache e.fe_id e) warm;
   {
     cfg = config;
     lfd;
@@ -111,11 +165,12 @@ let create ?(config = default_config) () =
     qclosed = false;
     inflight = Atomic.make 0;
     handled = Atomic.make 0;
-    agg = Obs.Shard.create ();
+    agg;
     agg_mutex = Mutex.create ();
-    cache = Hashtbl.create 16;
+    cache;
     cache_mutex = Mutex.create ();
-    last_fit = None;
+    last_fit;
+    store;
   }
 
 let port t = t.bound_port
@@ -138,6 +193,10 @@ type fit_spec = {
   fs_fit_times : float array;
   fs_starts : int;
   fs_seed : int;
+  fs_story : string;  (** optional human label, lands in store records *)
+  fs_scheme : Dl.Model.scheme;
+  fs_nx : int;
+  fs_dt : float;
 }
 
 let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
@@ -238,6 +297,41 @@ let parse_fit_spec body =
   in
   let* starts = int_field "starts" 0 in
   let* seed = int_field "seed" 7 in
+  let* story =
+    match Tiny_json.member "story" json with
+    | None -> Ok ""
+    | Some v -> (
+      match Tiny_json.to_string_opt v with
+      | Some s -> Ok s
+      | None -> Error "field \"story\" must be a string")
+  in
+  (* solver options: part of the fit's identity, so requests differing
+     only here must never alias to the same cached fit *)
+  let* scheme =
+    match Tiny_json.member "scheme" json with
+    | None -> Ok Dl.Fit.default_config.Dl.Fit.solver_scheme
+    | Some v -> (
+      match Tiny_json.to_string_opt v with
+      | None -> Error "field \"scheme\" must be a string"
+      | Some s -> (
+        match Store.Format.scheme_of_name s with
+        | Ok sc -> Ok sc
+        | Error msg -> Error msg))
+  in
+  let* nx = int_field "nx" Dl.Fit.default_config.Dl.Fit.solver_nx in
+  let* () =
+    if nx < 5 || nx > 2001 then Error "field \"nx\" must lie in 5..2001"
+    else Ok ()
+  in
+  let* dt =
+    match Tiny_json.member "dt" json with
+    | None -> Ok Dl.Fit.default_config.Dl.Fit.solver_dt
+    | Some v -> (
+      match Tiny_json.to_float v with
+      | Some d when d > 0. && d <= 1. -> Ok d
+      | Some _ -> Error "field \"dt\" must lie in (0, 1]"
+      | None -> Error "field \"dt\" must be a number")
+  in
   Ok
     {
       fs_obs =
@@ -245,9 +339,39 @@ let parse_fit_spec body =
       fs_fit_times = fit_times;
       fs_starts = starts;
       fs_seed = seed;
+      fs_story = story;
+      fs_scheme = scheme;
+      fs_nx = nx;
+      fs_dt = dt;
     }
 
-let run_fit t ~id spec =
+let fit_config t spec =
+  let starts =
+    if spec.fs_starts <= 0 then Dl.Fit.default_config.Dl.Fit.starts
+    else min spec.fs_starts t.cfg.fit_starts_cap
+  in
+  {
+    Dl.Fit.default_config with
+    Dl.Fit.fit_times = spec.fs_fit_times;
+    starts;
+    solver_scheme = spec.fs_scheme;
+    solver_nx = spec.fs_nx;
+    solver_dt = spec.fs_dt;
+  }
+
+(* The cache key covers the full request body AND the resolved solver
+   configuration (scheme, grid, dt, reference-stepper flag): two
+   requests — or a request and a recovered checkpoint — that differ
+   only in solver config must never alias to the same fit. *)
+let fit_key spec body =
+  let solver_sig =
+    Store.Format.solver_signature ~scheme:spec.fs_scheme ~nx:spec.fs_nx
+      ~dt:spec.fs_dt
+      ~reference:(Numerics.Pde.use_reference_stepper ())
+  in
+  Digest.to_hex (Digest.string (body ^ "\x00" ^ solver_sig))
+
+let run_fit ~id ~config spec =
   let obs = spec.fs_obs in
   let phi =
     Dl.Initial.of_observations
@@ -255,23 +379,17 @@ let run_fit t ~id spec =
       ~densities:
         (Array.map (fun row -> row.(0)) obs.Socialnet.Density.density)
   in
-  let starts =
-    if spec.fs_starts <= 0 then Dl.Fit.default_config.Dl.Fit.starts
-    else min spec.fs_starts t.cfg.fit_starts_cap
-  in
-  let config =
-    { Dl.Fit.default_config with Dl.Fit.fit_times = spec.fs_fit_times; starts }
-  in
   let rng = Numerics.Rng.create spec.fs_seed in
-  let result = Dl.Fit.fit ~config rng obs in
-  {
-    fe_id = id;
-    fe_params = result.Dl.Fit.params;
-    fe_phi = phi;
-    fe_training_error = result.Dl.Fit.training_error;
-    fe_evaluations = result.Dl.Fit.evaluations;
-    fe_sols = [];
-  }
+  let result = Dl.Fit.fit ~config ~id rng obs in
+  ( {
+      fe_id = id;
+      fe_params = result.Dl.Fit.params;
+      fe_phi = phi;
+      fe_training_error = result.Dl.Fit.training_error;
+      fe_evaluations = result.Dl.Fit.evaluations;
+      fe_sols = [];
+    },
+    result )
 
 let growth_json = function
   | Dl.Growth.Constant v ->
@@ -309,11 +427,27 @@ let error_json status msg =
   Http.json_response status
     (Tiny_json.Object [ ("error", Tiny_json.String msg) ])
 
+(* Persist a freshly won fit so a restarted server can warm-start it.
+   A store failure must not fail the request — the fit result is
+   already in memory and correct; durability degrades with a warn. *)
+let persist_fit t ~id ~story ~config ~(entry : fit_entry) ~result =
+  match t.store with
+  | None -> ()
+  | Some store -> (
+    try
+      Store.append store
+        (Store.record_of_fit ~id ~story ~source:"serve" ~phi:entry.fe_phi
+           ~config ~result ())
+    with e ->
+      Obs.Log.warn "store.append_failed" ~fields:(fun () ->
+          [ Obs.Log.str "id" id; Obs.Log.str "error" (Printexc.to_string e) ]))
+
 let handle_fit t (req : Http.request) =
   match parse_fit_spec req.Http.body with
   | Error msg -> error_json 400 msg
   | Ok spec -> (
-    let id = Digest.to_hex (Digest.string req.Http.body) in
+    let id = fit_key spec req.Http.body in
+    let config = fit_config t spec in
     let cached =
       Mutex.lock t.cache_mutex;
       let entry = Hashtbl.find_opt t.cache id in
@@ -326,21 +460,23 @@ let handle_fit t (req : Http.request) =
       Http.json_response 200 (fit_json entry ~cached:true)
     | None -> (
       Obs.Metrics.incr m_cache_misses;
-      match run_fit t ~id spec with
+      match run_fit ~id ~config spec with
       | exception Invalid_argument msg -> error_json 422 msg
       | exception Failure msg -> error_json 422 msg
-      | entry ->
+      | fresh, result ->
         Mutex.lock t.cache_mutex;
         (* a concurrent identical fit may have won the race; keep one *)
-        let entry =
+        let entry, won =
           match Hashtbl.find_opt t.cache id with
-          | Some existing -> existing
+          | Some existing -> (existing, false)
           | None ->
-            Hashtbl.replace t.cache id entry;
-            entry
+            Hashtbl.replace t.cache id fresh;
+            (fresh, true)
         in
         t.last_fit <- Some id;
         Mutex.unlock t.cache_mutex;
+        if won then
+          persist_fit t ~id ~story:spec.fs_story ~config ~entry ~result;
         Obs.Log.info "serve.fit" ~fields:(fun () ->
             [
               Obs.Log.str "fit" id;
@@ -376,6 +512,28 @@ let solution_for t entry ~at =
     Mutex.unlock t.cache_mutex;
     sol
 
+(* One validated point evaluation, shared by GET /predict and the
+   POST /predict batch endpoint. *)
+let predict_point t entry ~x ~tq =
+  let p = entry.fe_params in
+  if tq < 1. then
+    Error "t must be >= 1 (the model starts at the t = 1 snapshot)"
+  else if x < p.Dl.Params.l || x > p.Dl.Params.big_l then
+    Error
+      (Printf.sprintf "x must lie in the fitted domain [%g, %g]"
+         p.Dl.Params.l p.Dl.Params.big_l)
+  else
+    Ok
+      (if tq <= 1. +. 1e-9 then Dl.Initial.eval entry.fe_phi x
+       else Dl.Model.predict (solution_for t entry ~at:tq) ~x ~t:tq)
+
+let lookup_entry t fit =
+  Mutex.lock t.cache_mutex;
+  let id = match fit with Some id -> Some id | None -> t.last_fit in
+  let e = Option.bind id (Hashtbl.find_opt t.cache) in
+  Mutex.unlock t.cache_mutex;
+  e
+
 let handle_predict t (req : Http.request) =
   let float_param name =
     match Http.query_param req name with
@@ -392,34 +550,14 @@ let handle_predict t (req : Http.request) =
   with
   | Error msg -> error_json 400 msg
   | Ok (x, tq) -> (
-    let entry =
-      Mutex.lock t.cache_mutex;
-      let id =
-        match Http.query_param req "fit" with
-        | Some id -> Some id
-        | None -> t.last_fit
-      in
-      let e = Option.bind id (Hashtbl.find_opt t.cache) in
-      Mutex.unlock t.cache_mutex;
-      e
-    in
-    match entry with
+    match lookup_entry t (Http.query_param req "fit") with
     | None ->
       error_json 404
         "no such fit (POST /fit first, or pass a valid fit= parameter)"
-    | Some entry ->
-      let p = entry.fe_params in
-      if tq < 1. then
-        error_json 400 "t must be >= 1 (the model starts at the t = 1 snapshot)"
-      else if x < p.Dl.Params.l || x > p.Dl.Params.big_l then
-        error_json 400
-          (Printf.sprintf "x must lie in the fitted domain [%g, %g]"
-             p.Dl.Params.l p.Dl.Params.big_l)
-      else
-        let density =
-          if tq <= 1. +. 1e-9 then Dl.Initial.eval entry.fe_phi x
-          else Dl.Model.predict (solution_for t entry ~at:tq) ~x ~t:tq
-        in
+    | Some entry -> (
+      match predict_point t entry ~x ~tq with
+      | Error msg -> error_json 400 msg
+      | Ok density ->
         Http.json_response 200
           (Tiny_json.Object
              [
@@ -427,7 +565,90 @@ let handle_predict t (req : Http.request) =
                ("x", Tiny_json.Number x);
                ("t", Tiny_json.Number tq);
                ("density", Tiny_json.Number density);
-             ]))
+             ])))
+
+(* POST /predict: evaluate a whole batch of (x, t) points against one
+   fit in a single round-trip, reusing the per-fit solution memo (one
+   PDE solve per distinct t, not per point). *)
+let max_batch_points = 10_000
+
+let handle_predict_batch t (req : Http.request) =
+  match
+    let* json =
+      match Tiny_json.parse req.Http.body with Ok j -> Ok j | Error e -> Error e
+    in
+    let* fit =
+      match Tiny_json.member "fit" json with
+      | None -> Ok None
+      | Some v -> (
+        match Tiny_json.to_string_opt v with
+        | Some s -> Ok (Some s)
+        | None -> Error "field \"fit\" must be a string")
+    in
+    let* points =
+      match Tiny_json.member "points" json with
+      | None -> Error "missing field \"points\" (an array of [x, t] pairs)"
+      | Some v -> (
+        match Tiny_json.to_list v with
+        | None -> Error "field \"points\" must be an array of [x, t] pairs"
+        | Some items ->
+          let rec map acc = function
+            | [] -> Ok (List.rev acc)
+            | item :: rest -> (
+              match
+                Option.map (List.map Tiny_json.to_float)
+                  (Tiny_json.to_list item)
+              with
+              | Some [ Some x; Some tq ]
+                when Float.is_finite x && Float.is_finite tq ->
+                map ((x, tq) :: acc) rest
+              | _ -> Error "every point must be an [x, t] pair of finite numbers")
+          in
+          map [] items)
+    in
+    let* () =
+      if points = [] then Error "field \"points\" is empty"
+      else if List.length points > max_batch_points then
+        Error (Printf.sprintf "at most %d points per request" max_batch_points)
+      else Ok ()
+    in
+    Ok (fit, points)
+  with
+  | Error msg -> error_json 400 msg
+  | Ok (fit, points) -> (
+    match lookup_entry t fit with
+    | None ->
+      error_json 404
+        "no such fit (POST /fit first, or pass a valid \"fit\" field)"
+    | Some entry -> (
+      let rec eval acc = function
+        | [] -> Ok (List.rev acc)
+        | (x, tq) :: rest -> (
+          match predict_point t entry ~x ~tq with
+          | Error msg ->
+            Error (Printf.sprintf "point [%g, %g]: %s" x tq msg)
+          | Ok density ->
+            eval
+              (Tiny_json.Object
+                 [
+                   ("x", Tiny_json.Number x);
+                   ("t", Tiny_json.Number tq);
+                   ("density", Tiny_json.Number density);
+                 ]
+              :: acc)
+              rest)
+      in
+      match eval [] points with
+      | Error msg -> error_json 400 msg
+      | Ok results ->
+        Obs.Metrics.incr ~by:(List.length results) m_batch_points;
+        Http.json_response 200
+          (Tiny_json.Object
+             [
+               ("fit", Tiny_json.String entry.fe_id);
+               ("count", Tiny_json.Number (float_of_int (List.length results)));
+               ("results", Tiny_json.List results);
+             ])))
 
 (* --- routing --- *)
 
@@ -452,6 +673,7 @@ let route t (req : Http.request) =
   | "GET", "/metrics" -> handle_metrics t
   | "POST", "/fit" -> handle_fit t req
   | "GET", "/predict" -> handle_predict t req
+  | "POST", "/predict" -> handle_predict_batch t req
   | _, ("/healthz" | "/metrics" | "/fit" | "/predict") ->
     error_json 405 (Printf.sprintf "method %s not allowed here" req.Http.meth)
   | _ -> error_json 404 (Printf.sprintf "no such endpoint %s" req.Http.path)
@@ -604,6 +826,7 @@ let run t =
         if k = 0 then accept_loop t ~inline:false else worker_loop t);
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
   (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+  Option.iter Store.close t.store;
   (* fold the server's aggregate into the caller's context so a final
      metrics dump (--metrics-out, bench) sees every serve.* series *)
   Mutex.lock t.agg_mutex;

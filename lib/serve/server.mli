@@ -10,10 +10,29 @@
       recorded by this process).
     - [POST /fit] — calibrate the DL model against a posted density
       observation (JSON; see [docs/SERVING.md]); the result is cached
-      keyed by the MD5 of the request body, so re-posting identical
-      input is a cache hit.
+      keyed by the MD5 of the request body {e and} the resolved solver
+      configuration (scheme, grid size, time step, reference-stepper
+      flag), so re-posting identical input is a cache hit while
+      requests differing only in solver options never alias.
     - [GET /predict?x=&t=[&fit=]] — density I(x, t) under a cached fit
       ([fit] defaults to the most recently completed one).
+    - [POST /predict] — batch evaluation: a JSON body
+      [{"fit": id?, "points": [[x, t], ...]}] evaluates up to 10k
+      points against one cached fit in a single round-trip, reusing
+      the per-fit solution memo (one PDE solve per distinct [t]).
+
+    {2 Persistence}
+
+    With [config.store_dir] set, the server opens a {!Store} there on
+    boot: recovered checkpoints warm-start the fit cache (a restart
+    serves previously fitted stories from [GET /predict] without
+    refitting, and re-posting a pre-restart [/fit] body is a cache
+    hit), and every freshly computed fit is appended durably to the
+    store's WAL before the response is written.  Store recovery
+    counters ([store.replayed_records], [store.recovered_partial], …)
+    are recorded into the server aggregate, so they appear on
+    [GET /metrics].  A store failure during a request degrades to a
+    warn log; the fit response itself still succeeds.
 
     {2 Concurrency and robustness}
 
@@ -48,6 +67,9 @@ type config = {
   fit_starts_cap : int;
       (** upper bound on the Nelder--Mead restarts a [/fit] request may
           ask for (default 16) *)
+  store_dir : string option;
+      (** persistent model store directory; [None] (the default) keeps
+          the fit cache purely in-memory *)
 }
 
 val default_config : config

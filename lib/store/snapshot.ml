@@ -1,0 +1,91 @@
+let file_name = "snapshot.bin"
+let magic = "DLOSNSN1"
+
+let path ~dir = Filename.concat dir file_name
+
+type read = {
+  records : Format.record list;
+  declared : int;
+  corruption : string option;
+}
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+let read ~dir =
+  match read_file (path ~dir) with
+  | None -> None
+  | Some buf -> (
+    match Format.check_header ~magic buf with
+    | Error msg ->
+      Some { records = []; declared = 0; corruption = Some ("bad snapshot header: " ^ msg) }
+    | Ok pos ->
+      if String.length buf < pos + 4 then
+        Some { records = []; declared = 0; corruption = Some "snapshot count missing" }
+      else begin
+        let declared =
+          Int32.to_int (Bytes.get_int32_le (Bytes.unsafe_of_string buf) pos)
+          land 0xffff_ffff
+        in
+        let rec scan acc n pos =
+          if n = declared then
+            if pos = String.length buf then
+              { records = List.rev acc; declared; corruption = None }
+            else
+              { records = List.rev acc; declared;
+                corruption = Some "trailing bytes after the declared records" }
+          else
+            match Format.read_frame buf ~pos with
+            | Format.End ->
+              { records = List.rev acc; declared;
+                corruption =
+                  Some (Printf.sprintf "snapshot ends after %d of %d records" n declared) }
+            | Format.Corrupt msg ->
+              { records = List.rev acc; declared; corruption = Some msg }
+            | Format.Frame (payload, next) -> (
+              match Format.decode payload with
+              | Ok r -> scan (r :: acc) (n + 1) next
+              | Error msg ->
+                { records = List.rev acc; declared;
+                  corruption = Some ("undecodable record: " ^ msg) })
+        in
+        Some (scan [] 0 (pos + 4))
+      end)
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let write ?(fsync = true) ~dir records =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Format.header ~magic);
+  let count = Bytes.create 4 in
+  Bytes.set_int32_le count 0 (Int32.of_int (List.length records));
+  Buffer.add_bytes buf count;
+  List.iter
+    (fun r -> Buffer.add_string buf (Format.frame (Format.encode r)))
+    records;
+  let contents = Buffer.contents buf in
+  let tmp = path ~dir ^ Printf.sprintf ".tmp.%d" (Unix.getpid ()) in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let b = Bytes.unsafe_of_string contents in
+      let rec go off =
+        if off < Bytes.length b then
+          go (off + Unix.write fd b off (Bytes.length b - off))
+      in
+      go 0;
+      if fsync then Unix.fsync fd);
+  Unix.rename tmp (path ~dir);
+  if fsync then fsync_dir dir;
+  String.length contents

@@ -1,0 +1,26 @@
+(** Versioned point-in-time snapshot of every live fit record.
+
+    A snapshot is written to a temporary file, fsynced, and renamed
+    over [snapshot.bin] (with a directory fsync), so readers only ever
+    see either the old complete snapshot or the new complete one —
+    never a torn mixture.  Records are CRC-framed individually, like
+    WAL entries; a reader that hits a corrupt frame keeps the valid
+    prefix and reports the corruption instead of failing. *)
+
+val file_name : string
+(** ["snapshot.bin"], relative to the store directory. *)
+
+type read = {
+  records : Format.record list;  (** valid prefix, write order *)
+  declared : int;  (** record count the header promised *)
+  corruption : string option;
+      (** set when the file was cut short or a frame failed its CRC *)
+}
+
+val read : dir:string -> read option
+(** [None] when no snapshot exists. *)
+
+val write : ?fsync:bool -> dir:string -> Format.record list -> int
+(** Atomically replace the snapshot with these records; returns the
+    file size in bytes.  [fsync] (default true) syncs the file and
+    directory around the rename. *)

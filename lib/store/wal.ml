@@ -1,0 +1,102 @@
+let file_name = "wal.log"
+let magic = "DLOSNWA1"
+
+let path ~dir = Filename.concat dir file_name
+
+type replay = {
+  records : Format.record list;
+  valid_bytes : int;
+  dropped_bytes : int;
+  corruption : string option;
+}
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+let replay ~dir =
+  match read_file (path ~dir) with
+  | None -> { records = []; valid_bytes = 0; dropped_bytes = 0; corruption = None }
+  | Some buf -> (
+    let len = String.length buf in
+    match Format.check_header ~magic buf with
+    | Error msg ->
+      (* an unreadable header means nothing after it can be trusted *)
+      { records = []; valid_bytes = 0; dropped_bytes = len;
+        corruption = Some ("bad WAL header: " ^ msg) }
+    | Ok start ->
+      let rec scan acc pos =
+        match Format.read_frame buf ~pos with
+        | Format.End ->
+          { records = List.rev acc; valid_bytes = pos; dropped_bytes = 0;
+            corruption = None }
+        | Format.Corrupt msg ->
+          { records = List.rev acc; valid_bytes = pos;
+            dropped_bytes = len - pos; corruption = Some msg }
+        | Format.Frame (payload, next) -> (
+          match Format.decode payload with
+          | Ok r -> scan (r :: acc) next
+          | Error msg ->
+            (* CRC-valid but undecodable: written by a future version
+               or corrupted before framing — stop, keep the prefix *)
+            { records = List.rev acc; valid_bytes = pos;
+              dropped_bytes = len - pos;
+              corruption = Some ("undecodable record: " ^ msg) })
+      in
+      scan [] start)
+
+type t = { fd : Unix.file_descr; fsync : bool; mutable bytes : int }
+
+let header_bytes = String.length (Format.header ~magic)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let open_for_append ?(fsync = true) ~valid_bytes dir =
+  let fd =
+    Unix.openfile (path ~dir) [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
+  in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let valid = max valid_bytes 0 in
+  if size = 0 || valid < header_bytes then begin
+    (* fresh file, or one whose very header was bad: start clean *)
+    Unix.ftruncate fd 0;
+    ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+    write_all fd (Format.header ~magic);
+    if fsync then Unix.fsync fd;
+    ignore (Unix.lseek fd 0 Unix.SEEK_END);
+    { fd; fsync; bytes = header_bytes }
+  end
+  else begin
+    if valid < size then Unix.ftruncate fd valid;
+    ignore (Unix.lseek fd 0 Unix.SEEK_END);
+    { fd; fsync; bytes = min valid size }
+  end
+
+let append t record =
+  let framed = Format.frame (Format.encode record) in
+  write_all t.fd framed;
+  if t.fsync then Unix.fsync t.fd;
+  t.bytes <- t.bytes + String.length framed;
+  String.length framed
+
+let reset t =
+  Unix.ftruncate t.fd header_bytes;
+  ignore (Unix.lseek t.fd header_bytes Unix.SEEK_SET);
+  t.bytes <- header_bytes;
+  if t.fsync then Unix.fsync t.fd
+
+let size t = t.bytes
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

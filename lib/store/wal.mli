@@ -1,0 +1,45 @@
+(** Append-only write-ahead log of fit records.
+
+    Every append writes one CRC-framed record with a single [write]
+    and (by default) an [fsync], so a completed fit is durable the
+    moment {!append} returns.  On open the log is replayed from the
+    start; the first torn or corrupt frame ends the replay — the
+    records before it are recovered, the tail is dropped, and the file
+    is truncated back to the last good frame before new appends (the
+    crash-recovery semantics in [docs/PERSISTENCE.md]). *)
+
+type replay = {
+  records : Format.record list;  (** good records, oldest first *)
+  valid_bytes : int;  (** offset just past the last good frame *)
+  dropped_bytes : int;  (** torn / corrupt tail length *)
+  corruption : string option;  (** why the replay stopped early *)
+}
+
+val file_name : string
+(** ["wal.log"], relative to the store directory. *)
+
+val replay : dir:string -> replay
+(** Read and validate the log.  A missing file replays as empty; a
+    file with a mangled header replays as empty with the whole file
+    counted as dropped. *)
+
+type t
+
+val open_for_append : ?fsync:bool -> valid_bytes:int -> string -> t
+(** Open (creating the file and its header if needed) and truncate to
+    [valid_bytes] — the offset {!replay} reported — discarding any
+    torn tail.  [fsync] (default true) syncs every append. *)
+
+val append : t -> Format.record -> int
+(** Durably append one record; returns the frame's size in bytes.
+    Safe under a caller-held lock only — the WAL itself does not
+    synchronise. *)
+
+val reset : t -> unit
+(** Truncate back to an empty log (header only), fsync.  Used by
+    compaction after the snapshot has been atomically replaced. *)
+
+val size : t -> int
+(** Current file size in bytes (header included). *)
+
+val close : t -> unit

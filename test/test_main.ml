@@ -23,4 +23,5 @@ let () =
       ("obs", Test_obs.suite);
       ("horizon", Test_horizon.suite);
       ("serve", Test_serve.suite);
+      ("store", Test_store.suite);
     ]
