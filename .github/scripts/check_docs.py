@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Docs consistency check.
+
+Usage: check_docs.py REPO_ROOT [MODEL_LIST_FILE]
+
+- every `docs/*.md` path mentioned in README.md must exist on disk
+  (a reference to a renamed or deleted doc is a broken promise);
+- README.md must link docs/MODELS.md (the model-zoo handbook);
+- every registered model must appear in docs/MODELS.md.  The registry
+  is read from MODEL_LIST_FILE — the output of
+  `dlosn tournament --list`, one `name description` line per model —
+  so the check can never drift from the code's own registry.
+"""
+import os
+import re
+import sys
+
+
+def fail(msg):
+    print(f"check_docs: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    root = sys.argv[1]
+    readme_path = os.path.join(root, "README.md")
+    with open(readme_path) as f:
+        readme = f.read()
+
+    refs = sorted(set(re.findall(r"docs/[A-Za-z0-9_.-]+\.md", readme)))
+    if not refs:
+        fail("README.md references no docs/*.md at all")
+    for ref in refs:
+        if not os.path.isfile(os.path.join(root, ref)):
+            fail(f"README.md references {ref}, which does not exist")
+    if "docs/MODELS.md" not in refs:
+        fail("README.md does not link docs/MODELS.md")
+    print(f"check_docs: README references {len(refs)} docs, all present")
+
+    models_path = os.path.join(root, "docs", "MODELS.md")
+    with open(models_path) as f:
+        models_doc = f.read()
+
+    if len(sys.argv) > 2:
+        with open(sys.argv[2]) as f:
+            models = [
+                line.split()[0] for line in f if line.strip()
+            ]
+        if not models:
+            fail(f"{sys.argv[2]} lists no models")
+        missing = [
+            m for m in models if f"`{m}`" not in models_doc
+        ]
+        if missing:
+            fail(
+                f"docs/MODELS.md does not document registered "
+                f"model(s): {', '.join(missing)}"
+            )
+        print(
+            f"check_docs: all {len(models)} registered models documented "
+            f"in docs/MODELS.md"
+        )
+    print("check_docs: OK")
+
+
+if __name__ == "__main__":
+    main()

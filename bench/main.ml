@@ -1078,6 +1078,7 @@ let run_store_bench () =
       Store.Format.id = Printf.sprintf "bench-%06d" i;
       story = Printf.sprintf "story-%d" (i mod 97);
       source = "bench";
+      model = "dl";
       created_ns = i;
       params =
         Dl.Params.make ~d:0.01 ~k:25.
@@ -1148,8 +1149,17 @@ let run_store_bench () =
     b.sb_snapshot_recovery_s;
   b
 
+let run_tournament_bench () =
+  section
+    "Tournament: model zoo ranked on held-out error (synthetic story set)";
+  let pool = Parallel.Pool.create () in
+  let stories = Dl.Tournament.synthetic_stories ~n:3 ~seed:7 () in
+  let lb = Dl.Tournament.run ~pool ~seed:42 stories in
+  Format.printf "%a" Dl.Tournament.pp lb;
+  lb
+
 let write_bench_json ~path ~scale_name ~scaling ~micro ~serve_load ~solver
-    ~store =
+    ~store ~tournament =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -1206,6 +1216,9 @@ let write_bench_json ~path ~scale_name ~scaling ~micro ~serve_load ~solver
         (if i = List.length solver - 1 then "" else ","))
     solver;
   out "  ]},\n";
+  (* the leaderboard document (schema dlosn-tournament/1) embeds as-is *)
+  out "  \"tournament\": %s,\n"
+    (String.trim (Dl.Tournament.json_string tournament));
   out
     "  \"store\": {\"records\": %d, \"appends_per_s\": %s, \
      \"fsync_appends_per_s\": %s, \"wal_recovery_s\": %s, \
@@ -1544,6 +1557,7 @@ let () =
   let serve_load = run_serve_load () in
   let solver = run_solver_bench () in
   let store = run_store_bench () in
+  let tournament = run_tournament_bench () in
   let micro = run_benchmarks () in
   let json_path =
     match Sys.getenv_opt "DLOSN_BENCH_JSON" with
@@ -1551,7 +1565,7 @@ let () =
     | None -> "bench_results.json"
   in
   write_bench_json ~path:json_path ~scale_name ~scaling ~micro ~serve_load
-    ~solver ~store;
+    ~solver ~store ~tournament;
   let metrics_path =
     match Sys.getenv_opt "DLOSN_BENCH_METRICS" with
     | Some p -> p

@@ -6,7 +6,8 @@
      characterize  print the temporal/spatial density patterns (Figs 2-5)
      predict       run the DL prediction pipeline on a story (Fig 7, Tables I-II)
      properties    verify the model's theoretical properties numerically
-     sweep         parameter-sensitivity sweep over d, r and K *)
+     sweep         parameter-sensitivity sweep over d, r and K
+     tournament    rank every registry model on a shared story set *)
 
 open Cmdliner
 
@@ -729,6 +730,7 @@ let record_json (r : Store.Format.record) =
       ("id", J.String r.Store.Format.id);
       ("story", J.String r.Store.Format.story);
       ("source", J.String r.Store.Format.source);
+      ("model", J.String r.Store.Format.model);
       ("created_ns", num (float_of_int r.Store.Format.created_ns));
       ( "params",
         J.Object
@@ -765,10 +767,11 @@ let store_cmd =
         info.Store.snapshot_records info.Store.wal_records;
       List.iter
         (fun (r : Store.Format.record) ->
-          Format.printf "  %-34s %-10s %-6s %s  %-14s nx=%-4d dt=%-5g err=%.4g@."
+          Format.printf
+            "  %-34s %-10s %-9s %-6s %s  %-14s nx=%-4d dt=%-5g err=%.4g@."
             r.Store.Format.id
             (if r.Store.Format.story = "" then "-" else r.Store.Format.story)
-            r.Store.Format.source
+            r.Store.Format.model r.Store.Format.source
             (created_string r.Store.Format.created_ns)
             (Store.Format.scheme_name r.Store.Format.scheme)
             r.Store.Format.nx r.Store.Format.dt r.Store.Format.training_error)
@@ -816,6 +819,7 @@ let store_cmd =
         Format.printf "id:              %s@." r.Store.Format.id;
         Format.printf "story:           %s@."
           (if r.Store.Format.story = "" then "-" else r.Store.Format.story);
+        Format.printf "model:           %s@." r.Store.Format.model;
         Format.printf "source:          %s@." r.Store.Format.source;
         Format.printf "created:         %s@."
           (created_string r.Store.Format.created_ns);
@@ -888,6 +892,152 @@ let store_cmd =
              $(b,show), $(b,export), $(b,gc)).")
     [ ls_cmd; show_cmd; export_cmd; gc_cmd ]
 
+(* --- tournament --- *)
+
+let tournament_cmd =
+  let models_conv =
+    let parse s =
+      let names =
+        List.filter (fun m -> m <> "") (String.split_on_char ',' s)
+      in
+      match names with
+      | [] -> Error (`Msg "expected a comma-separated list of model names")
+      | _ -> (
+        match
+          List.find_opt (fun m -> Dl.Predictor.find m = None) names
+        with
+        | Some m ->
+          Error
+            (`Msg
+               (Printf.sprintf "unknown model %S (registered: %s)" m
+                  (String.concat ", " (Dl.Predictor.names ()))))
+        | None -> Ok names)
+    in
+    let print ppf ms = Format.pp_print_string ppf (String.concat "," ms) in
+    Arg.conv (parse, print)
+  in
+  let models_arg =
+    Arg.(
+      value
+      & opt (some models_conv) None
+      & info [ "models" ] ~docv:"NAMES"
+          ~doc:"Comma-separated registry models to enter.  Defaults to \
+                every built-in except $(b,network) (which needs graph \
+                context the tournament's density observations cannot \
+                supply).  $(b,--list) prints the registry.")
+  in
+  let stories_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "n"; "stories" ] ~docv:"N"
+          ~doc:"Number of synthetic stories in the shared ground-truth \
+                set (DL solves under randomly drawn parameters, plus \
+                observation noise).")
+  in
+  let tseed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Tournament seed: per-(model, story) fitting seeds derive \
+                from it deterministically, independent of $(b,--jobs).")
+  in
+  let story_seed_arg =
+    Arg.(
+      value & opt int 7
+      & info [ "story-seed" ] ~docv:"SEED"
+          ~doc:"Seed for drawing the synthetic story parameters.")
+  in
+  let fit_times_conv =
+    let parse s =
+      let parts = List.filter (fun p -> p <> "") (String.split_on_char ',' s) in
+      try
+        let ts = List.map float_of_string parts in
+        if ts = [] then Error (`Msg "expected at least one hour")
+        else if List.exists (fun t -> t <= 1.) ts then
+          Error (`Msg "calibration hours must be > 1 (t = 1 seeds phi)")
+        else Ok (Array.of_list ts)
+      with Failure _ -> Error (`Msg "expected comma-separated hours")
+    in
+    let print ppf ts =
+      Format.pp_print_string ppf
+        (String.concat ","
+           (Array.to_list (Array.map (Printf.sprintf "%g") ts)))
+    in
+    Arg.conv (parse, print)
+  in
+  let fit_times_arg =
+    Arg.(
+      value
+      & opt fit_times_conv [| 2.; 3. |]
+      & info [ "fit-times" ] ~docv:"HOURS"
+          ~doc:"Calibration hours (comma-separated, beyond the t = 1 \
+                snapshot); every later observed hour is held out for \
+                the accuracy ranking.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the leaderboard as JSON (schema \
+                dlosn-tournament/1) instead of a table.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Also write the leaderboard JSON to FILE.")
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:"List the registered models with their descriptions and \
+                exit (no tournament runs).")
+  in
+  let run obs list_only models n tseed story_seed fit_times json out jobs =
+    with_obs obs @@ fun () ->
+    if list_only then
+      List.iter
+        (fun (p : Dl.Predictor.t) ->
+          Format.printf "%-14s %s@." p.Dl.Predictor.name
+            p.Dl.Predictor.description)
+        (Dl.Predictor.all ())
+    else begin
+      let pool = pool_of_jobs jobs in
+      let models =
+        match models with Some ms -> ms | None -> Dl.Tournament.default_models
+      in
+      let stories = Dl.Tournament.synthetic_stories ~n ~seed:story_seed () in
+      Format.eprintf "tournament: %d models x %d stories (%d worker%s)@."
+        (List.length models) n
+        (Parallel.Pool.jobs pool)
+        (if Parallel.Pool.jobs pool = 1 then "" else "s");
+      let lb =
+        Dl.Tournament.run ~pool ~fit_times ~seed:tseed ~models stories
+      in
+      (match out with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Dl.Tournament.json_string lb);
+        close_out oc;
+        Format.eprintf "leaderboard written to %s@." path
+      | None -> ());
+      if json then print_string (Dl.Tournament.json_string lb)
+      else Format.printf "%a" Dl.Tournament.pp lb
+    end
+  in
+  Cmd.v
+    (Cmd.info "tournament"
+       ~doc:"Fit every registry model on a shared synthetic story set \
+             and rank them on held-out accuracy (the paper's \
+             DL-vs-baselines comparison at model-zoo scale).  \
+             Accuracy fields are bit-identical for any $(b,--jobs); \
+             only wall-clock latencies vary.")
+    Term.(
+      const run $ obs_term $ list_arg $ models_arg $ stories_arg $ tseed_arg
+      $ story_seed_arg $ fit_times_arg $ json_arg $ out_arg $ jobs_arg)
+
 let () =
   let doc = "diffusive-logistic information diffusion in online social networks" in
   let info = Cmd.info "dlosn" ~version:"1.0.0" ~doc in
@@ -895,4 +1045,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; characterize_cmd; predict_cmd; properties_cmd;
-            sweep_cmd; batch_cmd; stats_cmd; serve_cmd; store_cmd ]))
+            sweep_cmd; batch_cmd; stats_cmd; serve_cmd; store_cmd;
+            tournament_cmd ]))

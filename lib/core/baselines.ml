@@ -2,19 +2,22 @@ open Numerics
 
 type predictor = x:int -> t:float -> float
 
-let check_t1 (obs : Socialnet.Density.t) =
+let check_t1 ~fn (obs : Socialnet.Density.t) =
   if Float.abs (obs.Socialnet.Density.times.(0) -. 1.) > 1e-9 then
-    invalid_arg "Baselines: observations must start at t = 1"
+    invalid_arg
+      (Printf.sprintf "Baselines.%s: observations must start at t = 1" fn)
 
 let index_of_distance (obs : Socialnet.Density.t) x =
   let found = ref (-1) in
   Array.iteri
     (fun i d -> if d = x then found := i)
     obs.Socialnet.Density.distances;
-  if !found < 0 then invalid_arg "Baselines: unknown distance" else !found
+  if !found < 0 then
+    invalid_arg (Printf.sprintf "Baselines.predict: unknown distance %d" x)
+  else !found
 
 let persistence obs =
-  check_t1 obs;
+  check_t1 ~fn:"persistence" obs;
   fun ~x ~t:_ ->
     let ix = index_of_distance obs x in
     obs.Socialnet.Density.density.(ix).(0)
@@ -31,7 +34,7 @@ let row_points obs ~fit_times ix =
   (Array.of_list (List.rev !ts), Array.of_list (List.rev !vs))
 
 let linear_trend obs ~fit_times =
-  check_t1 obs;
+  check_t1 ~fn:"linear_trend" obs;
   let coeffs =
     Array.mapi
       (fun ix _ ->
@@ -45,7 +48,7 @@ let linear_trend obs ~fit_times =
     Float.max 0. ((slope *. t) +. intercept)
 
 let logistic_per_distance obs ~fit_times =
-  check_t1 obs;
+  check_t1 ~fn:"logistic_per_distance" obs;
   let fallback = linear_trend obs ~fit_times in
   let max_density =
     Array.fold_left
@@ -87,4 +90,56 @@ let logistic_per_distance obs ~fit_times =
     let ix = index_of_distance obs x in
     match fits.(ix) with
     | Some (n0, r, k) -> Ode.logistic ~r ~k ~n0 (t -. 1.)
+    | None -> fallback ~x ~t
+
+(* Closed-form Gompertz curve from n0 at dt = 0:
+   N(dt) = K exp(ln(n0/K) e^{-r dt}).  Same saturating-sigmoid family
+   as the logistic but with an asymmetric inflection (at K/e rather
+   than K/2), which fits the long slow tails of deep distance groups
+   better. *)
+let gompertz ~r ~k ~n0 dt = k *. exp (log (n0 /. k) *. exp (-.r *. dt))
+
+let gompertz_per_distance obs ~fit_times =
+  check_t1 ~fn:"gompertz_per_distance" obs;
+  let fallback = linear_trend obs ~fit_times in
+  let max_density =
+    Array.fold_left
+      (fun acc row -> Array.fold_left Float.max acc row)
+      0. obs.Socialnet.Density.density
+  in
+  let fits =
+    Array.mapi
+      (fun ix _ ->
+        let n0 = obs.Socialnet.Density.density.(ix).(0) in
+        if n0 <= 0. then None
+        else begin
+          let ts, vs = row_points obs ~fit_times ix in
+          let f v =
+            let r = Float.max 1e-6 v.(0) in
+            let k = Float.max (n0 +. 1e-6) v.(1) in
+            let err = ref 0. and count = ref 0 in
+            Array.iteri
+              (fun i t ->
+                if vs.(i) > 0. then begin
+                  let p = gompertz ~r ~k ~n0 (t -. 1.) in
+                  err := !err +. (Float.abs (p -. vs.(i)) /. vs.(i));
+                  incr count
+                end)
+              ts;
+            if !count = 0 then 0. else !err /. float_of_int !count
+          in
+          let res =
+            Optimize.nelder_mead ~max_iter:500 f
+              ~x0:[| 0.5; Float.max (2. *. n0) max_density |]
+          in
+          let r = Float.max 1e-6 res.Optimize.x.(0) in
+          let k = Float.max (n0 +. 1e-6) res.Optimize.x.(1) in
+          Some (n0, r, k)
+        end)
+      obs.Socialnet.Density.distances
+  in
+  fun ~x ~t ->
+    let ix = index_of_distance obs x in
+    match fits.(ix) with
+    | Some (n0, r, k) -> gompertz ~r ~k ~n0 (t -. 1.)
     | None -> fallback ~x ~t

@@ -27,3 +27,11 @@ val logistic_per_distance :
     logistic (initial value = density at t = 1) against the densities
     at [fit_times].  Groups with zero initial density predict the
     linear trend instead (a logistic from 0 stays 0). *)
+
+val gompertz_per_distance :
+  Socialnet.Density.t -> fit_times:float array -> predictor
+(** Like {!logistic_per_distance} with the Gompertz sigmoid
+    [N(t) = K exp(ln(n0/K) e^{-r (t-1)})] — the same saturating family
+    but with an asymmetric inflection at [K/e], often a better match
+    for slowly-saturating deep distance groups.  Groups with zero
+    initial density fall back to the linear trend. *)

@@ -8,9 +8,9 @@ type params = {
 
 let validate p =
   if p.beta_local < 0. || p.beta_cross < 0. then
-    invalid_arg "Epidemic: transmission rates must be non-negative";
+    invalid_arg "Epidemic.validate: transmission rates must be non-negative";
   if p.mixing_decay <= 0. || p.mixing_decay > 1. then
-    invalid_arg "Epidemic: mixing_decay must be in (0, 1]"
+    invalid_arg "Epidemic.validate: mixing_decay must be in (0, 1]"
 
 (* Right-hand side over infected fractions (0..1). *)
 let rhs p : Ode.rhs =

@@ -98,6 +98,12 @@ val bootstrap :
     {e inside} each refit (the resamples themselves draw from the
     shared [rng] and stay sequential so the stream is unchanged). *)
 
+val phi_of_obs : Socialnet.Density.t -> Initial.t
+(** The initial density phi an observation defines: its t = 1 snapshot,
+    interpolated over the distance axis (exposed for the {!Predictor}
+    registry and tests).
+    @raise Invalid_argument if the first recorded time is not 1. *)
+
 val objective :
   ?scheme:Model.scheme -> ?nx:int -> ?dt:float ->
   phi:Initial.t -> obs:Socialnet.Density.t -> fit_times:float array ->

@@ -1,0 +1,95 @@
+(** A common fit/predict interface over every diffusion model in the
+    repo, behind a name-keyed registry.
+
+    The paper's headline claim — the diffusive logistic PDE beats
+    simpler growth models on Digg cascades — needs a harness that fits
+    {e every} model on the {e same} observations and queries them
+    through the {e same} prediction function.  This module is that
+    harness's vocabulary: a {!t} knows how to calibrate itself from a
+    {!spec} (observations + calibration window + rng seed + worker
+    pool) and returns a {!fitted} carrying the prediction closure and
+    its provenance (named parameters, training error, solver-evaluation
+    count).
+
+    Built-in models are registered at module-initialisation time, so
+    any program that links this module sees the full zoo (the names are
+    listed in [docs/MODELS.md]):
+
+    - ["dl"] — the paper's diffusive logistic PDE ({!Fit}/{!Model});
+    - ["dl-linear"] — the authors' follow-up linear diffusive model
+      ({!Linear_model}, arXiv:1310.0505);
+    - ["logistic"] — per-distance logistic, i.e. DL with d = 0
+      ({!Baselines.logistic_per_distance});
+    - ["gompertz"] — per-distance Gompertz sigmoid
+      ({!Baselines.gompertz_per_distance});
+    - ["linear-trend"] — per-distance OLS line
+      ({!Baselines.linear_trend});
+    - ["persistence"] — density frozen at the t = 1 snapshot
+      ({!Baselines.persistence});
+    - ["epidemic"] — networked SI metapopulation model ({!Epidemic});
+    - ["network"] — node-level DL on the social graph
+      ({!Network_model}; requires {!graph_ctx}). *)
+
+type graph_ctx = {
+  laplacian : Numerics.Sparse.t;  (** graph Laplacian of the follower graph *)
+  assignment : int array;         (** per-user distance labels *)
+  i0 : Numerics.Vec.t;            (** node field at t = 1, percent *)
+}
+(** Graph-level context needed by the ["network"] model (the 1-D
+    observation layout of {!Socialnet.Density} is not enough to run a
+    PDE on the graph itself). *)
+
+type spec = {
+  obs : Socialnet.Density.t;  (** observations; t = 1 snapshot required *)
+  fit_times : float array;    (** calibration hours (beyond t = 1) *)
+  seed : int;                 (** rng seed for stochastic fitters *)
+  pool : Parallel.Pool.t;     (** distributes multi-start restarts *)
+  graph : graph_ctx option;   (** only the ["network"] model needs it *)
+}
+
+val spec :
+  ?fit_times:float array -> ?seed:int -> ?pool:Parallel.Pool.t ->
+  ?graph:graph_ctx -> Socialnet.Density.t -> spec
+(** Spec with defaults: [fit_times = [2; 3; 4]], [seed = 42],
+    [pool = Parallel.Pool.sequential], no graph context. *)
+
+type fitted = {
+  model : string;  (** registry name of the model that produced this *)
+  predict : x:float -> t:float -> float;
+      (** predicted density (percent) at distance [x], hour [t >= 1] *)
+  params : (string * float) list;
+      (** named scalar parameters, in a stable documented order —
+          empty for non-parametric models *)
+  training_error : float;
+      (** mean relative error over the calibration cells ([nan] when
+          the model defines none) *)
+  evaluations : int;
+      (** objective/solver evaluations spent fitting (0 if untracked) *)
+}
+
+type t = {
+  name : string;         (** registry key, e.g. ["dl"] *)
+  description : string;  (** one-line human description *)
+  fit : spec -> fitted;
+      (** calibrate on [spec.obs]; deterministic given the spec
+          (including pool size — see {!Parallel.Pool}).
+          @raise Invalid_argument on specs the model cannot accept
+          (e.g. ["network"] without [graph]) *)
+}
+
+val register : t -> unit
+(** Add a model to the process-wide registry.
+    @raise Invalid_argument on a duplicate name
+    ([Predictor.register: …]). *)
+
+val find : string -> t option
+val names : unit -> string list
+(** Registered names, sorted. *)
+
+val all : unit -> t list
+(** Registered models in registration order (built-ins first). *)
+
+val fit : string -> spec -> fitted
+(** [fit name spec] looks up and runs the named model.
+    @raise Invalid_argument if [name] is not registered; the message
+    lists the registered names. *)

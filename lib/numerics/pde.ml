@@ -97,6 +97,13 @@ let logistic_reaction_step ~r ~k : reaction_step =
       Ode.logistic_varying_r ~r_integral ~k ~n0:u dt
     end
 
+let linear_reaction_step ~r : reaction_step =
+  (* Exact flow of u' = r(t) u: u e^{int r}.  Same one-slot memo trick
+     as [logistic_reaction_step]; stateful, one closure per solve. *)
+  let integral = Quadrature.simpson_memo r ~n:8 in
+  fun ~x:_ ~t ~dt ~u ->
+    if u = 0. then 0. else u *. exp (integral ~a:t ~b:(t +. dt))
+
 (* Second-order (Heun) increment of the reaction term over [t, t+dt]. *)
 let reaction_rk2 p xs t dt u =
   Array.mapi

@@ -89,6 +89,15 @@ val logistic_reaction_step : r:(float -> float) -> k:float -> reaction_step
     memoizes the (x-independent) integral per [(t, dt)], so it is
     stateful: build one per solve and do not share it across domains. *)
 
+val linear_reaction_step : r:(float -> float) -> reaction_step
+(** Exact flow of the {e linear} reaction [u' = r(t) u] (the authors'
+    follow-up linear diffusive model, arXiv:1310.0505):
+    [u e^{int_t^{t+dt} r}], with the integral evaluated by Simpson's
+    rule on the sub-step.  Intended for [Strang].  Like
+    {!logistic_reaction_step} the closure memoizes the x-independent
+    integral per [(t, dt)], so it is stateful: build one per solve and
+    do not share it across domains. *)
+
 val eval : solution -> x:float -> t:float -> float
 (** Bilinear interpolation in the snapshot table (clamped at the
     borders).

@@ -30,13 +30,25 @@ let default_config =
 let max_header = 16 * 1024
 let max_cached_solutions = 64
 
+(* What a cached fit can serve predictions from.  The two PDE backends
+   keep their parameters and phi so solutions can be (re)computed per
+   requested t and the entry can round-trip through the store; other
+   registry models (baselines, epidemic) are closures fitted in memory
+   — cacheable, not persistable. *)
+type backend =
+  | Be_dl of { params : Dl.Params.t; phi : Dl.Initial.t }
+  | Be_linear of { params : Dl.Linear_model.params; phi : Dl.Initial.t }
+  | Be_fn of { domain : float * float; predict : x:float -> t:float -> float }
+
 type fit_entry = {
   fe_id : string;
-  fe_params : Dl.Params.t;
-  fe_phi : Dl.Initial.t;
+  fe_model : string;  (* Predictor registry name *)
+  fe_backend : backend;
+  fe_params_json : (string * Tiny_json.t) list;  (* rendered for /fit *)
   fe_training_error : float;
   fe_evaluations : int;
-  mutable fe_sols : (int64 * Dl.Model.solution) list;  (* newest first *)
+  mutable fe_sols : (int64 * (x:float -> t:float -> float)) list;
+      (* memoized per-t evaluators, newest first (PDE backends only) *)
 }
 
 type t = {
@@ -81,27 +93,76 @@ let with_agg t f =
 
 (* --- lifecycle --- *)
 
+let growth_json = function
+  | Dl.Growth.Constant v ->
+    Tiny_json.Object
+      [ ("kind", Tiny_json.String "constant"); ("value", Tiny_json.Number v) ]
+  | Dl.Growth.Exp_decay { a; b; c } ->
+    Tiny_json.Object
+      [
+        ("kind", Tiny_json.String "exp_decay");
+        ("a", Tiny_json.Number a);
+        ("b", Tiny_json.Number b);
+        ("c", Tiny_json.Number c);
+      ]
+
+let dl_params_json (p : Dl.Params.t) =
+  [
+    ("d", Tiny_json.Number p.Dl.Params.d);
+    ("k", Tiny_json.Number p.Dl.Params.k);
+    ("r", growth_json p.Dl.Params.r);
+    ("l", Tiny_json.Number p.Dl.Params.l);
+    ("L", Tiny_json.Number p.Dl.Params.big_l);
+  ]
+
+let linear_params_json (p : Dl.Linear_model.params) =
+  [
+    ("d", Tiny_json.Number p.Dl.Linear_model.d);
+    ("r", growth_json p.Dl.Linear_model.r);
+    ("l", Tiny_json.Number p.Dl.Linear_model.l);
+    ("L", Tiny_json.Number p.Dl.Linear_model.big_l);
+  ]
+
 (* A recovered checkpoint becomes a warm cache entry: params and phi
    (rebuilt bit-exactly from the stored knots) are all /predict needs,
-   so a restart serves previously fitted stories without refitting. *)
+   so a restart serves previously fitted stories without refitting.
+   The record's model name picks the backend; only the two PDE models
+   ever persist (closure-backed fits cannot). *)
 let warm_entry (r : Store.Format.record) =
-  match Store.Format.phi r with
-  | phi ->
-    Some
-      {
-        fe_id = r.Store.Format.id;
-        fe_params = r.Store.Format.params;
-        fe_phi = phi;
-        fe_training_error = r.Store.Format.training_error;
-        fe_evaluations = r.Store.Format.evaluations;
-        fe_sols = [];
-      }
-  | exception Invalid_argument msg ->
-    (* CRC-valid but semantically broken knots (hand-edited store);
-       serve what can be served and say why the rest was skipped *)
+  let reject msg =
     Obs.Log.warn "store.record_rejected" ~fields:(fun () ->
         [ Obs.Log.str "id" r.Store.Format.id; Obs.Log.str "error" msg ]);
     None
+  in
+  match Store.Format.phi r with
+  | phi -> (
+    let entry ~backend ~params_json =
+      Some
+        {
+          fe_id = r.Store.Format.id;
+          fe_model = r.Store.Format.model;
+          fe_backend = backend;
+          fe_params_json = params_json;
+          fe_training_error = r.Store.Format.training_error;
+          fe_evaluations = r.Store.Format.evaluations;
+          fe_sols = [];
+        }
+    in
+    match r.Store.Format.model with
+    | "dl" ->
+      entry
+        ~backend:(Be_dl { params = r.Store.Format.params; phi })
+        ~params_json:(dl_params_json r.Store.Format.params)
+    | "dl-linear" ->
+      let params = Dl.Linear_model.of_dl r.Store.Format.params in
+      entry
+        ~backend:(Be_linear { params; phi })
+        ~params_json:(linear_params_json params)
+    | m -> reject (Printf.sprintf "unservable stored model %S" m))
+  | exception Invalid_argument msg ->
+    (* CRC-valid but semantically broken knots (hand-edited store);
+       serve what can be served and say why the rest was skipped *)
+    reject msg
 
 let create ?(config = default_config) () =
   if config.jobs < 1 then invalid_arg "Serve.Server.create: jobs must be >= 1";
@@ -190,6 +251,7 @@ let install_signal_handlers t =
 
 type fit_spec = {
   fs_obs : Socialnet.Density.t;
+  fs_model : string;  (** Predictor registry name (default ["dl"]) *)
   fs_fit_times : float array;
   fs_starts : int;
   fs_seed : int;
@@ -295,6 +357,24 @@ let parse_fit_spec body =
       | Some i -> Ok i
       | None -> Error (Printf.sprintf "field %S must be an integer" name))
   in
+  let* model =
+    match Tiny_json.member "model" json with
+    | None -> Ok "dl"
+    | Some v -> (
+      match Tiny_json.to_string_opt v with
+      | None -> Error "field \"model\" must be a string"
+      | Some m -> (
+        match Dl.Predictor.find m with
+        | None ->
+          Error
+            (Printf.sprintf "unknown model %S (registered: %s)" m
+               (String.concat ", " (Dl.Predictor.names ())))
+        | Some _ when m = "network" ->
+          Error
+            "model \"network\" is not servable over /fit (it needs graph \
+             context; use the CLI)"
+        | Some _ -> Ok m))
+  in
   let* starts = int_field "starts" 0 in
   let* seed = int_field "seed" 7 in
   let* story =
@@ -336,6 +416,7 @@ let parse_fit_spec body =
     {
       fs_obs =
         { Socialnet.Density.distances; times; density; population };
+      fs_model = model;
       fs_fit_times = fit_times;
       fs_starts = starts;
       fs_seed = seed;
@@ -360,67 +441,122 @@ let fit_config t spec =
   }
 
 (* The cache key covers the full request body AND the resolved solver
-   configuration (scheme, grid, dt, reference-stepper flag): two
-   requests — or a request and a recovered checkpoint — that differ
-   only in solver config must never alias to the same fit. *)
+   configuration (scheme, grid, dt, reference-stepper flag) AND the
+   resolved model name: two requests — or a request and a recovered
+   checkpoint — that differ only in solver config or model must never
+   alias to the same fit.  (The model is keyed explicitly because an
+   omitted field and an explicit ["model": "dl"] resolve to the same
+   fit but differ in the raw body.) *)
 let fit_key spec body =
   let solver_sig =
     Store.Format.solver_signature ~scheme:spec.fs_scheme ~nx:spec.fs_nx
       ~dt:spec.fs_dt
       ~reference:(Numerics.Pde.use_reference_stepper ())
   in
-  Digest.to_hex (Digest.string (body ^ "\x00" ^ solver_sig))
+  Digest.to_hex
+    (Digest.string (body ^ "\x00" ^ solver_sig ^ "\x00" ^ spec.fs_model))
+
+(* What persist_fit needs to write a checkpoint — only the two PDE
+   backends produce one. *)
+type persistable = {
+  ps_phi : Dl.Initial.t;
+  ps_config : Dl.Fit.config;
+  ps_result : Dl.Fit.result;
+}
+
+let phi_of_spec spec =
+  let obs = spec.fs_obs in
+  Dl.Initial.of_observations
+    ~xs:(Array.map float_of_int obs.Socialnet.Density.distances)
+    ~densities:(Array.map (fun row -> row.(0)) obs.Socialnet.Density.density)
 
 let run_fit ~id ~config spec =
   let obs = spec.fs_obs in
-  let phi =
-    Dl.Initial.of_observations
-      ~xs:(Array.map float_of_int obs.Socialnet.Density.distances)
-      ~densities:
-        (Array.map (fun row -> row.(0)) obs.Socialnet.Density.density)
-  in
-  let rng = Numerics.Rng.create spec.fs_seed in
-  let result = Dl.Fit.fit ~config ~id rng obs in
-  ( {
-      fe_id = id;
-      fe_params = result.Dl.Fit.params;
-      fe_phi = phi;
-      fe_training_error = result.Dl.Fit.training_error;
-      fe_evaluations = result.Dl.Fit.evaluations;
-      fe_sols = [];
-    },
-    result )
-
-let growth_json = function
-  | Dl.Growth.Constant v ->
-    Tiny_json.Object
-      [ ("kind", Tiny_json.String "constant"); ("value", Tiny_json.Number v) ]
-  | Dl.Growth.Exp_decay { a; b; c } ->
-    Tiny_json.Object
-      [
-        ("kind", Tiny_json.String "exp_decay");
-        ("a", Tiny_json.Number a);
-        ("b", Tiny_json.Number b);
-        ("c", Tiny_json.Number c);
-      ]
+  match spec.fs_model with
+  | "dl" ->
+    let phi = phi_of_spec spec in
+    let rng = Numerics.Rng.create spec.fs_seed in
+    let result = Dl.Fit.fit ~config ~id rng obs in
+    ( {
+        fe_id = id;
+        fe_model = "dl";
+        fe_backend = Be_dl { params = result.Dl.Fit.params; phi };
+        fe_params_json = dl_params_json result.Dl.Fit.params;
+        fe_training_error = result.Dl.Fit.training_error;
+        fe_evaluations = result.Dl.Fit.evaluations;
+        fe_sols = [];
+      },
+      Some { ps_phi = phi; ps_config = config; ps_result = result } )
+  | "dl-linear" ->
+    let phi = phi_of_spec spec in
+    let rng = Numerics.Rng.create spec.fs_seed in
+    let lconfig =
+      {
+        Dl.Linear_model.default_fit_config with
+        Dl.Linear_model.fit_times = config.Dl.Fit.fit_times;
+        starts = config.Dl.Fit.starts;
+        solver_nx = config.Dl.Fit.solver_nx;
+        solver_dt = config.Dl.Fit.solver_dt;
+      }
+    in
+    let r = Dl.Linear_model.fit ~config:lconfig rng obs in
+    let params = r.Dl.Linear_model.params in
+    (* checkpoint via the DL record layout (k is the to_dl placeholder);
+       the stored scheme is Strang, the only scheme the linear fitter
+       runs under *)
+    let result =
+      {
+        Dl.Fit.params = Dl.Linear_model.to_dl params;
+        training_error = r.Dl.Linear_model.training_error;
+        evaluations = r.Dl.Linear_model.evaluations;
+      }
+    in
+    let pconfig = { config with Dl.Fit.solver_scheme = Dl.Model.Strang } in
+    ( {
+        fe_id = id;
+        fe_model = "dl-linear";
+        fe_backend = Be_linear { params; phi };
+        fe_params_json = linear_params_json params;
+        fe_training_error = r.Dl.Linear_model.training_error;
+        fe_evaluations = r.Dl.Linear_model.evaluations;
+        fe_sols = [];
+      },
+      Some { ps_phi = phi; ps_config = pconfig; ps_result = result } )
+  | model ->
+    (* closure-backed registry models (baselines, epidemic): fit via the
+       common Predictor interface; cacheable in memory, not persistable *)
+    let pspec =
+      Dl.Predictor.spec ~fit_times:spec.fs_fit_times ~seed:spec.fs_seed obs
+    in
+    let fitted = Dl.Predictor.fit model pspec in
+    let distances = obs.Socialnet.Density.distances in
+    let domain =
+      ( float_of_int distances.(0),
+        float_of_int distances.(Array.length distances - 1) )
+    in
+    ( {
+        fe_id = id;
+        fe_model = model;
+        fe_backend = Be_fn { domain; predict = fitted.Dl.Predictor.predict };
+        fe_params_json =
+          List.map
+            (fun (k, v) -> (k, Tiny_json.Number v))
+            fitted.Dl.Predictor.params;
+        fe_training_error = fitted.Dl.Predictor.training_error;
+        fe_evaluations = fitted.Dl.Predictor.evaluations;
+        fe_sols = [];
+      },
+      None )
 
 let fit_json entry ~cached =
-  let p = entry.fe_params in
   Tiny_json.Object
     [
       ("fit", Tiny_json.String entry.fe_id);
+      ("model", Tiny_json.String entry.fe_model);
       ("cached", Tiny_json.Bool cached);
       ("training_error", Tiny_json.Number entry.fe_training_error);
       ("evaluations", Tiny_json.Number (float_of_int entry.fe_evaluations));
-      ( "params",
-        Tiny_json.Object
-          [
-            ("d", Tiny_json.Number p.Dl.Params.d);
-            ("k", Tiny_json.Number p.Dl.Params.k);
-            ("r", growth_json p.Dl.Params.r);
-            ("l", Tiny_json.Number p.Dl.Params.l);
-            ("L", Tiny_json.Number p.Dl.Params.big_l);
-          ] );
+      ("params", Tiny_json.Object entry.fe_params_json);
     ]
 
 let error_json status msg =
@@ -429,15 +565,16 @@ let error_json status msg =
 
 (* Persist a freshly won fit so a restarted server can warm-start it.
    A store failure must not fail the request — the fit result is
-   already in memory and correct; durability degrades with a warn. *)
-let persist_fit t ~id ~story ~config ~(entry : fit_entry) ~result =
+   already in memory and correct; durability degrades with a warn.
+   Closure-backed models produce no [persistable] and are skipped. *)
+let persist_fit t ~id ~story ~model p =
   match t.store with
   | None -> ()
   | Some store -> (
     try
       Store.append store
-        (Store.record_of_fit ~id ~story ~source:"serve" ~phi:entry.fe_phi
-           ~config ~result ())
+        (Store.record_of_fit ~id ~story ~source:"serve" ~model ~phi:p.ps_phi
+           ~config:p.ps_config ~result:p.ps_result ())
     with e ->
       Obs.Log.warn "store.append_failed" ~fields:(fun () ->
           [ Obs.Log.str "id" id; Obs.Log.str "error" (Printexc.to_string e) ]))
@@ -463,7 +600,7 @@ let handle_fit t (req : Http.request) =
       match run_fit ~id ~config spec with
       | exception Invalid_argument msg -> error_json 422 msg
       | exception Failure msg -> error_json 422 msg
-      | fresh, result ->
+      | fresh, persistable ->
         Mutex.lock t.cache_mutex;
         (* a concurrent identical fit may have won the race; keep one *)
         let entry, won =
@@ -475,17 +612,32 @@ let handle_fit t (req : Http.request) =
         in
         t.last_fit <- Some id;
         Mutex.unlock t.cache_mutex;
-        if won then
-          persist_fit t ~id ~story:spec.fs_story ~config ~entry ~result;
+        (if won then
+           match persistable with
+           | Some p ->
+             persist_fit t ~id ~story:spec.fs_story ~model:entry.fe_model p
+           | None -> ());
         Obs.Log.info "serve.fit" ~fields:(fun () ->
             [
               Obs.Log.str "fit" id;
+              Obs.Log.str "model" entry.fe_model;
               Obs.Log.float "training_error" entry.fe_training_error;
               Obs.Log.int "evaluations" entry.fe_evaluations;
             ]);
         Http.json_response 200 (fit_json entry ~cached:false)))
 
 (* --- /predict --- *)
+
+(* Fresh per-t evaluator for a PDE backend (one solve, then
+   allocation-free point queries). *)
+let solve_backend backend ~at =
+  match backend with
+  | Be_dl { params; phi } ->
+    Dl.Model.predictor (Dl.Model.solve params ~phi ~times:[| at |])
+  | Be_linear { params; phi } ->
+    Dl.Linear_model.predictor
+      (Dl.Linear_model.solve params ~phi ~times:[| at |])
+  | Be_fn { predict; _ } -> predict
 
 let solution_for t entry ~at =
   let key = Int64.bits_of_float at in
@@ -498,7 +650,7 @@ let solution_for t entry ~at =
   match hit with
   | Some sol -> sol
   | None ->
-    let sol = Dl.Model.solve entry.fe_params ~phi:entry.fe_phi ~times:[| at |] in
+    let sol = solve_backend entry.fe_backend ~at in
     Mutex.lock t.cache_mutex;
     if not (List.mem_assoc key entry.fe_sols) then begin
       let rec take n = function
@@ -512,20 +664,29 @@ let solution_for t entry ~at =
     Mutex.unlock t.cache_mutex;
     sol
 
+let domain_of entry =
+  match entry.fe_backend with
+  | Be_dl { params; _ } -> (params.Dl.Params.l, params.Dl.Params.big_l)
+  | Be_linear { params; _ } ->
+    (params.Dl.Linear_model.l, params.Dl.Linear_model.big_l)
+  | Be_fn { domain; _ } -> domain
+
 (* One validated point evaluation, shared by GET /predict and the
    POST /predict batch endpoint. *)
 let predict_point t entry ~x ~tq =
-  let p = entry.fe_params in
+  let l, big_l = domain_of entry in
   if tq < 1. then
     Error "t must be >= 1 (the model starts at the t = 1 snapshot)"
-  else if x < p.Dl.Params.l || x > p.Dl.Params.big_l then
+  else if x < l || x > big_l then
     Error
-      (Printf.sprintf "x must lie in the fitted domain [%g, %g]"
-         p.Dl.Params.l p.Dl.Params.big_l)
+      (Printf.sprintf "x must lie in the fitted domain [%g, %g]" l big_l)
   else
-    Ok
-      (if tq <= 1. +. 1e-9 then Dl.Initial.eval entry.fe_phi x
-       else Dl.Model.predict (solution_for t entry ~at:tq) ~x ~t:tq)
+    match entry.fe_backend with
+    | Be_fn { predict; _ } -> Ok (predict ~x ~t:tq)
+    | Be_dl { phi; _ } | Be_linear { phi; _ } ->
+      Ok
+        (if tq <= 1. +. 1e-9 then Dl.Initial.eval phi x
+         else (solution_for t entry ~at:tq) ~x ~t:tq)
 
 let lookup_entry t fit =
   Mutex.lock t.cache_mutex;

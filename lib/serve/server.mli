@@ -8,12 +8,16 @@
     - [GET /metrics] — the {!Obs.Metrics} registry in Prometheus text
       exposition format (all [fit.*]/[pde.*]/[pool.*]/[serve.*] series
       recorded by this process).
-    - [POST /fit] — calibrate the DL model against a posted density
-      observation (JSON; see [docs/SERVING.md]); the result is cached
-      keyed by the MD5 of the request body {e and} the resolved solver
-      configuration (scheme, grid size, time step, reference-stepper
-      flag), so re-posting identical input is a cache hit while
-      requests differing only in solver options never alias.
+    - [POST /fit] — calibrate a registry model against a posted density
+      observation (JSON; see [docs/SERVING.md]).  The optional ["model"]
+      field picks any {!Dl.Predictor} registry entry except ["network"]
+      (default ["dl"]); an unknown name is a structured 400 listing the
+      registered names.  The result is cached keyed by the MD5 of the
+      request body {e and} the resolved solver configuration (scheme,
+      grid size, time step, reference-stepper flag) {e and} the
+      resolved model name, so re-posting identical input is a cache hit
+      while requests differing only in solver options or model never
+      alias.
     - [GET /predict?x=&t=[&fit=]] — density I(x, t) under a cached fit
       ([fit] defaults to the most recently completed one).
     - [POST /predict] — batch evaluation: a JSON body
@@ -27,8 +31,10 @@
     boot: recovered checkpoints warm-start the fit cache (a restart
     serves previously fitted stories from [GET /predict] without
     refitting, and re-posting a pre-restart [/fit] body is a cache
-    hit), and every freshly computed fit is appended durably to the
-    store's WAL before the response is written.  Store recovery
+    hit), and every freshly computed ["dl"] / ["dl-linear"] fit is
+    appended durably to the store's WAL before the response is written
+    (records carry the model name; closure-backed models — baselines,
+    epidemic — are cached in memory only).  Store recovery
     counters ([store.replayed_records], [store.recovered_partial], …)
     are recorded into the server aggregate, so they appear on
     [GET /metrics].  A store failure during a request degrades to a

@@ -6,6 +6,7 @@ type record = {
   id : string;
   story : string;
   source : string;
+  model : string;
   created_ns : int;
   params : Dl.Params.t;
   phi_xs : float array;
@@ -21,7 +22,11 @@ type record = {
   starts : int;
 }
 
-let version = 1
+(* v1: no model field (implicitly "dl").  v2: model name after
+   [source].  [decode] accepts both; [encode] always writes the current
+   version. *)
+let version = 2
+let min_version = 1
 
 let phi r =
   Dl.Initial.of_observations_with ~construction:r.phi_construction
@@ -64,6 +69,7 @@ let params_eq (p : Dl.Params.t) (q : Dl.Params.t) =
 let equal a b =
   String.equal a.id b.id && String.equal a.story b.story
   && String.equal a.source b.source
+  && String.equal a.model b.model
   && a.created_ns = b.created_ns
   && params_eq a.params b.params
   && farray_eq a.phi_xs b.phi_xs
@@ -188,6 +194,7 @@ let encode r =
   put_string buf r.id;
   put_string buf r.story;
   put_string buf r.source;
+  put_string buf r.model;
   put_i64 buf r.created_ns;
   put_float buf r.params.Dl.Params.d;
   put_float buf r.params.Dl.Params.k;
@@ -215,12 +222,15 @@ let decode s =
   let cur = { src = s; pos = 0 } in
   try
     let v = get_u8 cur "version" in
-    if v <> version then
-      Error (Printf.sprintf "unsupported record version %d (want %d)" v version)
+    if v < min_version || v > version then
+      Error
+        (Printf.sprintf "unsupported record version %d (want %d..%d)" v
+           min_version version)
     else begin
       let id = get_string cur "id" in
       let story = get_string cur "story" in
       let source = get_string cur "source" in
+      let model = if v >= 2 then get_string cur "model" else "dl" in
       let created_ns = get_i64 cur "created_ns" in
       let d = get_float cur "d" in
       let k = get_float cur "k" in
@@ -259,6 +269,7 @@ let decode s =
             id;
             story;
             source;
+            model;
             created_ns;
             params = Dl.Params.make ~d ~k ~r ~l ~big_l;
             phi_xs;
@@ -349,5 +360,6 @@ let check_header ~magic buf =
       Int32.to_int (Bytes.get_int32_le (Bytes.unsafe_of_string buf) 8)
       land 0xffff_ffff
     in
-    if v <> version then Error (Printf.sprintf "unsupported format version %d" v)
+    if v < min_version || v > version then
+      Error (Printf.sprintf "unsupported format version %d" v)
     else Ok 12

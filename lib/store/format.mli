@@ -16,6 +16,11 @@ type record = {
   id : string;  (** cache / lookup key (stable across restarts) *)
   story : string;  (** human label, e.g. ["story-123"]; may be empty *)
   source : string;  (** provenance: ["serve"], ["cli"], ["hook"], ... *)
+  model : string;
+      (** registry name of the model that produced the fit (["dl"] or
+          ["dl-linear"]; v1 records decode as ["dl"]).  For
+          ["dl-linear"] the carrying capacity in [params] is the
+          placeholder 1 from [Linear_model.to_dl]. *)
   created_ns : int;  (** wall-clock creation time, integer ns *)
   params : Dl.Params.t;  (** fitted (d, K, r, l, L) *)
   phi_xs : float array;  (** phi knot abscissae (observed distances) *)
@@ -35,7 +40,14 @@ type record = {
 }
 
 val version : int
-(** Payload encoding version (currently 1). *)
+(** Payload encoding version written by {!encode} (currently 2, which
+    added the [model] field). *)
+
+val min_version : int
+(** Oldest payload version {!decode} still accepts (1; such records
+    carry no model name and decode with [model = "dl"]).  File headers
+    in the same range are accepted too, so a pre-v2 store opens
+    unchanged. *)
 
 val phi : record -> Dl.Initial.t
 (** Rebuild the initial-density function from the stored knots.  The
@@ -66,8 +78,9 @@ val encode : record -> string
 (** Versioned binary payload (no framing). *)
 
 val decode : string -> (record, string) result
-(** Inverse of {!encode}; rejects unknown versions, truncated
-    payloads and trailing garbage. *)
+(** Inverse of {!encode}; also accepts any older payload version down
+    to {!min_version}.  Rejects unknown versions, truncated payloads
+    and trailing garbage. *)
 
 (** {2 Framing}
 

@@ -172,13 +172,15 @@ let close t = locked t (fun () -> Wal.close t.wal)
 
 (* --- capturing fits --- *)
 
-let record_of_fit ?id ?(story = "") ?(source = "store") ~phi ~config ~result () =
+let record_of_fit ?id ?(story = "") ?(source = "store") ?(model = "dl") ~phi
+    ~config ~result () =
   let knots = Dl.Initial.knots phi in
   let r =
     {
       Format.id = (match id with Some i -> i | None -> "");
       story;
       source;
+      model;
       created_ns = Obs.now_ns ();
       params = result.Dl.Fit.params;
       phi_xs = Array.map fst knots;

@@ -80,6 +80,7 @@ val record_of_fit :
   ?id:string ->
   ?story:string ->
   ?source:string ->
+  ?model:string ->
   phi:Dl.Initial.t ->
   config:Dl.Fit.config ->
   result:Dl.Fit.result ->
@@ -87,9 +88,12 @@ val record_of_fit :
   Format.record
 (** Capture a completed {!Dl.Fit.fit} as a store record.  The phi
     knots, solver configuration (scheme, grid, dt, reference-stepper
-    flag), training horizon and accuracy metrics all come along.  When
-    [id] is omitted it is derived from a digest of the record content
-    (same fit, same id — appends deduplicate). *)
+    flag), training horizon and accuracy metrics all come along.
+    [model] (default ["dl"]) names the registry model the parameters
+    belong to — the serving layer passes ["dl-linear"] for linear
+    diffusive fits it embedded via [Linear_model.to_dl].  When [id] is
+    omitted it is derived from a digest of the record content (same
+    fit, same id — appends deduplicate). *)
 
 val attach_fit_hook : t -> ?source:string -> unit -> unit
 (** Install the process-wide {!Dl.Fit.set_on_fit} hook so every

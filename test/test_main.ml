@@ -24,4 +24,5 @@ let () =
       ("horizon", Test_horizon.suite);
       ("serve", Test_serve.suite);
       ("store", Test_store.suite);
+      ("tournament", Test_tournament.suite);
     ]

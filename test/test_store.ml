@@ -45,11 +45,12 @@ let write_file path s =
 
 (* --- fixtures --- *)
 
-let sample_record ?(id = "r1") ?(training_error = 0.25) () =
+let sample_record ?(id = "r1") ?(training_error = 0.25) ?(model = "dl") () =
   {
     F.id;
     story = "story-7";
     source = "test";
+    model;
     created_ns = 1_234_567_890;
     params =
       Dl.Params.make ~d:0.01 ~k:25.
@@ -117,6 +118,30 @@ let test_encode_decode_roundtrip () =
       | Ok r' ->
         Alcotest.(check bool) "bit-exact round-trip" true (F.equal r r'))
     [ sample_record (); weird ]
+
+(* The exact bytes [encode] produced for [sample_record ()] while the
+   codec was still at payload version 1 (no model field), captured
+   before the v2 bump.  Decoding must keep working forever and default
+   the model name to "dl". *)
+let v1_sample_hex =
+  "010200000072310700000073746f72792d370400000074657374d2029649000000007b14ae\
+   47e17a843f000000000000394001666666666666f63f000000000000f83f000000000000d0\
+   3f000000000000f03f000000000000184004000000000000000000f03f0000000000000040\
+   00000000000008400000000000001040040000000000000000000040333333333333f33f66\
+   6666666666e63f9a9999999999d93f0102290000009a9999999999a93f0002000000000000\
+   00000000400000000000000840000000000000d03f4101000002000000"
+
+let of_hex s =
+  let n = String.length s / 2 in
+  String.init n (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+let test_decode_v1_record () =
+  match F.decode (of_hex v1_sample_hex) with
+  | Error e -> Alcotest.failf "v1 payload must decode: %s" e
+  | Ok r ->
+    Alcotest.(check string) "v1 model defaults to dl" "dl" r.F.model;
+    Alcotest.(check bool) "v1 fields survive" true
+      (F.equal r (sample_record ()))
 
 let test_decode_rejects_garbage () =
   let enc = F.encode (sample_record ()) in
@@ -506,6 +531,8 @@ let suite =
     Alcotest.test_case "codec round-trip is bit-exact" `Quick
       test_encode_decode_roundtrip;
     Alcotest.test_case "codec rejects garbage" `Quick test_decode_rejects_garbage;
+    Alcotest.test_case "v1 payload decodes with model=dl" `Quick
+      test_decode_v1_record;
     Alcotest.test_case "frame CRC catches bit flips" `Quick
       test_frame_corruption_detected;
     Alcotest.test_case "empty dir opens clean" `Quick test_empty_dir;
