@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate what the OTLP sink captured from a `dlosn serve` smoke run.
+
+Usage: check_otlp.py SINK_JSONL [TRACE_ID]
+
+SINK_JSONL is the file otlp_sink.py wrote (one {"path","body"} JSON
+line per POST).  Fails (exit 1) unless:
+
+  * at least one POST each landed on /v1/traces and /v1/metrics;
+  * every payload has the OTLP resource envelope for its signal
+    (resourceSpans / resourceMetrics / resourceLogs) with the
+    service.name resource attribute set to "dlosn";
+  * every exported span has 32-hex traceId, 16-hex spanId, string
+    nanosecond timestamps with end >= start;
+  * a `serve.request` span is present, and when TRACE_ID is given at
+    least one serve.request span carries exactly that traceId.
+"""
+import json
+import re
+import sys
+
+HEX16 = re.compile(r"^[0-9a-f]{16}$")
+HEX32 = re.compile(r"^[0-9a-f]{32}$")
+
+
+def fail(msg):
+    print(f"check_otlp: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def service_name(resource_entry):
+    for attr in resource_entry.get("resource", {}).get("attributes", []):
+        if attr.get("key") == "service.name":
+            return attr.get("value", {}).get("stringValue")
+    return None
+
+
+def iter_spans(body):
+    for rs in body.get("resourceSpans", []):
+        for ss in rs.get("scopeSpans", []):
+            yield from ss.get("spans", [])
+
+
+def check_span(span):
+    if not HEX32.match(span.get("traceId", "")):
+        fail(f"span {span.get('name')!r}: bad traceId {span.get('traceId')!r}")
+    if not HEX16.match(span.get("spanId", "")):
+        fail(f"span {span.get('name')!r}: bad spanId {span.get('spanId')!r}")
+    for key in ("startTimeUnixNano", "endTimeUnixNano"):
+        if not isinstance(span.get(key), str) or not span[key].isdigit():
+            fail(f"span {span.get('name')!r}: {key} must be a digit string")
+    if int(span["endTimeUnixNano"]) < int(span["startTimeUnixNano"]):
+        fail(f"span {span.get('name')!r}: end precedes start")
+
+
+def main():
+    path = sys.argv[1]
+    want_trace = sys.argv[2] if len(sys.argv) > 2 else None
+
+    envelopes = {
+        "/v1/traces": "resourceSpans",
+        "/v1/metrics": "resourceMetrics",
+        "/v1/logs": "resourceLogs",
+    }
+    posts_by_path = {}
+    spans = []
+    with open(path) as f:
+        for i, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            post = json.loads(line)
+            p, body = post.get("path"), post.get("body", {})
+            if p not in envelopes:
+                fail(f"line {i}: POST to unexpected path {p!r}")
+            envelope = envelopes[p]
+            if envelope not in body:
+                fail(f"line {i}: {p} payload lacks {envelope}")
+            for entry in body[envelope]:
+                svc = service_name(entry)
+                if svc != "dlosn":
+                    fail(f"line {i}: service.name is {svc!r}, want 'dlosn'")
+            posts_by_path.setdefault(p, 0)
+            posts_by_path[p] += 1
+            spans.extend(iter_spans(body))
+
+    for required in ("/v1/traces", "/v1/metrics"):
+        if not posts_by_path.get(required):
+            fail(f"no POST captured on {required} (saw {posts_by_path})")
+
+    for span in spans:
+        check_span(span)
+
+    serve_spans = [s for s in spans if s.get("name") == "serve.request"]
+    if not serve_spans:
+        fail(f"no serve.request span among {len(spans)} exported spans")
+    if want_trace is not None:
+        if not any(s["traceId"] == want_trace for s in serve_spans):
+            seen = sorted({s["traceId"] for s in serve_spans})
+            fail(f"no serve.request span with traceId {want_trace} (saw {seen})")
+
+    print(
+        f"check_otlp: OK — {sum(posts_by_path.values())} posts "
+        f"({posts_by_path}), {len(spans)} spans, "
+        f"{len(serve_spans)} serve.request"
+        + (f", trace {want_trace} present" if want_trace else "")
+    )
+
+
+if __name__ == "__main__":
+    main()

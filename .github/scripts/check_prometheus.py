@@ -6,8 +6,9 @@ Usage: check_prometheus.py METRICS_TXT [REQUIRED_SERIES ...]
 Fails (exit 1) unless the file is well-formed exposition format
 (version 0.0.4): every sample line parses as `name[{labels}] value`,
 every sample's family has a preceding `# TYPE` line with a known kind,
-histogram buckets are cumulative and end with a `+Inf` bucket whose
-count equals `_count`, and every REQUIRED_SERIES name prefix (default:
+histogram buckets are cumulative per label set and end with a `+Inf`
+bucket whose count equals that label set's `_count`, and every
+REQUIRED_SERIES name prefix (default:
 dlosn_fit_, dlosn_pde_, dlosn_pool_, dlosn_serve_) matches at least
 one sample.
 """
@@ -76,28 +77,45 @@ def main():
                 fail(f"line {i}: sample {name} has no preceding TYPE line")
             samples.append((name, labels, float(value)))
 
-    # histogram bucket discipline: cumulative, +Inf present, total = _count
+    # histogram bucket discipline: cumulative, +Inf present, total =
+    # _count — checked per label set (a family may expose one unlabelled
+    # series plus per-route labelled series, e.g. dlosn_serve_request_ns)
+    def series_key(labels):
+        return tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+
     for family, kind in typed.items():
         if kind != "histogram":
             continue
-        buckets = [
-            (labels.get("le"), v)
+        by_series = {}
+        for name, labels, v in samples:
+            if name == f"{family}_bucket":
+                by_series.setdefault(series_key(labels), []).append(
+                    (labels.get("le"), v)
+                )
+        counts = {
+            series_key(labels): v
             for name, labels, v in samples
-            if name == f"{family}_bucket"
-        ]
-        counts = [v for name, _, v in samples if name == f"{family}_count"]
-        if not buckets:
+            if name == f"{family}_count"
+        }
+        if not by_series:
             fail(f"histogram {family} has no buckets")
-        if buckets[-1][0] != "+Inf":
-            fail(f"histogram {family} does not end with a +Inf bucket")
-        values = [v for _, v in buckets]
-        if values != sorted(values):
-            fail(f"histogram {family} buckets are not cumulative: {values}")
-        if len(counts) != 1 or counts[0] != values[-1]:
-            fail(
-                f"histogram {family}: +Inf bucket {values[-1]} "
-                f"!= _count {counts}"
-            )
+        for key, buckets in by_series.items():
+            label_desc = f"{family}{dict(key) if key else ''}"
+            if buckets[-1][0] != "+Inf":
+                fail(f"histogram {label_desc} does not end with a +Inf bucket")
+            values = [v for _, v in buckets]
+            if values != sorted(values):
+                fail(
+                    f"histogram {label_desc} buckets are not cumulative: "
+                    f"{values}"
+                )
+            if key not in counts:
+                fail(f"histogram {label_desc} has buckets but no _count")
+            if counts[key] != values[-1]:
+                fail(
+                    f"histogram {label_desc}: +Inf bucket {values[-1]} "
+                    f"!= _count {counts[key]}"
+                )
 
     names = {name for name, _, _ in samples}
     for prefix in required:

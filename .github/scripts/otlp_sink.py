@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Minimal OTLP/HTTP collector stand-in for CI (stdlib only).
+
+Usage: otlp_sink.py PORT OUT_FILE
+
+Accepts POSTs on /v1/traces, /v1/metrics and /v1/logs, replies 200,
+and appends one JSON line per request to OUT_FILE:
+
+    {"path": "/v1/traces", "body": {...decoded OTLP payload...}}
+
+Run it in the background, point `dlosn --otlp-endpoint` at it, then
+validate OUT_FILE with check_otlp.py.
+"""
+import json
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+
+class Handler(BaseHTTPRequestHandler):
+    out_path = None
+
+    def do_POST(self):
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length)
+        status = 200
+        try:
+            body = json.loads(raw)
+        except ValueError:
+            body, status = {"_undecodable": raw.decode("utf-8", "replace")}, 400
+        with open(self.out_path, "a") as f:
+            f.write(json.dumps({"path": self.path, "body": body}) + "\n")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", "2")
+        self.end_headers()
+        self.wfile.write(b"{}")
+
+    def log_message(self, fmt, *args):  # keep CI logs quiet
+        pass
+
+
+def main():
+    port, out_path = int(sys.argv[1]), sys.argv[2]
+    Handler.out_path = out_path
+    open(out_path, "a").close()  # exists even if nothing arrives
+    server = ThreadingHTTPServer(("127.0.0.1", port), Handler)
+    print(f"otlp_sink: listening on 127.0.0.1:{port} -> {out_path}", flush=True)
+    server.serve_forever()
+
+
+if __name__ == "__main__":
+    main()

@@ -794,6 +794,12 @@ let print_parallel_scaling ds =
     let pool = Parallel.Pool.create ~jobs () in
     let t0 = Unix.gettimeofday () in
     let summary =
+      (* live bar on interactive runs; a no-op (and zero overhead on
+         the timed region) when stderr is redirected, as in CI *)
+      Obs_progress.with_bar
+        ~label:(Printf.sprintf "batch fit (j=%d)" jobs)
+        ~total:(Array.length stories) ~span:"batch.story"
+      @@ fun () ->
       Dl.Batch.evaluate ~pool ~mode:(Dl.Batch.In_sample 31) ds ~stories
     in
     (Unix.gettimeofday () -. t0, summary)
@@ -1154,7 +1160,12 @@ let run_tournament_bench () =
     "Tournament: model zoo ranked on held-out error (synthetic story set)";
   let pool = Parallel.Pool.create () in
   let stories = Dl.Tournament.synthetic_stories ~n:3 ~seed:7 () in
-  let lb = Dl.Tournament.run ~pool ~seed:42 stories in
+  let lb =
+    Obs_progress.with_bar ~label:"tournament"
+      ~total:(List.length Dl.Tournament.default_models * List.length stories)
+      ~span:"tournament.item"
+    @@ fun () -> Dl.Tournament.run ~pool ~seed:42 stories
+  in
   Format.printf "%a" Dl.Tournament.pp lb;
   lb
 
@@ -1573,4 +1584,11 @@ let () =
   in
   Obs.Metrics.write_json ~path:metrics_path;
   Format.printf "metrics written to %s (schema %s)@." metrics_path
-    Obs.Metrics.schema_version
+    Obs.Metrics.schema_version;
+  match Sys.getenv_opt "DLOSN_BENCH_FLAME" with
+  | None -> ()
+  | Some flame_path ->
+    let oc = open_out flame_path in
+    output_string oc (Obs.Span.to_folded (Obs.Span.roots ()));
+    close_out oc;
+    Format.printf "flame (folded stacks) written to %s@." flame_path

@@ -133,10 +133,36 @@ let no_solver_cache_arg =
               $(b,DLOSN_BENCH_REFERENCE_SOLVER) environment variable \
               disables the workspace path only.")
 
-type obs_opts = { metrics_out : string option }
+let flame_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flame-out" ] ~docv:"FILE"
+        ~doc:"After the command finishes, write the recorded span trees \
+              to FILE in folded-stack format (one \
+              $(i,frame;frame weight) line per stack, weight = self \
+              time in nanoseconds) — feed it to flamegraph.pl or \
+              speedscope.")
 
-let setup_obs level json metrics_out no_solver_cache =
-  if level <> None || json || metrics_out <> None then Obs.set_enabled true;
+let otlp_endpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "otlp-endpoint" ] ~docv:"URL"
+        ~doc:"Export spans, logs and metrics to this OTLP/HTTP collector \
+              ($(i,http://host:port)) while the command runs.  The \
+              $(b,DLOSN_OTLP) environment variable sets the same \
+              default.")
+
+type obs_opts = {
+  metrics_out : string option;
+  flame_out : string option;
+  otlp_endpoint : string option;  (* resolved: flag, else DLOSN_OTLP *)
+}
+
+let setup_obs level json metrics_out no_solver_cache flame_out otlp_endpoint =
+  if level <> None || json || metrics_out <> None || flame_out <> None then
+    Obs.set_enabled true;
   (match (level, json) with
   | Some l, _ -> Obs.Log.set_level (Some l)
   | None, true -> Obs.Log.set_level (Some Obs.Level.Info)
@@ -146,31 +172,72 @@ let setup_obs level json metrics_out no_solver_cache =
     Numerics.Pde.set_use_reference_stepper true;
     Dl.Fit.set_objective_memo false
   end;
-  { metrics_out }
+  let otlp_endpoint =
+    match otlp_endpoint with
+    | Some _ as e -> e
+    | None -> Sys.getenv_opt Otlp.env_var
+  in
+  { metrics_out; flame_out; otlp_endpoint }
+
+(* Build, hook and start an exporter for a batch-style command.  The
+   serve command skips this (with_obs ~otlp:false) and passes the
+   endpoint into the server config instead, so export snapshots read
+   the server's request aggregate rather than this domain's context. *)
+let start_cli_otlp opts =
+  match opts.otlp_endpoint with
+  | None -> None
+  | Some endpoint -> (
+    match Otlp.create ~endpoint ~metrics_provider:Obs.Metrics.expose () with
+    | exporter ->
+      Obs.set_enabled true;
+      Otlp.observe_spans exporter;
+      Otlp.tee_logs exporter;
+      Otlp.start exporter;
+      Some exporter
+    | exception Invalid_argument msg ->
+      Format.eprintf "dlosn: ignoring OTLP endpoint: %s@." msg;
+      None)
 
 let obs_term =
   Term.(
     const setup_obs $ log_level_arg $ log_json_arg $ metrics_out_arg
-    $ no_solver_cache_arg)
+    $ no_solver_cache_arg $ flame_out_arg $ otlp_endpoint_arg)
 
 (* Runs even when the command raises, so a failed run still leaves its
    profile and metrics behind. *)
-let with_obs opts f =
+let with_obs ?(otlp = true) opts f =
+  let exporter = if otlp then start_cli_otlp opts else None in
   Fun.protect
     ~finally:(fun () ->
-      if Obs.enabled () then begin
-        Obs.Span.log_summary ();
-        match opts.metrics_out with
-        | Some path -> (
-          Obs.Metrics.write_json ~path;
-          (* keep stderr pure JSON lines when the JSON sink is active *)
-          match Obs.Log.sink () with
-          | Obs.Log.Json ->
-            Obs.Log.info "metrics.written" ~fields:(fun () ->
-                [ Obs.Log.str "path" path ])
-          | Obs.Log.Human -> Format.eprintf "metrics written to %s@." path)
-        | None -> ()
-      end)
+      (if Obs.enabled () then begin
+         Obs.Span.log_summary ();
+         (* one status line per artifact, JSON-clean when needed *)
+         let wrote what path =
+           match Obs.Log.sink () with
+           | Obs.Log.Json ->
+             Obs.Log.info (what ^ ".written") ~fields:(fun () ->
+                 [ Obs.Log.str "path" path ])
+           | Obs.Log.Human ->
+             Format.eprintf "%s written to %s@." what path
+         in
+         (match opts.flame_out with
+         | Some path ->
+           let oc = open_out path in
+           Fun.protect
+             ~finally:(fun () -> close_out oc)
+             (fun () ->
+               output_string oc (Obs.Span.to_folded (Obs.Span.roots ())));
+           wrote "flame" path
+         | None -> ());
+         match opts.metrics_out with
+         | Some path ->
+           Obs.Metrics.write_json ~path;
+           wrote "metrics" path
+         | None -> ()
+       end);
+      (* shutdown runs a final flush, so spans recorded after the last
+         periodic flush still reach the collector *)
+      Option.iter Otlp.shutdown exporter)
     f
 
 let load_arg =
@@ -567,6 +634,9 @@ let batch_cmd =
       | `Oos -> Dl.Batch.Out_of_sample (seed + 100)
     in
     let summary =
+      Obs_progress.with_bar ~label:"batch" ~total:(Array.length stories)
+        ~span:"batch.story"
+      @@ fun () ->
       Dl.Batch.evaluate ~pool ~mode ~metric:(pipeline_metric metric) ds
         ~stories
     in
@@ -649,8 +719,18 @@ let serve_cmd =
                 stories without refitting) and durably append every \
                 new fit there.")
   in
-  let run obs port host max_conns jobs store_dir =
-   with_obs obs @@ fun () ->
+  let slow_ms_arg =
+    Arg.(
+      value
+      & opt float Serve.Server.default_config.Serve.Server.slow_request_ms
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:"Warn (with the request's trace id) about requests slower \
+                than MS milliseconds.")
+  in
+  let run obs port host max_conns jobs store_dir slow_ms =
+   (* the server owns the OTLP exporter (serve-side metrics snapshots
+      must read the request aggregate), so skip the CLI-level one *)
+   with_obs ~otlp:false obs @@ fun () ->
     let jobs =
       match jobs with Some j -> j | None -> Parallel.Pool.default_jobs ()
     in
@@ -662,9 +742,16 @@ let serve_cmd =
         jobs;
         max_conns;
         store_dir;
+        slow_request_ms = slow_ms;
+        otlp_endpoint = obs.otlp_endpoint;
       }
     in
-    let server = Serve.Server.create ~config () in
+    let server =
+      try Serve.Server.create ~config ()
+      with Invalid_argument msg ->
+        prerr_endline ("dlosn serve: " ^ msg);
+        exit 1
+    in
     Serve.Server.install_signal_handlers server;
     Format.printf "dlosn serving on http://%s:%d (%d worker%s) — SIGINT or \
                    SIGTERM drains and exits@."
@@ -679,10 +766,11 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve DL-model fits and predictions over HTTP \
-             (/healthz, /metrics, /fit, /predict).")
+             (/healthz, /metrics, /fit, /predict, /debug/traces, \
+             /debug/flame).")
     Term.(
       const run $ obs_term $ port_arg $ host_arg $ max_conns_arg $ jobs_arg
-      $ serve_store_arg)
+      $ serve_store_arg $ slow_ms_arg)
 
 (* --- store --- *)
 
@@ -873,18 +961,83 @@ let store_cmd =
       Term.(const run $ store_dir_pos $ out_arg)
   in
   let gc_cmd =
-    let run dir =
+    let duration_conv =
+      (* 30s / 45m / 12h / 7d, or a bare number of seconds *)
+      let parse s =
+        let fail () =
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "invalid duration %S (expected e.g. 30s, 45m, 12h, 7d)" s))
+        in
+        if s = "" then fail ()
+        else
+          let n = String.length s in
+          let unit_scale = function
+            | 's' -> Some 1.
+            | 'm' -> Some 60.
+            | 'h' -> Some 3600.
+            | 'd' -> Some 86400.
+            | _ -> None
+          in
+          let num, scale =
+            match unit_scale s.[n - 1] with
+            | Some k -> (String.sub s 0 (n - 1), k)
+            | None -> (s, 1.)
+          in
+          match float_of_string_opt num with
+          | Some v when v >= 0. -> Ok (v *. scale)
+          | Some _ | None -> fail ()
+      in
+      let print ppf secs = Format.fprintf ppf "%gs" secs in
+      Arg.conv (parse, print)
+    in
+    let keep_last_arg =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "keep-last" ] ~docv:"N"
+            ~doc:"Retention: drop all but the newest N records before \
+                  compacting.")
+    in
+    let max_age_arg =
+      Arg.(
+        value
+        & opt (some duration_conv) None
+        & info [ "max-age" ] ~docv:"DUR"
+            ~doc:"Retention: drop records older than DUR (e.g. \
+                  $(b,30s), $(b,45m), $(b,12h), $(b,7d); a bare number \
+                  is seconds) before compacting.")
+    in
+    let run dir keep_last max_age =
+      (match keep_last with
+      | Some k when k < 0 ->
+        prerr_endline "dlosn store gc: --keep-last must be >= 0";
+        exit 1
+      | _ -> ());
       let store = Store.open_ ~source:"cli" dir in
+      let before_records = Store.record_count store in
       let before = Store.wal_bytes store in
-      Store.gc store;
-      Format.printf "compacted %d records (wal %d -> %d bytes)@."
-        (Store.record_count store) before (Store.wal_bytes store);
+      let max_age_ns =
+        Option.map (fun secs -> int_of_float (secs *. 1e9)) max_age
+      in
+      Store.gc ?keep_last ?max_age_ns store;
+      let after_records = Store.record_count store in
+      Format.printf "compacted %d record%s (wal %d -> %d bytes%s)@."
+        after_records
+        (if after_records = 1 then "" else "s")
+        before (Store.wal_bytes store)
+        (if before_records > after_records then
+           Printf.sprintf ", dropped %d" (before_records - after_records)
+         else "");
       Store.close store
     in
     Cmd.v
       (Cmd.info "gc"
-         ~doc:"Compact: fold the WAL into a fresh snapshot and truncate it.")
-      Term.(const run $ store_dir_pos)
+         ~doc:"Compact — fold the WAL into a fresh snapshot and truncate \
+               it — optionally applying retention first \
+               ($(b,--keep-last), $(b,--max-age)).")
+      Term.(const run $ store_dir_pos $ keep_last_arg $ max_age_arg)
   in
   Cmd.group
     (Cmd.info "store"
@@ -1014,6 +1167,10 @@ let tournament_cmd =
         (Parallel.Pool.jobs pool)
         (if Parallel.Pool.jobs pool = 1 then "" else "s");
       let lb =
+        Obs_progress.with_bar ~label:"tournament"
+          ~total:(List.length models * List.length stories)
+          ~span:"tournament.item"
+        @@ fun () ->
         Dl.Tournament.run ~pool ~fit_times ~seed:tseed ~models stories
       in
       (match out with

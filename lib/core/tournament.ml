@@ -147,7 +147,10 @@ let run ?(pool = Parallel.Pool.sequential) ?(fit_times = [| 2.; 3. |])
         let story_ix = i mod n_stories in
         let _, obs = stories_a.(story_ix) in
         Obs.Metrics.incr m_items;
-        run_item ~seed ~fit_times ~model ~story_ix ~obs)
+        Obs.Span.with_span "tournament.item"
+          ~attrs:(fun () ->
+            [ Obs.Log.str "model" model; Obs.Log.int "story" story_ix ])
+          (fun () -> run_item ~seed ~fit_times ~model ~story_ix ~obs))
       items
   in
   let entries =

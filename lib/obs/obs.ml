@@ -13,6 +13,33 @@
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
+(* --- unique ids (spans and traces) ---
+
+   splitmix64 over a per-process seed xor a shared counter: unique
+   within a process run, overwhelmingly unique across processes, and
+   cheap (no syscall after init).  Only generated while enabled. *)
+
+let id_seed =
+  Int64.logxor
+    (Int64.bits_of_float (Unix.gettimeofday ()))
+    (Int64.mul (Int64.of_int (Unix.getpid ())) 0x9E3779B97F4A7C15L)
+
+let id_counter = Atomic.make 1
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let next_id64 () =
+  let n = Atomic.fetch_and_add id_counter 1 in
+  let v =
+    mix64 (Int64.add id_seed (Int64.mul (Int64.of_int n) 0x9E3779B97F4A7C15L))
+  in
+  (* OTLP forbids all-zero ids; the guard costs nothing *)
+  if v = 0L then 1L else v
+
 (* --- global switch --- *)
 
 let enabled_flag = Atomic.make false
@@ -65,6 +92,10 @@ let json_float v =
   if Float.is_finite v then Printf.sprintf "%.17g" v else "null"
 
 (* --- structured logger --- *)
+
+(* Forward reference to the per-context trace id (the context type is
+   defined below, after Log, because span nodes carry Log.field lists). *)
+let current_trace : (unit -> string option) ref = ref (fun () -> None)
 
 module Log = struct
   type value = String of string | Int of int | Float of float | Bool of bool
@@ -120,19 +151,42 @@ module Log = struct
     | Float f -> Buffer.add_string buf (Printf.sprintf "%g" f)
     | Bool b -> Buffer.add_string buf (string_of_bool b)
 
+  (* A fully-evaluated log record, as handed to the tee hook. *)
+  type record = {
+    r_ts : float; (* epoch seconds *)
+    r_level : Level.t;
+    r_msg : string;
+    r_fields : field list;
+    r_trace_id : string option;
+  }
+
+  (* Optional structured tap fed after the textual sink (used by the
+     OTLP exporter). Exceptions from the tee are swallowed: telemetry
+     must never break the instrumented program. *)
+  let tee : (record -> unit) option Atomic.t = Atomic.make None
+  let set_tee f = Atomic.set tee f
+
   (* The whole record becomes one [!out] call, so concurrent emitters
      cannot interleave within a line. *)
   let emit l msg fields =
+    let ts = Unix.gettimeofday () in
+    let trace = !current_trace () in
     let buf = Buffer.create 128 in
     (match Atomic.get cur_sink with
     | Json ->
       Buffer.add_string buf "{\"ts\":";
-      Buffer.add_string buf (Printf.sprintf "%.6f" (Unix.gettimeofday ()));
+      Buffer.add_string buf (Printf.sprintf "%.6f" ts);
       Buffer.add_string buf ",\"level\":\"";
       Buffer.add_string buf (Level.to_string l);
       Buffer.add_string buf "\",\"msg\":\"";
       json_escape_into buf msg;
       Buffer.add_char buf '"';
+      (match trace with
+      | None -> ()
+      | Some tid ->
+        Buffer.add_string buf ",\"trace_id\":\"";
+        json_escape_into buf tid;
+        Buffer.add_char buf '"');
       List.iter
         (fun (k, v) ->
           Buffer.add_string buf ",\"";
@@ -144,6 +198,11 @@ module Log = struct
     | Human ->
       Buffer.add_string buf (Printf.sprintf "[%-5s] " (Level.to_string l));
       Buffer.add_string buf msg;
+      (match trace with
+      | None -> ()
+      | Some tid ->
+        Buffer.add_string buf " trace=";
+        Buffer.add_string buf tid);
       List.iter
         (fun (k, v) ->
           Buffer.add_char buf ' ';
@@ -151,7 +210,20 @@ module Log = struct
           Buffer.add_char buf '=';
           add_value_human buf v)
         fields);
-    !out (Buffer.contents buf)
+    !out (Buffer.contents buf);
+    match Atomic.get tee with
+    | None -> ()
+    | Some f -> (
+      try
+        f
+          {
+            r_ts = ts;
+            r_level = l;
+            r_msg = msg;
+            r_fields = fields;
+            r_trace_id = trace;
+          }
+      with _ -> ())
 
   let log l ?fields msg =
     if would_log l then
@@ -196,8 +268,11 @@ type cell =
 
 type span_node = {
   sname : string;
+  sid : string; (* 16-hex span id *)
+  strace : string; (* 32-hex trace id; "" when recorded outside a trace *)
   mutable sattrs : Log.field list; (* newest first *)
   sstart : int;
+  mutable send : int;
   mutable sdur : int;
   mutable schildren : span_node list; (* newest first *)
 }
@@ -206,11 +281,15 @@ type context = {
   mutable cells : cell option array; (* indexed by def.id, grown on demand *)
   mutable open_spans : span_node list; (* innermost first *)
   mutable done_spans : span_node list; (* completed roots, newest first *)
+  mutable trace : string option; (* request-scoped trace id, if any *)
 }
 
-let new_context () = { cells = [||]; open_spans = []; done_spans = [] }
+let new_context () =
+  { cells = [||]; open_spans = []; done_spans = []; trace = None }
+
 let ctx_key = Obs_tls.new_key new_context
 let current () = Obs_tls.get ctx_key
+let () = current_trace := fun () -> (current ()).trace
 
 let cell_of_def ctx (d : def) =
   if d.id >= Array.length ctx.cells then begin
@@ -593,7 +672,63 @@ module Span = struct
     attrs : Log.field list;
     dur_ns : int;
     children : t list;
+    span_id : string; (* 16 hex chars, unique within the process *)
+    trace_id : string; (* 32 hex chars; "" when recorded outside a trace *)
+    start_ns : int; (* epoch nanoseconds at open (wall clock) *)
+    end_ns : int; (* epoch nanoseconds at close; always >= start_ns *)
   }
+
+  let gen_span_id () = Printf.sprintf "%016Lx" (next_id64 ())
+
+  let gen_trace_id () =
+    Printf.sprintf "%016Lx%016Lx" (next_id64 ()) (next_id64 ())
+
+  let set_trace_id tid = (current ()).trace <- tid
+  let trace_id () = (current ()).trace
+
+  let with_trace_id tid f =
+    let ctx = current () in
+    let saved = ctx.trace in
+    ctx.trace <- Some tid;
+    Fun.protect ~finally:(fun () -> ctx.trace <- saved) f
+
+  (* --- streaming observer: every span close becomes an event --- *)
+
+  type event = { span : t; root : bool }
+  type subscription = int
+
+  let subscribers : (int * (event -> unit)) list Atomic.t = Atomic.make []
+  let sub_counter = Atomic.make 0
+
+  let subscribe f =
+    let id = Atomic.fetch_and_add sub_counter 1 in
+    let rec add () =
+      let cur = Atomic.get subscribers in
+      if not (Atomic.compare_and_set subscribers cur ((id, f) :: cur)) then
+        add ()
+    in
+    add ();
+    id
+
+  let unsubscribe id =
+    let rec remove () =
+      let cur = Atomic.get subscribers in
+      let next = List.filter (fun (i, _) -> i <> id) cur in
+      if not (Atomic.compare_and_set subscribers cur next) then remove ()
+    in
+    remove ()
+
+  let rec view (n : span_node) =
+    {
+      name = n.sname;
+      attrs = List.rev n.sattrs;
+      dur_ns = n.sdur;
+      children = List.rev_map view n.schildren;
+      span_id = n.sid;
+      trace_id = n.strace;
+      start_ns = n.sstart;
+      end_ns = n.send;
+    }
 
   let with_span name ?attrs f =
     if not (enabled ()) then f ()
@@ -602,16 +737,24 @@ module Span = struct
       let node =
         {
           sname = name;
+          sid = gen_span_id ();
+          strace = (match ctx.trace with Some tid -> tid | None -> "");
           sattrs =
             (match attrs with None -> [] | Some g -> List.rev (g ()));
           sstart = now_ns ();
+          send = 0;
           sdur = 0;
           schildren = [];
         }
       in
       ctx.open_spans <- node :: ctx.open_spans;
       let finish () =
-        node.sdur <- now_ns () - node.sstart;
+        (* now_ns is wall-clock (gettimeofday): NTP can step it
+           backwards mid-span, so clamp the end at the start. *)
+        let e = now_ns () in
+        let e = if e < node.sstart then node.sstart else e in
+        node.send <- e;
+        node.sdur <- e - node.sstart;
         (* Pop up to and including [node]; defensive against a body
            that leaked opens (it cannot happen via with_span itself). *)
         let rec pop = function
@@ -620,9 +763,17 @@ module Span = struct
           | [] -> []
         in
         ctx.open_spans <- pop ctx.open_spans;
-        match ctx.open_spans with
+        (match ctx.open_spans with
         | parent :: _ -> parent.schildren <- node :: parent.schildren
-        | [] -> ctx.done_spans <- node :: ctx.done_spans
+        | [] -> ctx.done_spans <- node :: ctx.done_spans);
+        match Atomic.get subscribers with
+        | [] -> ()
+        | subs ->
+          (* Fired on the recording domain, children before parents.
+             Subscriber exceptions are swallowed: observers must never
+             break the instrumented program. *)
+          let ev = { span = view node; root = ctx.open_spans = [] } in
+          List.iter (fun (_, f) -> try f ev with _ -> ()) subs
       in
       Fun.protect ~finally:finish f
     end
@@ -633,20 +784,13 @@ module Span = struct
       | node :: _ -> node.sattrs <- (k, v) :: node.sattrs
       | [] -> ()
 
-  let rec view (n : span_node) =
-    {
-      name = n.sname;
-      attrs = List.rev n.sattrs;
-      dur_ns = n.sdur;
-      children = List.rev_map view n.schildren;
-    }
-
   let roots () = List.rev_map view (current ()).done_spans
 
   let reset () =
     let ctx = current () in
     ctx.open_spans <- [];
-    ctx.done_spans <- []
+    ctx.done_spans <- [];
+    ctx.trace <- None
 
   type agg = { path : string; count : int; total_ns : int }
 
@@ -697,6 +841,77 @@ module Span = struct
               Log.float "mean_ms" (total_ms /. float_of_int count);
             ]))
       (summary ())
+
+  (* --- folded stacks (flamegraph.pl / speedscope "folded" format) --- *)
+
+  (* Frame names must avoid ';' (stack separator) and ' ' (weight
+     separator). A small attr allowlist decorates frames so per-story
+     and per-model work stays distinguishable in the flame graph. *)
+  let flame_attrs = [ "story"; "model"; "route" ]
+
+  let folded_frame buf (s : t) =
+    let sanitized str =
+      String.iter
+        (fun c ->
+          Buffer.add_char buf
+            (match c with ';' | ' ' | '\n' | '\r' | '\t' -> '_' | c -> c))
+        str
+    in
+    sanitized s.name;
+    List.iter
+      (fun (k, v) ->
+        if List.mem k flame_attrs then begin
+          Buffer.add_char buf '[';
+          sanitized k;
+          Buffer.add_char buf '=';
+          (match v with
+          | Log.String sv -> sanitized sv
+          | Log.Int i -> Buffer.add_string buf (string_of_int i)
+          | Log.Float f -> Buffer.add_string buf (Printf.sprintf "%g" f)
+          | Log.Bool b -> Buffer.add_string buf (string_of_bool b));
+          Buffer.add_char buf ']'
+        end)
+      s.attrs
+
+  (* (stack, self-time ns) rows in first-visit pre-order; repeated
+     stacks merge by summing self time. Self time is the span duration
+     minus its children's, clamped at 0 (children can overlap the
+     parent's clock reading). *)
+  let fold_stacks spans =
+    let tbl = Hashtbl.create 64 in
+    let order = ref [] in
+    let rec walk prefix (s : t) =
+      let buf = Buffer.create 64 in
+      if prefix <> "" then begin
+        Buffer.add_string buf prefix;
+        Buffer.add_char buf ';'
+      end;
+      folded_frame buf s;
+      let path = Buffer.contents buf in
+      let child_ns =
+        List.fold_left (fun acc c -> acc + c.dur_ns) 0 s.children
+      in
+      let self = Stdlib.max 0 (s.dur_ns - child_ns) in
+      (match Hashtbl.find_opt tbl path with
+      | None ->
+        Hashtbl.add tbl path self;
+        order := path :: !order
+      | Some v -> Hashtbl.replace tbl path (v + self));
+      List.iter (walk path) s.children
+    in
+    List.iter (walk "") spans;
+    List.rev_map (fun path -> (path, Hashtbl.find tbl path)) !order
+
+  let to_folded spans =
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun (path, self_ns) ->
+        Buffer.add_string buf path;
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (string_of_int self_ns);
+        Buffer.add_char buf '\n')
+      (fold_stacks spans);
+    Buffer.contents buf
 end
 
 (* --- shards: how Parallel.Pool gives each worker domain its own
@@ -746,6 +961,13 @@ module Shard = struct
       List.iter (fun s -> dst.done_spans <- s :: dst.done_spans) spans);
     src.done_spans <- [];
     src.open_spans <- []
+
+  let span_roots (t : t) = List.rev_map Span.view t.done_spans
+
+  let take_span_roots (t : t) =
+    let roots = span_roots t in
+    t.done_spans <- [];
+    roots
 end
 
 let reset () =

@@ -23,7 +23,20 @@ val reset : unit -> unit
     Metric {e definitions} (names, kinds) are global and persist. *)
 
 val now_ns : unit -> int
-(** Wall-clock in integer nanoseconds (from [Unix.gettimeofday]). *)
+(** Wall-clock in integer nanoseconds (from [Unix.gettimeofday]).
+
+    {b Clock caveat}: this is wall time, not a monotonic clock — NTP
+    adjustments can step it backwards (or forwards) between two reads.
+    Span durations are therefore clamped at 0 rather than ever going
+    negative, and epoch timestamps on spans are best-effort. *)
+
+val json_escape_into : Buffer.t -> string -> unit
+(** Append [s] with JSON string escaping (shared codec, used by the
+    log sink, the metrics dump and the OTLP exporter). *)
+
+val json_float : float -> string
+(** Render a float as a JSON literal; non-finite values become
+    ["null"] (JSON has no NaN/Infinity). [%.17g] round-trips. *)
 
 val env_var : string
 (** ["DLOSN_LOG"] — comma-separated tokens read at module init: a level
@@ -85,6 +98,24 @@ module Log : sig
   val info : ?fields:(unit -> field list) -> string -> unit
   val warn : ?fields:(unit -> field list) -> string -> unit
   val error : ?fields:(unit -> field list) -> string -> unit
+
+  (** A fully-evaluated log record, as handed to the tee hook.
+      [r_trace_id] is the current context's trace id (see
+      {!Span.set_trace_id}); emitted records also carry it as a
+      [trace_id] JSON field / [trace=] human token. *)
+  type record = {
+    r_ts : float;  (** epoch seconds *)
+    r_level : Level.t;
+    r_msg : string;
+    r_fields : field list;
+    r_trace_id : string option;
+  }
+
+  val set_tee : (record -> unit) option -> unit
+  (** Install (or clear) a structured tap called after the textual sink
+      for every emitted record.  Only records that pass the level
+      filter reach the tee.  Exceptions it raises are swallowed.  Used
+      by the OTLP exporter. *)
 end
 
 (** Named counters, gauges and fixed-bucket histograms.
@@ -175,13 +206,24 @@ module Metrics : sig
   (** Clear values on the calling domain; definitions persist. *)
 end
 
-(** Nested timed scopes forming a duration tree. *)
+(** Nested timed scopes forming a duration tree.
+
+    Every span carries epoch timestamps, a unique span id, and the
+    trace id that was current when it opened, so completed spans can be
+    exported (OTLP), rendered as flame graphs, or streamed to live
+    subscribers.  Timestamps come from {!now_ns} — see the clock caveat
+    there: durations are clamped at 0 if the wall clock steps
+    backwards mid-span. *)
 module Span : sig
   type t = {
     name : string;
     attrs : Log.field list;
-    dur_ns : int;
+    dur_ns : int;  (** [end_ns - start_ns], clamped at 0 *)
     children : t list;
+    span_id : string;  (** 16 lowercase hex chars, unique per process *)
+    trace_id : string;  (** 32 hex chars; [""] outside a trace *)
+    start_ns : int;  (** epoch nanoseconds at open *)
+    end_ns : int;  (** epoch nanoseconds at close; [>= start_ns] *)
   }
 
   val with_span : string -> ?attrs:(unit -> Log.field list) -> (unit -> 'a) -> 'a
@@ -196,6 +238,61 @@ module Span : sig
   (** Completed top-level spans on this domain, oldest first. *)
 
   val reset : unit -> unit
+  (** Drop this context's recorded spans and clear its trace id. *)
+
+  (** {2 Trace ids}
+
+      A trace id is request-scoped: it lives on the recording context,
+      is stamped into every span opened (and every log record emitted)
+      while set, and is managed explicitly by the request boundary
+      ([lib/serve] sets one per connection). *)
+
+  val gen_trace_id : unit -> string
+  (** Fresh 32-hex-char trace id, unique within the process. *)
+
+  val gen_span_id : unit -> string
+  (** Fresh 16-hex-char span id (exporters needing synthetic parents). *)
+
+  val set_trace_id : string option -> unit
+  (** Set or clear the calling context's trace id. *)
+
+  val trace_id : unit -> string option
+
+  val with_trace_id : string -> (unit -> 'a) -> 'a
+  (** Run the thunk with the given trace id, restoring the previous
+      one afterwards (exception-safe). *)
+
+  (** {2 Streaming observer}
+
+      Span closes become events: subscribers fire synchronously on the
+      recording domain, children strictly before their parents (close
+      order).  [root] is true when the closing span has no parent in
+      its context.  Subscriber exceptions are swallowed; with no
+      subscribers the cost is one atomic load per close. *)
+
+  type event = { span : t; root : bool }
+  type subscription
+
+  val subscribe : (event -> unit) -> subscription
+  (** Register a global observer for every span close (on any domain —
+      the callback must be thread-safe). *)
+
+  val unsubscribe : subscription -> unit
+
+  (** {2 Folded stacks (flame output)}
+
+      The folded format consumed by flamegraph.pl and speedscope:
+      one [frame;frame;frame weight] line per distinct stack, weight =
+      self time in nanoseconds (duration minus children, clamped at 0).
+      Frames named [story]/[model]/[route] attrs are decorated as
+      [name[story=17]] so per-story batch fits stay distinguishable. *)
+
+  val fold_stacks : t list -> (string * int) list
+  (** [(stack, self_ns)] rows in pre-order of first visit; repeated
+      stacks merge by summing. *)
+
+  val to_folded : t list -> string
+  (** Render {!fold_stacks} as folded-stack text, one line per row. *)
 
   (** One row per distinct slash-joined span path, parents before
       children (pre-order of first visit). *)
@@ -225,4 +322,13 @@ module Shard : sig
       last-merged-wins; spans attach under the innermost open span),
       then empty [t].  Call once per shard, in worker-index order, for
       deterministic totals. *)
+
+  val span_roots : t -> Span.t list
+  (** Completed top-level spans recorded in [t], oldest first. *)
+
+  val take_span_roots : t -> Span.t list
+  (** {!span_roots}, then drop them from [t] — so a later {!merge}
+      carries only metric values.  [lib/serve] uses this to capture
+      each request's trace into its ring buffer without growing the
+      server aggregate's span list unboundedly. *)
 end

@@ -1,0 +1,95 @@
+(* TTY-aware live progress bars driven by the Obs span stream.
+
+   A bar subscribes to span-close events and counts closes of one
+   named span ("batch.story", "tournament.item", ...), redrawing a
+   single \r-overwritten line.  It only activates when the output is a
+   TTY, so redirected/CI runs stay byte-clean; and because spans are
+   purely observational, enabling Obs for the duration cannot change
+   numeric results. *)
+
+type bar = {
+  label : string;
+  total : int;
+  fd : Unix.file_descr;
+  mutex : Mutex.t; (* events fire on worker domains *)
+  start_ns : int;
+  mutable count : int;
+  mutable last_len : int;
+}
+
+let write_str fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let written = ref 0 in
+  (try
+     while !written < n do
+       written := !written + Unix.write fd b !written (n - !written)
+     done
+   with Unix.Unix_error _ -> ())
+
+let bar_width = 30
+
+(* Must be called with [b.mutex] held. *)
+let draw b =
+  let count = Stdlib.min b.count b.total in
+  let filled =
+    if b.total = 0 then bar_width else bar_width * count / b.total
+  in
+  let elapsed = float_of_int (Obs.now_ns () - b.start_ns) /. 1e9 in
+  let line =
+    Printf.sprintf "\r%s [%s%s] %d/%d %.1fs" b.label
+      (String.make filled '#')
+      (String.make (bar_width - filled) '.')
+      count b.total elapsed
+  in
+  (* pad over any longer previous frame *)
+  let pad = Stdlib.max 0 (b.last_len - (String.length line - 1)) in
+  b.last_len <- String.length line - 1;
+  write_str b.fd (line ^ String.make pad ' ')
+
+let clear b =
+  write_str b.fd ("\r" ^ String.make b.last_len ' ' ^ "\r")
+
+let with_bar ?(out = Unix.stderr) ?enabled ~label ~total ~span f =
+  let active =
+    (match enabled with
+    | Some b -> b
+    | None -> ( try Unix.isatty out with Unix.Unix_error _ -> false))
+    && total > 0
+  in
+  if not active then f ()
+  else begin
+    let was_enabled = Obs.enabled () in
+    Obs.set_enabled true;
+    let b =
+      {
+        label;
+        total;
+        fd = out;
+        mutex = Mutex.create ();
+        start_ns = Obs.now_ns ();
+        count = 0;
+        last_len = 0;
+      }
+    in
+    Mutex.lock b.mutex;
+    draw b;
+    Mutex.unlock b.mutex;
+    let sub =
+      Obs.Span.subscribe (fun ev ->
+          if ev.Obs.Span.span.Obs.Span.name = span then begin
+            Mutex.lock b.mutex;
+            b.count <- b.count + 1;
+            draw b;
+            Mutex.unlock b.mutex
+          end)
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Span.unsubscribe sub;
+        Mutex.lock b.mutex;
+        clear b;
+        Mutex.unlock b.mutex;
+        if not was_enabled then Obs.set_enabled false)
+      f
+  end

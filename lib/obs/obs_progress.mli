@@ -1,0 +1,24 @@
+(** TTY-aware live progress bars driven by the [Obs] span stream.
+
+    A bar counts closes of one named span (e.g. ["batch.story"]) via
+    {!Obs.Span.subscribe} and redraws a single carriage-return
+    overwritten line.  Inert unless the output is a TTY (or [enabled]
+    forces it), so redirected and CI runs stay byte-clean. *)
+
+val with_bar :
+  ?out:Unix.file_descr ->
+  ?enabled:bool ->
+  label:string ->
+  total:int ->
+  span:string ->
+  (unit -> 'a) ->
+  'a
+(** [with_bar ~label ~total ~span f] runs [f] with a live progress bar
+    on [out] (default [Unix.stderr]) that advances each time a span
+    named [span] closes on any domain, up to [total].
+
+    When inactive ([out] not a TTY and [enabled] unset, [enabled =
+    Some false], or [total = 0]) this is exactly [f ()].  When active
+    it turns {!Obs.enabled} on for the duration (restoring it after) —
+    spans are purely observational, so numeric results are unchanged.
+    The bar line is cleared on exit, including on exceptions. *)

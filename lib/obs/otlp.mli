@@ -1,0 +1,93 @@
+(** Dependency-free OTLP/HTTP JSON exporter for the [Obs] registry.
+
+    Maps completed span trees, {!Obs.Metrics.expose} rows and teed log
+    records onto OpenTelemetry's HTTP/JSON protocol ([/v1/traces],
+    [/v1/metrics], [/v1/logs]) using only [Unix] sockets and the shared
+    JSON codec in [Obs] — no outside dependencies, so it can be
+    pointed at any OTLP collector ([otelcol], Jaeger, Tempo, a test
+    sink) without adding libraries.
+
+    A background thread batches and flushes queued telemetry on a
+    timer; each POST retries with exponential backoff and finally
+    drops (counted in {!stats}) so a dead collector can never wedge or
+    grow the instrumented process unboundedly. *)
+
+type config = {
+  endpoint : string;  (** [http://host:port[/base]]; no TLS *)
+  service_name : string;  (** OTLP [service.name] resource attribute *)
+  flush_interval : float;  (** seconds between background flushes *)
+  max_batch : int;  (** spans per POST *)
+  max_buffer : int;  (** queued spans/logs cap; overflow is dropped *)
+  max_retries : int;  (** additional attempts after the first *)
+  backoff : float;  (** initial retry delay, doubled per retry *)
+  timeout : float;  (** per-socket send/receive timeout, seconds *)
+}
+
+val default_config : config
+(** Service ["dlosn"], 2 s flushes, 512-span batches, 4096-item
+    buffers, 2 retries from 0.1 s, 5 s socket timeouts. *)
+
+val env_var : string
+(** ["DLOSN_OTLP"] — the endpoint environment variable honoured by the
+    CLI and server when no [--otlp-endpoint] flag is given. *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?metrics_provider:(unit -> Obs.Metrics.exposition_row list) ->
+  ?endpoint:string ->
+  unit ->
+  t
+(** Build an exporter for [endpoint] (overrides [config.endpoint]).
+    Raises [Invalid_argument] on a malformed or [https://] endpoint.
+    [metrics_provider], when given, is sampled at every flush and
+    posted to [/v1/metrics] — it runs on the flusher thread, so it
+    must be safe to call concurrently (the server wraps it in its
+    aggregate lock; the CLI relies on the systhreads runtime lock). *)
+
+val observe_spans : t -> unit
+(** Subscribe to the {!Obs.Span} close stream and queue every root
+    span (with its full subtree) for export. *)
+
+val tee_logs : t -> unit
+(** Install the {!Obs.Log.set_tee} hook and queue every emitted log
+    record for export.  The exporter's own ["otlp.*"] warn records are
+    skipped so a dead collector cannot feed the exporter its own
+    error reports. *)
+
+val start : t -> unit
+(** Start the background flusher thread (idempotent). *)
+
+val flush : t -> unit
+(** Synchronously drain and POST everything queued right now,
+    including a metrics snapshot when a provider is set. *)
+
+val shutdown : t -> unit
+(** Unhook from [Obs], stop the flusher thread, and run one final
+    {!flush}.  Safe to call more than once. *)
+
+type stats = { sent_posts : int; failed_posts : int; dropped : int }
+
+val stats : t -> stats
+
+(** {2 Pure payload builders}
+
+    Exposed for golden-fixture tests and for callers that want the
+    OTLP JSON without the sender (e.g. writing it to a file). *)
+
+val spans_body : ?service:string -> Obs.Span.t list -> string
+(** OTLP [resourceSpans] JSON for the given root spans; each tree is
+    flattened with [parentSpanId] links, and a root without a trace id
+    gets a fresh one. *)
+
+val metrics_body :
+  ?service:string -> now_ns:int -> Obs.Metrics.exposition_row list -> string
+(** OTLP [resourceMetrics] JSON: counters become monotonic cumulative
+    sums, gauges become gauges (never-set ones are skipped), and
+    histograms become cumulative histogram data points with explicit
+    bounds.  [now_ns] stamps every data point. *)
+
+val logs_body : ?service:string -> Obs.Log.record list -> string
+(** OTLP [resourceLogs] JSON; records carrying a 32-hex trace id are
+    linked to their trace. *)

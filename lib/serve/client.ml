@@ -100,11 +100,14 @@ let send_and_receive ?(timeout = 10.) ~port payload =
       | Error _ as e -> e
       | Ok raw -> parse_response raw))
 
-let request ?body ?timeout ~port meth target =
+let request ?body ?(headers = []) ?timeout ~port meth target =
   let payload =
     let buf = Buffer.create 256 in
     Buffer.add_string buf (Printf.sprintf "%s %s HTTP/1.1\r\n" meth target);
     Buffer.add_string buf "Host: 127.0.0.1\r\n";
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+      headers;
     (match body with
     | None -> ()
     | Some b ->

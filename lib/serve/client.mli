@@ -11,16 +11,18 @@ type response = {
 
 val request :
   ?body:string ->
+  ?headers:(string * string) list ->
   ?timeout:float ->
   port:int ->
   string ->
   string ->
   (response, string) result
 (** [request ~port meth target] connects to [127.0.0.1:port], sends
-    one request (with [Content-Length] when [body] is given) and reads
-    the response to EOF.  [timeout] (default 10 s) bounds each socket
-    read and write.  Errors (refused connection, timeout, malformed
-    status line) come back as [Error msg] — never an exception. *)
+    one request (with [Content-Length] when [body] is given, plus any
+    extra [headers]) and reads the response to EOF.  [timeout]
+    (default 10 s) bounds each socket read and write.  Errors (refused
+    connection, timeout, malformed status line) come back as
+    [Error msg] — never an exception. *)
 
 val request_raw :
   ?timeout:float -> port:int -> string -> (response, string) result

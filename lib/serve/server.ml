@@ -12,6 +12,9 @@ type config = {
   max_body : int;
   fit_starts_cap : int;
   store_dir : string option;
+  slow_request_ms : float;
+  trace_capacity : int;
+  otlp_endpoint : string option;
 }
 
 let default_config =
@@ -25,6 +28,9 @@ let default_config =
     max_body = 2 * 1024 * 1024;
     fit_starts_cap = 16;
     store_dir = None;
+    slow_request_ms = 1000.;
+    trace_capacity = 128;
+    otlp_endpoint = None;
   }
 
 let max_header = 16 * 1024
@@ -51,6 +57,16 @@ type fit_entry = {
       (* memoized per-t evaluators, newest first (PDE backends only) *)
 }
 
+(* One completed request trace, held in the server's bounded ring. *)
+type trace_entry = {
+  te_trace_id : string;
+  te_meth : string;
+  te_path : string;
+  te_status : int;
+  te_dur_ns : int;
+  te_root : Obs.Span.t;
+}
+
 type t = {
   cfg : config;
   lfd : Unix.file_descr;
@@ -70,6 +86,10 @@ type t = {
   cache_mutex : Mutex.t;
   mutable last_fit : string option;
   store : Store.t option;
+  traces : trace_entry option array; (* ring, trace_capacity slots *)
+  mutable trace_next : int; (* monotonic write position *)
+  trace_mutex : Mutex.t;
+  mutable otlp : Otlp.t option;
 }
 
 (* --- serve.* metrics (handles are idempotent to register) --- *)
@@ -82,6 +102,24 @@ let m_cache_misses = Obs.Metrics.counter "serve.fit_cache_misses"
 let m_batch_points = Obs.Metrics.counter "serve.predict_batch_points"
 let m_requests label = Obs.Metrics.counter ~label "serve.requests"
 let m_responses status = Obs.Metrics.counter ~label:(string_of_int status) "serve.responses"
+
+(* RED-style per-route series: request latency labelled by route, and
+   a route:status-class counter so /fit latency and error rates are
+   distinguishable from /predict's on /metrics. *)
+let m_route_ns route = Obs.Metrics.histogram ~label:route "serve.request_ns"
+
+let status_class status =
+  if status < 200 then "1xx"
+  else if status < 300 then "2xx"
+  else if status < 400 then "3xx"
+  else if status < 500 then "4xx"
+  else "5xx"
+
+let m_route_status route status =
+  Obs.Metrics.counter ~label:(route ^ ":" ^ status_class status)
+    "serve.route_responses"
+
+let m_slow = Obs.Metrics.counter "serve.slow_requests"
 
 (* Run [f] with the server-wide aggregate context installed, under its
    lock.  Used to fold request shards in, to record accept-loop events,
@@ -213,26 +251,49 @@ let create ?(config = default_config) () =
   in
   let cache = Hashtbl.create 16 in
   List.iter (fun e -> Hashtbl.replace cache e.fe_id e) warm;
-  {
-    cfg = config;
-    lfd;
-    bound_port;
-    stop_flag = Atomic.make false;
-    wake_r;
-    wake_w;
-    queue = Queue.create ();
-    qmutex = Mutex.create ();
-    qcond = Condition.create ();
-    qclosed = false;
-    inflight = Atomic.make 0;
-    handled = Atomic.make 0;
-    agg;
-    agg_mutex = Mutex.create ();
-    cache;
-    cache_mutex = Mutex.create ();
-    last_fit;
-    store;
-  }
+  let t =
+    {
+      cfg = config;
+      lfd;
+      bound_port;
+      stop_flag = Atomic.make false;
+      wake_r;
+      wake_w;
+      queue = Queue.create ();
+      qmutex = Mutex.create ();
+      qcond = Condition.create ();
+      qclosed = false;
+      inflight = Atomic.make 0;
+      handled = Atomic.make 0;
+      agg;
+      agg_mutex = Mutex.create ();
+      cache;
+      cache_mutex = Mutex.create ();
+      last_fit;
+      store;
+      traces = Array.make (Stdlib.max 1 config.trace_capacity) None;
+      trace_next = 0;
+      trace_mutex = Mutex.create ();
+      otlp = None;
+    }
+  in
+  (match config.otlp_endpoint with
+  | None -> ()
+  | Some endpoint ->
+    let exporter =
+      Otlp.create ~endpoint
+        ~metrics_provider:(fun () ->
+          Mutex.lock t.agg_mutex;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock t.agg_mutex)
+            (fun () -> Obs.Shard.with_shard t.agg Obs.Metrics.expose))
+        ()
+    in
+    Otlp.observe_spans exporter;
+    Otlp.tee_logs exporter;
+    Otlp.start exporter;
+    t.otlp <- Some exporter);
+  t
 
 let port t = t.bound_port
 let requests_handled t = Atomic.get t.handled
@@ -811,6 +872,100 @@ let handle_predict_batch t (req : Http.request) =
                ("results", Tiny_json.List results);
              ])))
 
+(* --- request traces: ring buffer + /debug endpoints --- *)
+
+(* Accept a caller-supplied X-Trace-Id only if it is a sane token;
+   anything else gets a fresh id (never echo arbitrary bytes back). *)
+let valid_trace_token s =
+  let n = String.length s in
+  n >= 1 && n <= 64
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> true
+         | _ -> false)
+       s
+
+let push_trace t entry =
+  Mutex.lock t.trace_mutex;
+  let cap = Array.length t.traces in
+  t.traces.(t.trace_next mod cap) <- Some entry;
+  t.trace_next <- t.trace_next + 1;
+  Mutex.unlock t.trace_mutex
+
+(* Most recent completed traces, newest first, at most [n]. *)
+let recent_traces t n =
+  Mutex.lock t.trace_mutex;
+  let cap = Array.length t.traces in
+  let available = Stdlib.min t.trace_next cap in
+  let take = Stdlib.min n available in
+  let out = ref [] in
+  for i = t.trace_next - take to t.trace_next - 1 do
+    match t.traces.(i mod cap) with
+    | Some e -> out := e :: !out (* newest ends up first *)
+    | None -> ()
+  done;
+  Mutex.unlock t.trace_mutex;
+  !out
+
+let rec span_json (s : Obs.Span.t) =
+  let value_json = function
+    | Obs.Log.String v -> Tiny_json.String v
+    | Obs.Log.Int i -> Tiny_json.Number (float_of_int i)
+    | Obs.Log.Float f -> Tiny_json.Number f
+    | Obs.Log.Bool b -> Tiny_json.Bool b
+  in
+  Tiny_json.Object
+    [
+      ("name", Tiny_json.String s.Obs.Span.name);
+      ("span_id", Tiny_json.String s.Obs.Span.span_id);
+      (* epoch ns exceed double precision; strings keep them exact *)
+      ("start_unix_ns", Tiny_json.String (string_of_int s.Obs.Span.start_ns));
+      ("end_unix_ns", Tiny_json.String (string_of_int s.Obs.Span.end_ns));
+      ("dur_ns", Tiny_json.Number (float_of_int s.Obs.Span.dur_ns));
+      ( "attrs",
+        Tiny_json.Object
+          (List.map (fun (k, v) -> (k, value_json v)) s.Obs.Span.attrs) );
+      ("children", Tiny_json.List (List.map span_json s.Obs.Span.children));
+    ]
+
+let handle_debug_traces t (req : Http.request) =
+  match
+    match Http.query_param req "n" with
+    | None -> Ok 32
+    | Some raw -> (
+      match int_of_string_opt raw with
+      | Some v when v >= 0 -> Ok v
+      | _ -> Error "query parameter \"n\" must be a non-negative integer")
+  with
+  | Error msg -> error_json 400 msg
+  | Ok n ->
+    let entries = recent_traces t n in
+    Http.json_response 200
+      (Tiny_json.Object
+         [
+           ("schema", Tiny_json.String "dlosn-traces/1");
+           ("count", Tiny_json.Number (float_of_int (List.length entries)));
+           ( "traces",
+             Tiny_json.List
+               (List.map
+                  (fun e ->
+                    Tiny_json.Object
+                      [
+                        ("trace_id", Tiny_json.String e.te_trace_id);
+                        ("method", Tiny_json.String e.te_meth);
+                        ("path", Tiny_json.String e.te_path);
+                        ("status", Tiny_json.Number (float_of_int e.te_status));
+                        ("dur_ns", Tiny_json.Number (float_of_int e.te_dur_ns));
+                        ("root", span_json e.te_root);
+                      ])
+                  entries) );
+         ])
+
+let handle_debug_flame t =
+  let roots = List.rev_map (fun e -> e.te_root) (recent_traces t max_int) in
+  Http.response ~content_type:"text/plain; charset=utf-8" 200
+    (Obs.Span.to_folded roots)
+
 (* --- routing --- *)
 
 let handle_metrics t =
@@ -818,16 +973,18 @@ let handle_metrics t =
   Http.response ~content_type:"text/plain; version=0.0.4; charset=utf-8" 200
     body
 
+let route_label (req : Http.request) =
+  match req.Http.path with
+  | "/healthz" -> "healthz"
+  | "/metrics" -> "metrics"
+  | "/fit" -> "fit"
+  | "/predict" -> "predict"
+  | "/debug/traces" -> "debug_traces"
+  | "/debug/flame" -> "debug_flame"
+  | _ -> "other"
+
 let route t (req : Http.request) =
-  let label =
-    match (req.Http.meth, req.Http.path) with
-    | _, "/healthz" -> "healthz"
-    | _, "/metrics" -> "metrics"
-    | _, "/fit" -> "fit"
-    | _, "/predict" -> "predict"
-    | _ -> "other"
-  in
-  Obs.Metrics.incr (m_requests label);
+  Obs.Metrics.incr (m_requests (route_label req));
   Obs.Metrics.set m_inflight (float_of_int (Atomic.get t.inflight));
   match (req.Http.meth, req.Http.path) with
   | "GET", "/healthz" -> Http.response 200 "ok\n"
@@ -835,7 +992,11 @@ let route t (req : Http.request) =
   | "POST", "/fit" -> handle_fit t req
   | "GET", "/predict" -> handle_predict t req
   | "POST", "/predict" -> handle_predict_batch t req
-  | _, ("/healthz" | "/metrics" | "/fit" | "/predict") ->
+  | "GET", "/debug/traces" -> handle_debug_traces t req
+  | "GET", "/debug/flame" -> handle_debug_flame t
+  | ( _,
+      ( "/healthz" | "/metrics" | "/fit" | "/predict" | "/debug/traces"
+      | "/debug/flame" ) ) ->
     error_json 405 (Printf.sprintf "method %s not allowed here" req.Http.meth)
   | _ -> error_json 404 (Printf.sprintf "no such endpoint %s" req.Http.path)
 
@@ -848,10 +1009,15 @@ let handle_conn t fd =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Atomic.decr t.inflight;
       Atomic.incr t.handled;
+      (* request spans were captured into the trace ring below, so the
+         merge folds in metric values only — the server aggregate's
+         span list cannot grow without bound *)
       with_agg t (fun () -> Obs.Shard.merge shard))
   @@ fun () ->
   Obs.Shard.with_shard shard @@ fun () ->
   let t0 = Obs.now_ns () in
+  (* (request, trace id) once a request parses; error paths have none *)
+  let parsed = ref None in
   let resp =
     match
       Http.read_request fd ~max_header ~max_body:t.cfg.max_body
@@ -860,23 +1026,87 @@ let handle_conn t fd =
     | Error Http.Timeout -> Some (Http.response 408 "request read timed out\n")
     | Error (Http.Too_large msg) -> Some (Http.response 413 (msg ^ "\n"))
     | Error (Http.Bad msg) -> Some (Http.response 400 (msg ^ "\n"))
-    | Ok req -> (
-      match route t req with
-      | resp -> Some resp
-      | exception e ->
-        Obs.Log.error "serve.handler_crashed" ~fields:(fun () ->
+    | Ok req ->
+      (* request-scoped trace id: accept a sane X-Trace-Id, else mint
+         one; stamped into every log record and span from here on *)
+      let trace_id =
+        match Http.header req "x-trace-id" with
+        | Some v when valid_trace_token v -> v
+        | _ -> Obs.Span.gen_trace_id ()
+      in
+      Obs.Span.set_trace_id (Some trace_id);
+      parsed := Some (req, trace_id);
+      let resp =
+        Obs.Span.with_span "serve.request"
+          ~attrs:(fun () ->
             [
-              Obs.Log.str "path" req.Http.path;
-              Obs.Log.str "exn" (Printexc.to_string e);
-            ]);
-        Some (error_json 500 "internal error"))
+              Obs.Log.str "method" req.Http.meth;
+              Obs.Log.str "route" (route_label req);
+            ])
+          (fun () ->
+            match route t req with
+            | resp -> resp
+            | exception e ->
+              Obs.Log.error "serve.handler_crashed" ~fields:(fun () ->
+                  [
+                    Obs.Log.str "path" req.Http.path;
+                    Obs.Log.str "exn" (Printexc.to_string e);
+                  ]);
+              error_json 500 "internal error")
+      in
+      Some
+        {
+          resp with
+          Http.extra_headers =
+            ("X-Trace-Id", trace_id) :: resp.Http.extra_headers;
+        }
   in
   (match resp with
   | None -> ()
   | Some resp ->
     ignore (Http.write_response fd resp : bool);
     Obs.Metrics.incr (m_responses resp.Http.status));
-  Obs.Metrics.observe m_request_ns (float_of_int (Obs.now_ns () - t0))
+  let dur_ns = Stdlib.max 0 (Obs.now_ns () - t0) in
+  Obs.Metrics.observe m_request_ns (float_of_int dur_ns);
+  match (!parsed, resp) with
+  | Some (req, trace_id), Some resp ->
+    let rl = route_label req in
+    Obs.Metrics.observe (m_route_ns rl) (float_of_int dur_ns);
+    Obs.Metrics.incr (m_route_status rl resp.Http.status);
+    let dur_ms = float_of_int dur_ns /. 1e6 in
+    if dur_ms > t.cfg.slow_request_ms then begin
+      Obs.Metrics.incr m_slow;
+      Obs.Log.warn "serve.slow_request" ~fields:(fun () ->
+          [
+            Obs.Log.str "trace_id" trace_id;
+            Obs.Log.str "route" rl;
+            Obs.Log.int "status" resp.Http.status;
+            Obs.Log.float "ms" dur_ms;
+          ])
+    end;
+    (* capture the completed request trace into the ring *)
+    (match Obs.Shard.take_span_roots shard with
+    | [] -> ()
+    | roots ->
+      let root =
+        match
+          List.filter
+            (fun (s : Obs.Span.t) -> s.Obs.Span.name = "serve.request")
+            roots
+        with
+        | [ r ] -> r
+        | _ -> List.nth roots (List.length roots - 1)
+      in
+      push_trace t
+        {
+          te_trace_id = trace_id;
+          te_meth = req.Http.meth;
+          te_path = req.Http.path;
+          te_status = resp.Http.status;
+          te_dur_ns = dur_ns;
+          te_root = root;
+        })
+  | _ -> ()
 
 (* --- accept loop + worker pool --- *)
 
@@ -988,6 +1218,8 @@ let run t =
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
   (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
   Option.iter Store.close t.store;
+  (* final flush so short-lived servers still deliver their telemetry *)
+  Option.iter Otlp.shutdown t.otlp;
   (* fold the server's aggregate into the caller's context so a final
      metrics dump (--metrics-out, bench) sees every serve.* series *)
   Mutex.lock t.agg_mutex;

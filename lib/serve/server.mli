@@ -24,6 +24,27 @@
       [{"fit": id?, "points": [[x, t], ...]}] evaluates up to 10k
       points against one cached fit in a single round-trip, reusing
       the per-fit solution memo (one PDE solve per distinct [t]).
+    - [GET /debug/traces?n=] — the most recent completed request
+      traces (default 32, newest first) as JSON: trace id, method,
+      path, status, duration and the full [serve.request] span tree.
+    - [GET /debug/flame] — every trace in the ring rendered as
+      folded-stack text ({!Obs.Span.to_folded}), ready for
+      flamegraph.pl or speedscope.
+
+    {2 Tracing}
+
+    Every parsed request gets a trace id — the [X-Trace-Id] header
+    when it is a sane token (1–64 chars of [[A-Za-z0-9_-]]), otherwise
+    a fresh 32-hex id.  The id is stamped into every log record the
+    request emits, returned as an [X-Trace-Id] response header, and
+    attached to the request's [serve.request] span tree, which lands
+    in a bounded ring of [config.trace_capacity] recent traces served
+    by the [/debug] endpoints.  Requests slower than
+    [config.slow_request_ms] emit a ["serve.slow_request"] warn log
+    carrying the trace id.  With [config.otlp_endpoint] set, spans,
+    logs and a periodic metrics snapshot are exported to that OTLP/
+    HTTP collector via {!Otlp} (batched, retried, dropped on final
+    failure — a dead collector never wedges the server).
 
     {2 Persistence}
 
@@ -76,6 +97,15 @@ type config = {
   store_dir : string option;
       (** persistent model store directory; [None] (the default) keeps
           the fit cache purely in-memory *)
+  slow_request_ms : float;
+      (** requests slower than this warn with their trace id
+          (default 1000) *)
+  trace_capacity : int;
+      (** ring-buffer slots for completed request traces served by
+          [/debug/traces] and [/debug/flame] (default 128) *)
+  otlp_endpoint : string option;
+      (** OTLP/HTTP collector ([http://host:port]) for span, log and
+          metric export; [None] (the default) exports nothing *)
 }
 
 val default_config : config

@@ -154,17 +154,51 @@ let append t record =
         Obs.Log.int "bytes" bytes;
       ])
 
-let gc t =
+let m_gc_dropped = Obs.Metrics.counter "store.gc_dropped_records"
+
+let gc ?keep_last ?max_age_ns t =
   locked t @@ fun () ->
+  (* Retention first: walk ids newest-first, keeping at most
+     [keep_last] records and none older than [max_age_ns]. *)
+  let cutoff =
+    match max_age_ns with
+    | None -> None
+    | Some age -> Some (Obs.now_ns () - Stdlib.max 0 age)
+  in
+  let _, keep_newest_last, dropped =
+    List.fold_left
+      (fun (rank, keep, dropped) id ->
+        let r = Hashtbl.find t.table id in
+        let over_cap =
+          match keep_last with Some k -> rank >= k | None -> false
+        in
+        let too_old =
+          match cutoff with
+          | Some c -> r.Format.created_ns < c
+          | None -> false
+        in
+        if over_cap || too_old then (rank + 1, keep, id :: dropped)
+        else (rank + 1, id :: keep, dropped))
+      (0, [], []) t.order
+  in
+  List.iter (Hashtbl.remove t.table) dropped;
+  t.order <- List.rev keep_newest_last;
+  (match t.last with
+  | Some id when not (Hashtbl.mem t.table id) ->
+    t.last <- (match t.order with id :: _ -> Some id | [] -> None)
+  | _ -> ());
   let live = List.rev_map (Hashtbl.find t.table) t.order in
   let bytes = Snapshot.write ~fsync:t.fsync ~dir:t.dir live in
   Wal.reset t.wal;
   Obs.Metrics.incr m_compactions;
+  Obs.Metrics.incr ~by:(List.length dropped) m_gc_dropped;
   Obs.Metrics.incr ~by:bytes m_snapshot_bytes;
+  Obs.Metrics.set m_records (float_of_int (Hashtbl.length t.table));
   Obs.Log.info "store.compacted" ~fields:(fun () ->
       [
         Obs.Log.str "dir" t.dir;
         Obs.Log.int "records" (List.length live);
+        Obs.Log.int "dropped" (List.length dropped);
         Obs.Log.int "snapshot_bytes" bytes;
       ])
 

@@ -65,12 +65,18 @@ val append : t -> Format.record -> unit
 
 val wal_bytes : t -> int
 
-val gc : t -> unit
-(** Compaction: write every live record into a new snapshot
-    (atomically replacing the old one), then truncate the WAL.  A
-    crash between the two steps only means the next open replays
-    records already present in the snapshot — recovery is idempotent
-    because replay is last-wins by id. *)
+val gc : ?keep_last:int -> ?max_age_ns:int -> t -> unit
+(** Compaction with optional retention: drop all but the newest
+    [keep_last] records (by append/replay order) and any record whose
+    [created_ns] is older than [max_age_ns] before now, then write the
+    surviving records into a new snapshot (atomically replacing the
+    old one) and truncate the WAL.  With neither option this is pure
+    compaction — every live record survives.  Dropped records count
+    into [store.gc_dropped_records]; if the latest record is dropped,
+    {!last_id} moves to the newest survivor.  A crash between the two
+    steps only means the next open replays records already present in
+    the snapshot — recovery is idempotent because replay is last-wins
+    by id. *)
 
 val close : t -> unit
 

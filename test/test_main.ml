@@ -22,7 +22,9 @@ let () =
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
       ("horizon", Test_horizon.suite);
+      ("otlp", Test_otlp.suite);
       ("serve", Test_serve.suite);
+      ("trace", Test_trace.suite);
       ("store", Test_store.suite);
       ("tournament", Test_tournament.suite);
     ]

@@ -396,6 +396,208 @@ let test_span_survives_exception () =
   | [ root ] -> Alcotest.(check string) "span closed" "failing" root.Obs.Span.name
   | _ -> Alcotest.fail "expected the failing span to be recorded"
 
+(* --- span ids, timestamps and trace ids --- *)
+
+let rec flatten_spans (s : Obs.Span.t) =
+  s :: List.concat_map flatten_spans s.Obs.Span.children
+
+let is_hex s n =
+  String.length s = n
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+
+let test_span_ids_and_timestamps () =
+  with_obs_enabled @@ fun () ->
+  Obs.Span.reset ();
+  Obs.Span.with_span "outer" (fun () ->
+      Obs.Span.with_span "inner" (fun () -> ());
+      Obs.Span.with_span "inner" (fun () -> ()));
+  let spans =
+    match Obs.Span.roots () with
+    | [ root ] -> flatten_spans root
+    | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+  in
+  Alcotest.(check int) "three spans" 3 (List.length spans);
+  List.iter
+    (fun (s : Obs.Span.t) ->
+      Alcotest.(check bool)
+        (s.Obs.Span.name ^ " span id is 16 hex chars")
+        true
+        (is_hex s.Obs.Span.span_id 16);
+      Alcotest.(check string)
+        (s.Obs.Span.name ^ " has no trace id outside a trace")
+        "" s.Obs.Span.trace_id;
+      Alcotest.(check bool)
+        (s.Obs.Span.name ^ " end >= start")
+        true
+        (s.Obs.Span.end_ns >= s.Obs.Span.start_ns);
+      Alcotest.(check int)
+        (s.Obs.Span.name ^ " duration matches timestamps")
+        (s.Obs.Span.end_ns - s.Obs.Span.start_ns)
+        s.Obs.Span.dur_ns;
+      Alcotest.(check bool)
+        (s.Obs.Span.name ^ " duration non-negative")
+        true (s.Obs.Span.dur_ns >= 0))
+    spans;
+  let ids = List.map (fun s -> s.Obs.Span.span_id) spans in
+  Alcotest.(check int) "span ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_trace_id_stamping () =
+  with_obs_enabled @@ fun () ->
+  Obs.Span.reset ();
+  let t1 = Obs.Span.gen_trace_id () and t2 = Obs.Span.gen_trace_id () in
+  Alcotest.(check bool) "generated trace ids are 32 hex" true
+    (is_hex t1 32 && is_hex t2 32);
+  Alcotest.(check bool) "generated trace ids differ" true (t1 <> t2);
+  Alcotest.(check (option string)) "no trace by default" None
+    (Obs.Span.trace_id ());
+  Obs.Span.with_trace_id t1 (fun () ->
+      Alcotest.(check (option string)) "trace set inside" (Some t1)
+        (Obs.Span.trace_id ());
+      Obs.Span.with_span "req" (fun () ->
+          Obs.Span.with_span "work" (fun () -> ())));
+  Alcotest.(check (option string)) "trace restored" None (Obs.Span.trace_id ());
+  match Obs.Span.roots () with
+  | [ root ] ->
+    List.iter
+      (fun (s : Obs.Span.t) ->
+        Alcotest.(check string)
+          (s.Obs.Span.name ^ " carries the trace id")
+          t1 s.Obs.Span.trace_id)
+      (flatten_spans root)
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_trace_id_in_logs () =
+  with_obs_enabled @@ fun () ->
+  let get = capture_lines () in
+  let teed = ref [] in
+  Obs.Log.set_tee (Some (fun r -> teed := r :: !teed));
+  Fun.protect ~finally:(fun () -> Obs.Log.set_tee None) @@ fun () ->
+  Obs.Log.set_sink Obs.Log.Json;
+  Obs.Log.set_level (Some Obs.Level.Info);
+  Obs.Span.set_trace_id (Some "cafe0000cafe0000cafe0000cafe0000");
+  Obs.Log.info "traced";
+  Obs.Span.set_trace_id None;
+  Obs.Log.info "untraced";
+  (match get () with
+  | [ l1; l2 ] ->
+    (match member "trace_id" (json_of_string l1) with
+    | Some (Jstr id) ->
+      Alcotest.(check string) "json trace_id"
+        "cafe0000cafe0000cafe0000cafe0000" id
+    | _ -> Alcotest.fail "traced record lacks trace_id");
+    Alcotest.(check bool) "untraced record has no trace_id" true
+      (member "trace_id" (json_of_string l2) = None)
+  | lines -> Alcotest.failf "expected two lines, got %d" (List.length lines));
+  match List.rev !teed with
+  | [ r1; r2 ] ->
+    Alcotest.(check (option string)) "tee carries trace id"
+      (Some "cafe0000cafe0000cafe0000cafe0000")
+      r1.Obs.Log.r_trace_id;
+    Alcotest.(check (option string)) "tee without trace" None
+      r2.Obs.Log.r_trace_id;
+    Alcotest.(check string) "tee message" "traced" r1.Obs.Log.r_msg
+  | rs -> Alcotest.failf "expected two teed records, got %d" (List.length rs)
+
+(* --- span subscriber stream --- *)
+
+let test_subscriber_ordering () =
+  with_obs_enabled @@ fun () ->
+  Obs.Span.reset ();
+  let events = ref [] in
+  let sub =
+    Obs.Span.subscribe (fun ev ->
+        events := (ev.Obs.Span.span.Obs.Span.name, ev.Obs.Span.root) :: !events)
+  in
+  Fun.protect ~finally:(fun () -> Obs.Span.unsubscribe sub) @@ fun () ->
+  Obs.Span.with_span "parent" (fun () ->
+      Obs.Span.with_span "c1" (fun () -> ());
+      Obs.Span.with_span "c2" (fun () ->
+          Obs.Span.with_span "grandchild" (fun () -> ())));
+  Alcotest.(check (list (pair string bool)))
+    "children fire strictly before parents; only the parent is a root"
+    [
+      ("c1", false); ("grandchild", false); ("c2", false); ("parent", true);
+    ]
+    (List.rev !events)
+
+let test_subscriber_exceptions_swallowed () =
+  with_obs_enabled @@ fun () ->
+  Obs.Span.reset ();
+  let count = ref 0 in
+  let bad = Obs.Span.subscribe (fun _ -> failwith "subscriber boom") in
+  let good = Obs.Span.subscribe (fun _ -> incr count) in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Span.unsubscribe bad;
+      Obs.Span.unsubscribe good)
+  @@ fun () ->
+  Alcotest.(check int) "body still runs" 7
+    (Obs.Span.with_span "s" (fun () -> 7));
+  Alcotest.(check int) "other subscribers still fire" 1 !count
+
+let test_subscriber_under_pool () =
+  with_obs_enabled @@ fun () ->
+  Obs.Span.reset ();
+  let mutex = Mutex.create () in
+  let closes = ref 0 and roots = ref 0 and child_first = ref true in
+  let sub =
+    Obs.Span.subscribe (fun ev ->
+        Mutex.lock mutex;
+        (match ev.Obs.Span.span.Obs.Span.name with
+        | "task" ->
+          (* the parent closing before its child would be a bug *)
+          if ev.Obs.Span.span.Obs.Span.children = [] then child_first := false;
+          incr closes;
+          if ev.Obs.Span.root then incr roots
+        | _ -> ());
+        Mutex.unlock mutex)
+  in
+  Fun.protect ~finally:(fun () -> Obs.Span.unsubscribe sub) @@ fun () ->
+  let n = 32 in
+  Pool.parallel_for pool4 ~n (fun _ ->
+      Obs.Span.with_span "task" (fun () ->
+          Obs.Span.with_span "step" (fun () -> ())));
+  Alcotest.(check int) "every task close observed across 4 domains" n !closes;
+  Alcotest.(check int) "each task span is a root in its shard" n !roots;
+  Alcotest.(check bool) "task spans closed with their child attached" true
+    !child_first
+
+(* --- folded stacks --- *)
+
+let test_folded_stacks () =
+  with_obs_enabled @@ fun () ->
+  Obs.Span.reset ();
+  Obs.Span.with_span "root one" (fun () ->
+      Obs.Span.with_span "story"
+        ~attrs:(fun () -> [ Obs.Log.int "story" 17 ])
+        (fun () -> ());
+      Obs.Span.with_span "story"
+        ~attrs:(fun () -> [ Obs.Log.int "story" 17 ])
+        (fun () -> ()));
+  let rows = Obs.Span.fold_stacks (Obs.Span.roots ()) in
+  let stacks = List.map fst rows in
+  Alcotest.(check (list string)) "stacks, parents first, merged, sanitised"
+    [ "root_one"; "root_one;story[story=17]" ]
+    stacks;
+  List.iter
+    (fun (stack, self) ->
+      Alcotest.(check bool) (stack ^ " self-time >= 0") true (self >= 0))
+    rows;
+  let folded = Obs.Span.to_folded (Obs.Span.roots ()) in
+  String.split_on_char '\n' folded
+  |> List.iter (fun line ->
+         if line <> "" then
+           match String.rindex_opt line ' ' with
+           | None -> Alcotest.failf "folded line without weight: %S" line
+           | Some sp -> (
+             match
+               int_of_string_opt
+                 (String.sub line (sp + 1) (String.length line - sp - 1))
+             with
+             | Some w -> Alcotest.(check bool) "weight >= 0" true (w >= 0)
+             | None -> Alcotest.failf "bad weight in %S" line))
+
 (* --- bit-identity: obs on/off must not change Fit results --- *)
 
 let test_fit_bit_identity () =
@@ -435,6 +637,16 @@ let suite =
     Alcotest.test_case "span nesting" `Quick test_span_nesting;
     Alcotest.test_case "span survives exception" `Quick
       test_span_survives_exception;
+    Alcotest.test_case "span ids and timestamps" `Quick
+      test_span_ids_and_timestamps;
+    Alcotest.test_case "trace id stamps spans" `Quick test_trace_id_stamping;
+    Alcotest.test_case "trace id in log records" `Quick test_trace_id_in_logs;
+    Alcotest.test_case "subscriber ordering" `Quick test_subscriber_ordering;
+    Alcotest.test_case "subscriber exceptions swallowed" `Quick
+      test_subscriber_exceptions_swallowed;
+    Alcotest.test_case "subscriber under a 4-domain pool" `Quick
+      test_subscriber_under_pool;
+    Alcotest.test_case "folded stacks" `Quick test_folded_stacks;
     Alcotest.test_case "fit bit-identity with obs on" `Quick
       test_fit_bit_identity;
   ]

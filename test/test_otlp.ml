@@ -1,0 +1,359 @@
+(* Tests for the OTLP/HTTP exporter: golden payload fixtures for the
+   pure JSON builders (span trees, metric snapshots, log records),
+   endpoint validation, and an end-to-end flush against an in-process
+   HTTP sink — including drop-after-retry behaviour when the collector
+   is down. *)
+
+(* reuse the strict JSON reader from the obs suite *)
+let json_of_string = Test_obs.json_of_string
+let member = Test_obs.member
+
+let fixed_trace = "000102030405060708090a0b0c0d0e0f"
+
+let child_span =
+  {
+    Obs.Span.name = "fit.fit";
+    attrs = [ ("story", Obs.Log.Int 7) ];
+    dur_ns = 500;
+    children = [];
+    span_id = "00000000000000aa";
+    trace_id = fixed_trace;
+    start_ns = 1_000_000_100;
+    end_ns = 1_000_000_600;
+  }
+
+let root_span =
+  {
+    Obs.Span.name = "serve.request";
+    attrs = [ ("route", Obs.Log.String "fit") ];
+    dur_ns = 1000;
+    children = [ child_span ];
+    span_id = "00000000000000bb";
+    trace_id = fixed_trace;
+    start_ns = 1_000_000_000;
+    end_ns = 1_000_001_000;
+  }
+
+(* The payload builders are pure and every field above is pinned, so
+   the whole body is compared byte-for-byte. *)
+let spans_golden =
+  {|{"resourceSpans":[{"resource":{"attributes":[{"key":"service.name","value":{"stringValue":"dlosn"}}]},"scopeSpans":[{"scope":{"name":"dlosn.obs","version":"1"},"spans":[{"traceId":"000102030405060708090a0b0c0d0e0f","spanId":"00000000000000bb","name":"serve.request","kind":1,"startTimeUnixNano":"1000000000","endTimeUnixNano":"1000001000","attributes":[{"key":"route","value":{"stringValue":"fit"}}],"status":{}},{"traceId":"000102030405060708090a0b0c0d0e0f","spanId":"00000000000000aa","parentSpanId":"00000000000000bb","name":"fit.fit","kind":1,"startTimeUnixNano":"1000000100","endTimeUnixNano":"1000000600","attributes":[{"key":"story","value":{"intValue":"7"}}],"status":{}}]}]}]}|}
+
+let test_spans_body_golden () =
+  let body = Otlp.spans_body [ root_span ] in
+  Alcotest.(check string) "spans body matches the golden fixture"
+    spans_golden body;
+  (* and it is valid JSON with the tree flattened to two linked spans *)
+  let j = json_of_string body in
+  match
+    Option.bind (member "resourceSpans" j) (function
+      | Test_obs.Jlist [ rs ] ->
+        Option.bind (member "scopeSpans" rs) (function
+          | Test_obs.Jlist [ ss ] -> member "spans" ss
+          | _ -> None)
+      | _ -> None)
+  with
+  | Some (Test_obs.Jlist [ root; child ]) ->
+    Alcotest.(check bool) "root has no parent" true
+      (member "parentSpanId" root = None);
+    (match member "parentSpanId" child with
+    | Some (Test_obs.Jstr p) ->
+      Alcotest.(check string) "child links to the root" "00000000000000bb" p
+    | _ -> Alcotest.fail "child lacks parentSpanId")
+  | _ -> Alcotest.fail "expected exactly two flattened spans"
+
+let test_spans_body_generates_missing_trace () =
+  let body = Otlp.spans_body [ { root_span with Obs.Span.trace_id = "" } ] in
+  (* never export an empty (invalid) trace id *)
+  Alcotest.(check bool) "no empty traceId" false
+    (Test_serve.contains ~needle:{|"traceId":""|} body)
+
+let metrics_rows =
+  [
+    {
+      Obs.Metrics.row_name = "fit.fits";
+      row_label = None;
+      row_sample = Obs.Metrics.Counter_sample 3;
+    };
+    {
+      Obs.Metrics.row_name = "store.records";
+      row_label = None;
+      row_sample = Obs.Metrics.Gauge_sample (Some 2.5);
+    };
+    {
+      Obs.Metrics.row_name = "never.set";
+      row_label = None;
+      row_sample = Obs.Metrics.Gauge_sample None;
+    };
+    {
+      Obs.Metrics.row_name = "serve.request_ns";
+      row_label = Some "fit";
+      row_sample =
+        Obs.Metrics.Histogram_sample
+          {
+            Obs.Metrics.h_count = 4;
+            h_sum = 6.5;
+            h_cumulative = [| (0.5, 1); (1.0, 3); (Float.infinity, 4) |];
+          };
+    };
+  ]
+
+let metrics_golden =
+  {|{"resourceMetrics":[{"resource":{"attributes":[{"key":"service.name","value":{"stringValue":"dlosn"}}]},"scopeMetrics":[{"scope":{"name":"dlosn.obs","version":"1"},"metrics":[{"name":"fit.fits","sum":{"aggregationTemporality":2,"isMonotonic":true,"dataPoints":[{"timeUnixNano":"1000000000","attributes":[],"asInt":"3"}]}},{"name":"store.records","gauge":{"dataPoints":[{"timeUnixNano":"1000000000","attributes":[],"asDouble":2.5}]}},{"name":"serve.request_ns","histogram":{"aggregationTemporality":2,"dataPoints":[{"timeUnixNano":"1000000000","attributes":[{"key":"label","value":{"stringValue":"fit"}}],"count":"4","sum":6.5,"bucketCounts":["1","2","1"],"explicitBounds":[0.5,1]}]}}]}]}]}|}
+
+let test_metrics_body_golden () =
+  let body = Otlp.metrics_body ~now_ns:1_000_000_000 metrics_rows in
+  Alcotest.(check string) "metrics body matches the golden fixture"
+    metrics_golden body;
+  ignore (json_of_string body);
+  (* the never-set gauge must not produce a metric entry *)
+  Alcotest.(check bool) "never-set gauge skipped" false
+    (Test_serve.contains ~needle:"never.set" body)
+
+let log_records =
+  [
+    {
+      Obs.Log.r_ts = 1.5;
+      r_level = Obs.Level.Warn;
+      r_msg = "serve.slow_request";
+      r_fields = [ ("ms", Obs.Log.Float 1200.5) ];
+      r_trace_id = Some fixed_trace;
+    };
+    {
+      Obs.Log.r_ts = 2.;
+      r_level = Obs.Level.Info;
+      r_msg = "store.opened";
+      r_fields = [];
+      r_trace_id = None;
+    };
+  ]
+
+let logs_golden =
+  {|{"resourceLogs":[{"resource":{"attributes":[{"key":"service.name","value":{"stringValue":"dlosn"}}]},"scopeLogs":[{"scope":{"name":"dlosn.obs","version":"1"},"logRecords":[{"timeUnixNano":"1500000000","severityNumber":13,"severityText":"WARN","body":{"stringValue":"serve.slow_request"},"attributes":[{"key":"ms","value":{"doubleValue":1200.5}}],"traceId":"000102030405060708090a0b0c0d0e0f"},{"timeUnixNano":"2000000000","severityNumber":9,"severityText":"INFO","body":{"stringValue":"store.opened"},"attributes":[]}]}]}]}|}
+
+let test_logs_body_golden () =
+  let body = Otlp.logs_body log_records in
+  Alcotest.(check string) "logs body matches the golden fixture"
+    logs_golden body;
+  ignore (json_of_string body)
+
+(* --- endpoint validation --- *)
+
+let test_endpoint_validation () =
+  List.iter
+    (fun endpoint ->
+      match Otlp.create ~endpoint () with
+      | (_ : Otlp.t) -> Alcotest.failf "endpoint %S must be rejected" endpoint
+      | exception Invalid_argument _ -> ())
+    [ "https://collector:4318"; "http://"; "http://host:notaport";
+      "http://:4318"; "" ];
+  (* valid shapes construct without error *)
+  List.iter
+    (fun endpoint -> ignore (Otlp.create ~endpoint ()))
+    [ "http://127.0.0.1:4318"; "http://collector"; "http://h:4318/otlp/" ]
+
+(* --- end-to-end: flush to an in-process HTTP sink --- *)
+
+type sink = {
+  sk_port : int;
+  sk_socket : Unix.file_descr;
+  sk_thread : Thread.t;
+  sk_mutex : Mutex.t;
+  sk_posts : (string * string) list ref;  (* (path, body), oldest first *)
+}
+
+let read_http_request fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec until_headers () =
+    let s = Buffer.contents buf in
+    match Test_serve.contains ~needle:"\r\n\r\n" s with
+    | true -> s
+    | false ->
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n = 0 then s
+      else begin
+        Buffer.add_subbytes buf chunk 0 n;
+        until_headers ()
+      end
+  in
+  let s = until_headers () in
+  let header_end =
+    let rec find i =
+      if i + 4 > String.length s then String.length s
+      else if String.sub s i 4 = "\r\n\r\n" then i + 4
+      else find (i + 1)
+    in
+    find 0
+  in
+  let headers = String.lowercase_ascii (String.sub s 0 header_end) in
+  let content_length =
+    List.fold_left
+      (fun acc line ->
+        match String.index_opt line ':' with
+        | Some i when String.trim (String.sub line 0 i) = "content-length" ->
+          int_of_string_opt
+            (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+          |> Option.value ~default:acc
+        | _ -> acc)
+      0
+      (String.split_on_char '\n' headers)
+  in
+  let body = Buffer.create content_length in
+  Buffer.add_string body (String.sub s header_end (String.length s - header_end));
+  while Buffer.length body < content_length do
+    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+    if n = 0 then raise Exit;
+    Buffer.add_subbytes body chunk 0 n
+  done;
+  let path =
+    match String.split_on_char ' ' (List.hd (String.split_on_char '\r' s)) with
+    | _meth :: path :: _ -> path
+    | _ -> ""
+  in
+  (path, Buffer.contents body)
+
+let start_sink () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen sock 8;
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let mutex = Mutex.create () in
+  let posts = ref [] in
+  let thread =
+    Thread.create
+      (fun () ->
+        try
+          while true do
+            let fd, _ = Unix.accept sock in
+            (try
+               let path, body = read_http_request fd in
+               Mutex.lock mutex;
+               posts := !posts @ [ (path, body) ];
+               Mutex.unlock mutex;
+               let resp =
+                 "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: \
+                  close\r\n\r\n{}"
+               in
+               ignore (Unix.write_substring fd resp 0 (String.length resp))
+             with _ -> ());
+            (try Unix.close fd with Unix.Unix_error _ -> ())
+          done
+        with _ -> () (* listener closed: exit the loop *))
+      ()
+  in
+  { sk_port = port; sk_socket = sock; sk_thread = thread;
+    sk_mutex = mutex; sk_posts = posts }
+
+let stop_sink sink =
+  (try Unix.close sink.sk_socket with Unix.Unix_error _ -> ());
+  (* unblock a pending accept on platforms where close alone doesn't *)
+  (try
+     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+     (try
+        Unix.connect fd
+          (Unix.ADDR_INET (Unix.inet_addr_loopback, sink.sk_port))
+      with Unix.Unix_error _ -> ());
+     Unix.close fd
+   with Unix.Unix_error _ -> ());
+  Thread.join sink.sk_thread
+
+let sink_posts sink =
+  Mutex.lock sink.sk_mutex;
+  let posts = !(sink.sk_posts) in
+  Mutex.unlock sink.sk_mutex;
+  posts
+
+let test_export_roundtrip () =
+  let sink = start_sink () in
+  Fun.protect ~finally:(fun () -> stop_sink sink) @@ fun () ->
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.Log.set_level None;
+      Obs.Log.set_out prerr_endline;
+      Obs.reset ())
+  @@ fun () ->
+  Obs.Log.set_out (fun _ -> ());
+  Obs.Log.set_level (Some Obs.Level.Info);
+  let exporter =
+    Otlp.create
+      ~endpoint:(Printf.sprintf "http://127.0.0.1:%d" sink.sk_port)
+      ~metrics_provider:Obs.Metrics.expose ()
+  in
+  Otlp.observe_spans exporter;
+  Otlp.tee_logs exporter;
+  Obs.Span.with_trace_id fixed_trace (fun () ->
+      Obs.Span.with_span "export.job" (fun () ->
+          Obs.Log.info "export.step"));
+  Otlp.shutdown exporter;
+  let posts = sink_posts sink in
+  let bodies_to path =
+    List.filter_map (fun (p, b) -> if p = path then Some b else None) posts
+    |> String.concat "\n"
+  in
+  Alcotest.(check bool) "span reached /v1/traces" true
+    (Test_serve.contains ~needle:"export.job" (bodies_to "/v1/traces"));
+  Alcotest.(check bool) "span carries its trace id" true
+    (Test_serve.contains ~needle:fixed_trace (bodies_to "/v1/traces"));
+  Alcotest.(check bool) "log reached /v1/logs" true
+    (Test_serve.contains ~needle:"export.step" (bodies_to "/v1/logs"));
+  Alcotest.(check bool) "metrics snapshot posted" true
+    (Test_serve.contains ~needle:"resourceMetrics" (bodies_to "/v1/metrics"));
+  let stats = Otlp.stats exporter in
+  Alcotest.(check bool) "posts counted" true (stats.Otlp.sent_posts >= 2);
+  Alcotest.(check int) "no failures" 0 stats.Otlp.failed_posts
+
+let test_dead_collector_drops () =
+  (* a bound-then-closed port: connection refused, every retry *)
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Unix.close sock;
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+  @@ fun () ->
+  let config =
+    {
+      Otlp.default_config with
+      Otlp.endpoint = Printf.sprintf "http://127.0.0.1:%d" port;
+      max_retries = 1;
+      backoff = 0.01;
+      timeout = 1.;
+    }
+  in
+  let exporter = Otlp.create ~config () in
+  Otlp.observe_spans exporter;
+  Obs.Span.with_span "doomed" (fun () -> ());
+  Otlp.shutdown exporter;
+  let stats = Otlp.stats exporter in
+  Alcotest.(check bool) "failed post recorded" true
+    (stats.Otlp.failed_posts >= 1);
+  Alcotest.(check int) "nothing sent" 0 stats.Otlp.sent_posts
+
+let suite =
+  [
+    Alcotest.test_case "spans body golden" `Quick test_spans_body_golden;
+    Alcotest.test_case "missing trace id regenerated" `Quick
+      test_spans_body_generates_missing_trace;
+    Alcotest.test_case "metrics body golden" `Quick test_metrics_body_golden;
+    Alcotest.test_case "logs body golden" `Quick test_logs_body_golden;
+    Alcotest.test_case "endpoint validation" `Quick test_endpoint_validation;
+    Alcotest.test_case "export round-trip to a sink" `Quick
+      test_export_roundtrip;
+    Alcotest.test_case "dead collector drops after retries" `Quick
+      test_dead_collector_drops;
+  ]

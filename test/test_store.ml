@@ -305,6 +305,49 @@ let test_gc_roundtrip () =
     ids;
   Store.close store
 
+let test_gc_retention () =
+  with_dir @@ fun dir ->
+  let fresh_record ~id ~age_s =
+    { (sample_record ~id ()) with
+      F.created_ns = Obs.now_ns () - (age_s * 1_000_000_000) }
+  in
+  let store = Store.open_ dir in
+  List.iter
+    (fun (id, age_s) -> Store.append store (fresh_record ~id ~age_s))
+    [ ("old1", 5000); ("old2", 4000); ("new1", 10); ("new2", 5) ];
+  (* rank-based retention: keep the two newest by append order *)
+  Store.gc ~keep_last:2 store;
+  Alcotest.(check int) "keep_last keeps 2" 2 (Store.record_count store);
+  Alcotest.(check bool) "oldest dropped" true (Store.find store "old1" = None);
+  Alcotest.(check bool) "newest kept" true (Store.find store "new2" <> None);
+  Alcotest.(check (option string)) "last_id unchanged" (Some "new2")
+    (Store.last_id store);
+  (* age-based retention: a 1-hour cutoff drops nothing that's left *)
+  Store.gc ~max_age_ns:(3600 * 1_000_000_000) store;
+  Alcotest.(check int) "young records survive max_age" 2
+    (Store.record_count store);
+  (* retention survives reopen (snapshot rewritten) *)
+  Store.close store;
+  let store = Store.open_ dir in
+  Alcotest.(check int) "reopen sees survivors" 2 (Store.record_count store);
+  (* keep_last:0 empties the store and clears last_id *)
+  Store.gc ~keep_last:0 store;
+  Alcotest.(check int) "keep_last:0 empties" 0 (Store.record_count store);
+  Alcotest.(check (option string)) "last_id cleared" None (Store.last_id store);
+  Store.close store;
+  (* the ancient fixture timestamp always falls past a real cutoff *)
+  let store = Store.open_ dir in
+  Store.append store (sample_record ~id:"ancient" ());
+  Store.append store (fresh_record ~id:"young" ~age_s:1);
+  Store.gc ~max_age_ns:(86_400 * 1_000_000_000) store;
+  Alcotest.(check bool) "ancient dropped by max_age" true
+    (Store.find store "ancient" = None);
+  Alcotest.(check bool) "young survives max_age" true
+    (Store.find store "young" <> None);
+  Alcotest.(check (option string)) "last_id repointed" (Some "young")
+    (Store.last_id store);
+  Store.close store
+
 let test_load_read_only () =
   with_dir @@ fun dir ->
   let store = Store.open_ dir in
@@ -546,6 +589,7 @@ let suite =
     Alcotest.test_case "mangled WAL header degrades" `Quick
       test_mangled_wal_header;
     Alcotest.test_case "gc round-trip" `Quick test_gc_roundtrip;
+    Alcotest.test_case "gc retention" `Quick test_gc_retention;
     Alcotest.test_case "load is read-only" `Quick test_load_read_only;
     Alcotest.test_case "fit hook round-trips bit-exactly" `Slow
       test_fit_hook_roundtrip;
