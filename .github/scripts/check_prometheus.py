@@ -10,7 +10,10 @@ histogram buckets are cumulative per label set and end with a `+Inf`
 bucket whose count equals that label set's `_count`, and every
 REQUIRED_SERIES name prefix (default:
 dlosn_fit_, dlosn_pde_, dlosn_pool_, dlosn_serve_) matches at least
-one sample.
+one sample.  Additionally requires
+dlosn_serve_connections_reused_total >= 1: the smoke test pipelines
+requests over one keep-alive connection, and a zero would mean reuse
+silently stopped working.
 """
 import re
 import sys
@@ -121,6 +124,22 @@ def main():
     for prefix in required:
         if not any(n.startswith(prefix) for n in names):
             fail(f"no series matching {prefix!r} (have {sorted(names)[:10]}...)")
+
+    # the smoke test pipelines requests over one connection, so the
+    # server must have observed keep-alive reuse (a zero here means
+    # every request paid a fresh TCP connection)
+    reused = [
+        v
+        for name, _, v in samples
+        if name == "dlosn_serve_connections_reused_total"
+    ]
+    if not reused:
+        fail("dlosn_serve_connections_reused_total not exported")
+    if max(reused) < 1:
+        fail(
+            "dlosn_serve_connections_reused_total is 0 — "
+            "keep-alive connection reuse never happened"
+        )
 
     print(
         f"check_prometheus: OK — {len(samples)} samples in "

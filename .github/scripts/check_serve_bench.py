@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Gate the serving layer's keep-alive load benchmark.
+
+Usage: check_serve_bench.py SERVE_JSON
+
+Reads the "serve" object of a dlosn-bench-serve/1 (or dlosn-bench/1)
+file — produced by `DLOSN_BENCH_SERVE_ONLY=1 bench/main.exe` — and
+fails (exit 1) unless:
+
+- connections >= 1000: the event loop actually multiplexed a thousand
+  concurrent keep-alive connections in one process;
+- dropped == 0: every request got a response, including the ones in
+  flight when the bench SIGTERMed the server;
+- drained is true: the SIGTERM drain answered all in-flight requests
+  and the server process exited 0;
+- reused >= 2 * connections: requests genuinely rode existing
+  connections instead of paying a fresh TCP handshake each;
+- p50 <= SERVE_P50_MS and p99 <= SERVE_P99_MS (defaults 10 / 25 —
+  cache-hit /predict latency; the local acceptance bar is p99 < 10 ms,
+  the CI default leaves headroom for shared runners.  Override via
+  environment).
+"""
+import json
+import os
+import sys
+
+P50_MS = float(os.environ.get("SERVE_P50_MS", "10"))
+P99_MS = float(os.environ.get("SERVE_P99_MS", "25"))
+
+
+def fail(msg):
+    print(f"check_serve_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    path = sys.argv[1]
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") not in ("dlosn-bench-serve/1", "dlosn-bench/1"):
+        fail(f"{path}: unexpected schema {doc.get('schema')!r}")
+    serve = doc.get("serve")
+    if not serve:
+        fail(f"{path}: no serve section")
+
+    conns = serve.get("connections", 0)
+    if conns < 1000:
+        fail(f"only {conns} concurrent keep-alive connections (need >= 1000)")
+    if serve.get("dropped", 1) != 0:
+        fail(f"{serve['dropped']} dropped responses (need 0)")
+    if serve.get("drained") is not True:
+        fail("SIGTERM under load did not drain cleanly")
+    reused = serve.get("reused", 0)
+    if reused < 2 * conns:
+        fail(
+            f"connection reuse {reused} below {2 * conns} — "
+            f"keep-alive is not carrying the load"
+        )
+    p50, p99 = serve.get("p50_ms"), serve.get("p99_ms")
+    if p50 is None or p50 > P50_MS:
+        fail(f"p50 {p50} ms over the {P50_MS} ms bound")
+    if p99 is None or p99 > P99_MS:
+        fail(f"p99 {p99} ms over the {P99_MS} ms bound")
+
+    print(
+        f"check_serve_bench: OK — {serve['requests']} requests over "
+        f"{conns} connections, reused {reused}, dropped 0, drained, "
+        f"p50 {p50:.2f} ms, p99 {p99:.2f} ms "
+        f"(bounds {P50_MS:.0f}/{P99_MS:.0f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

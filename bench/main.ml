@@ -862,6 +862,10 @@ let json_float v =
 
 type serve_load = {
   sl_requests : int;
+  sl_connections : int;  (* concurrent keep-alive connections held open *)
+  sl_reused : int;  (* requests served on an already-used connection *)
+  sl_dropped : int;  (* requests that errored or got a non-200 *)
+  sl_drained : bool;  (* SIGTERM under load: in-flight answered, exit 0 *)
   sl_seconds : float;
   sl_rps : float;
   sl_p50_ms : float;
@@ -875,64 +879,182 @@ let serve_fit_body =
                 [0.2,0.3,0.5,0.7,0.9,1.0]],
      "starts":1,"seed":3}|}
 
+(* The server lives in a forked child: the event loop multiplexes with
+   Unix.select (fds < 1024 only), and a thousand client sockets opened
+   in the same process would push the server's accepted fds past that
+   line.  The fork also makes the SIGTERM drain check honest — a real
+   signal to a real process under real load. *)
+let serve_nconns = 1000
+let serve_rounds = 5
+let serve_window = 32 (* requests in flight at once while measuring *)
+
 let run_serve_load () =
-  section "Serve: loopback request throughput (/predict + /healthz)";
+  section
+    (Printf.sprintf
+       "Serve: %d keep-alive connections, cache-hit /predict latency"
+       serve_nconns);
   let jobs = if Parallel.Pool.domains_available then 2 else 1 in
   let config =
     { Serve.Server.default_config with Serve.Server.port = 0; jobs }
   in
   let server = Serve.Server.create ~config () in
-  let th = Thread.create Serve.Server.run server in
   let port = Serve.Server.port server in
-  let fit =
-    Serve.Client.request ~port ~body:serve_fit_body "POST" "/fit"
+  let child =
+    match Unix.fork () with
+    | 0 ->
+      (* the child is the server; _exit avoids replaying the parent's
+         at_exit machinery (buffered output, metric dumps) twice *)
+      (try
+         Serve.Server.install_signal_handlers server;
+         Serve.Server.run server;
+         Unix._exit 0
+       with _ -> Unix._exit 1)
+    | pid -> pid
   in
-  (match fit with
+  (* warm the fit cache and each /predict t-memo through one-shot
+     requests, so the measured rounds are pure cache hits *)
+  (match Serve.Client.request ~port ~body:serve_fit_body "POST" "/fit" with
   | Ok r when r.Serve.Client.status = 200 -> ()
   | Ok r -> failwith (Printf.sprintf "bench fit failed: %d" r.Serve.Client.status)
   | Error e -> failwith ("bench fit failed: " ^ e));
-  let n = 200 in
+  List.iter
+    (fun t ->
+      match
+        Serve.Client.request ~port "GET" (Printf.sprintf "/predict?x=2&t=%d" t)
+      with
+      | Ok r when r.Serve.Client.status = 200 -> ()
+      | Ok r -> failwith (Printf.sprintf "warm predict failed: %d" r.Serve.Client.status)
+      | Error e -> failwith ("warm predict failed: " ^ e))
+    [ 2; 3; 4 ];
+  let dropped = ref 0 in
+  let conns =
+    Array.init serve_nconns (fun i ->
+        match Serve.Client.connect ~port () with
+        | Ok c -> Some c
+        | Error e ->
+          if i = 0 then failwith ("bench connect failed: " ^ e);
+          incr dropped;
+          None)
+  in
+  let live = Array.to_list conns |> List.filter_map Fun.id |> Array.of_list in
+  let nlive = Array.length live in
+  let target_of i = Printf.sprintf "/predict?x=2&t=%d" (2 + (i mod 3)) in
   (* latencies also land in the Obs registry so the bench metrics dump
      carries the full histogram, not just the two percentiles below *)
   let latency = Obs.Metrics.histogram "serve.bench_latency_ns" in
-  let lat_ms = Array.make n 0. in
+  let lats = ref [] in
   let t0 = Unix.gettimeofday () in
-  for i = 0 to n - 1 do
-    let target =
-      match i mod 4 with
-      | 0 -> "/healthz"
-      | k -> Printf.sprintf "/predict?x=2&t=%d" (1 + k)
-    in
-    let s = Unix.gettimeofday () in
-    (match Serve.Client.request ~port "GET" target with
-    | Ok r when r.Serve.Client.status = 200 -> ()
-    | Ok r ->
-      failwith (Printf.sprintf "bench %s failed: %d" target r.Serve.Client.status)
-    | Error e -> failwith (Printf.sprintf "bench %s failed: %s" target e));
-    let dt = Unix.gettimeofday () -. s in
-    lat_ms.(i) <- dt *. 1e3;
-    Obs.Metrics.observe latency (dt *. 1e9)
+  (* each round walks every connection once, a sliding window of
+     [serve_window] requests pipelined across connections at a time *)
+  for _round = 1 to serve_rounds do
+    let i = ref 0 in
+    while !i < nlive do
+      let hi = min nlive (!i + serve_window) in
+      let sent = Array.make (hi - !i) nan in
+      for k = !i to hi - 1 do
+        sent.(k - !i) <- Unix.gettimeofday ();
+        match Serve.Client.send_request live.(k) "GET" (target_of k) with
+        | Ok () -> ()
+        | Error _ -> incr dropped
+      done;
+      for k = !i to hi - 1 do
+        match Serve.Client.recv_response live.(k) with
+        | Ok r when r.Serve.Client.status = 200 ->
+          let dt = Unix.gettimeofday () -. sent.(k - !i) in
+          lats := (dt *. 1e3) :: !lats;
+          Obs.Metrics.observe latency (dt *. 1e9)
+        | Ok _ | Error _ -> incr dropped
+      done;
+      i := hi
+    done
   done;
   let seconds = Unix.gettimeofday () -. t0 in
-  Serve.Server.stop server;
-  Thread.join th;
+  (* reuse as the server counted it, read over one of the live
+     connections (a fresh one would be the 1001st and get shed) *)
+  let reused =
+    match Serve.Client.request_on live.(0) "GET" "/metrics" with
+    | Ok r when r.Serve.Client.status <> 200 -> 0
+    | Error _ -> 0
+    | Ok r ->
+      String.split_on_char '\n' r.Serve.Client.body
+      |> List.find_map (fun line ->
+             match String.split_on_char ' ' line with
+             | [ "dlosn_serve_connections_reused_total"; v ] ->
+               int_of_string_opt v
+             | _ -> None)
+      |> Option.value ~default:0
+  in
+  (* SIGTERM under load: put one more request in flight on a slice of
+     the connections, signal the server, and demand every in-flight
+     request a response (Connection: close) plus a clean child exit *)
+  let in_flight = min 100 nlive in
+  for k = 0 to in_flight - 1 do
+    match Serve.Client.send_request live.(k) "GET" (target_of k) with
+    | Ok () -> ()
+    | Error _ -> incr dropped
+  done;
+  (* let the sent bytes reach the server's kernel before the signal *)
+  ignore (Unix.select [] [] [] 0.05);
+  Unix.kill child Sys.sigterm;
+  let drain_ok = ref true in
+  for k = 0 to in_flight - 1 do
+    match Serve.Client.recv_response live.(k) with
+    | Ok r when r.Serve.Client.status = 200 -> ()
+    | Ok _ | Error _ ->
+      incr dropped;
+      drain_ok := false
+  done;
+  let rec reap tries =
+    if tries = 0 then None
+    else
+      match Unix.waitpid [ Unix.WNOHANG ] child with
+      | 0, _ ->
+        ignore (Unix.select [] [] [] 0.1);
+        reap (tries - 1)
+      | _, status -> Some status
+  in
+  let exited_clean =
+    match reap 150 with
+    | Some (Unix.WEXITED 0) -> true
+    | Some _ -> false
+    | None ->
+      (* wedged: don't leave the child running *)
+      (try Unix.kill child Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] child);
+      false
+  in
+  let drained = !drain_ok && exited_clean in
+  Array.iter Serve.Client.close live;
+  let lat_ms = Array.of_list !lats in
   Array.sort compare lat_ms;
-  let pct p = lat_ms.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+  let n = Array.length lat_ms in
+  let pct p =
+    if n = 0 then nan
+    else lat_ms.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let total = (serve_rounds * nlive) + in_flight in
   let load =
     {
-      sl_requests = n;
+      sl_requests = total;
+      sl_connections = nlive;
+      sl_reused = reused;
+      sl_dropped = !dropped;
+      sl_drained = drained;
       sl_seconds = seconds;
-      sl_rps = float_of_int n /. seconds;
+      sl_rps = float_of_int (serve_rounds * nlive) /. seconds;
       sl_p50_ms = pct 0.50;
       sl_p99_ms = pct 0.99;
     }
   in
   Format.printf
-    "  %d requests in %.2f s (%d worker%s): %.0f req/s, p50 %.2f ms, p99 \
-     %.2f ms@."
-    load.sl_requests load.sl_seconds jobs
+    "  %d requests over %d keep-alive connections (%d worker%s): %.0f req/s, \
+     p50 %.2f ms, p99 %.2f ms@."
+    load.sl_requests load.sl_connections jobs
     (if jobs = 1 then "" else "s")
     load.sl_rps load.sl_p50_ms load.sl_p99_ms;
+  Format.printf "  reused %d, dropped %d, SIGTERM drain %s@." load.sl_reused
+    load.sl_dropped
+    (if load.sl_drained then "clean" else "FAILED");
   load
 
 (* ------------------------------------------------------------------ *)
@@ -1202,9 +1324,11 @@ let write_bench_json ~path ~scale_name ~scaling ~micro ~serve_load ~solver
     micro;
   out "  ],\n";
   out
-    "  \"serve\": {\"requests\": %d, \"seconds\": %s, \"rps\": %s, \
+    "  \"serve\": {\"requests\": %d, \"connections\": %d, \"reused\": %d, \
+     \"dropped\": %d, \"drained\": %b, \"seconds\": %s, \"rps\": %s, \
      \"p50_ms\": %s, \"p99_ms\": %s},\n"
-    serve_load.sl_requests
+    serve_load.sl_requests serve_load.sl_connections serve_load.sl_reused
+    serve_load.sl_dropped serve_load.sl_drained
     (json_float serve_load.sl_seconds)
     (json_float serve_load.sl_rps)
     (json_float serve_load.sl_p50_ms)
@@ -1468,16 +1592,48 @@ let run_benchmarks () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Serve-only JSON: the same "serve" object write_bench_json embeds,
+   standalone — what CI gates on and uploads without paying for the
+   full harness. *)
+let write_serve_json ~path serve_load =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"dlosn-bench-serve/1\",\n  \"serve\": {\"requests\": \
+     %d, \"connections\": %d, \"reused\": %d, \"dropped\": %d, \"drained\": \
+     %b, \"seconds\": %s, \"rps\": %s, \"p50_ms\": %s, \"p99_ms\": %s}\n}\n"
+    serve_load.sl_requests serve_load.sl_connections serve_load.sl_reused
+    serve_load.sl_dropped serve_load.sl_drained
+    (json_float serve_load.sl_seconds)
+    (json_float serve_load.sl_rps)
+    (json_float serve_load.sl_p50_ms)
+    (json_float serve_load.sl_p99_ms);
+  close_out oc
+
 let () =
   (* The harness always records internal counters (fit iterations, PDE
      steps, pool balance) so BENCH_*.json trajectories carry more than
      end-to-end timings; the metrics land next to the bench JSON. *)
   Obs.set_enabled true;
+  if Sys.getenv_opt "DLOSN_BENCH_SERVE_ONLY" <> None then begin
+    let serve_load = run_serve_load () in
+    let json_path =
+      match Sys.getenv_opt "DLOSN_BENCH_JSON" with
+      | Some p -> p
+      | None -> "bench_serve.json"
+    in
+    write_serve_json ~path:json_path serve_load;
+    Format.printf "serve bench written to %s@." json_path;
+    exit (if serve_load.sl_dropped = 0 && serve_load.sl_drained then 0 else 1)
+  end;
   let scale_name, scale = scale_of_env () in
   Format.printf
     "dlosn reproduction harness — corpus scale: %s (set \
      DLOSN_BENCH_SCALE to change)@."
     scale_name;
+  (* first, before anything spawns a domain: the serve load forks the
+     server into a child process, and OCaml 5 forbids Unix.fork once
+     other domains have ever existed *)
+  let serve_load = run_serve_load () in
   let t0 = Unix.gettimeofday () in
   let corpus = Socialnet.Digg.build ~scale ~seed:7 () in
   let ds = corpus.Socialnet.Digg.dataset in
@@ -1565,7 +1721,6 @@ let () =
   print_future_work_twitter ();
 
   let scaling = print_parallel_scaling ds in
-  let serve_load = run_serve_load () in
   let solver = run_solver_bench () in
   let store = run_store_bench () in
   let tournament = run_tournament_bench () in

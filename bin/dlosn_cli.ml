@@ -706,8 +706,15 @@ let serve_cmd =
     Arg.(
       value & opt int Serve.Server.default_config.Serve.Server.max_conns
       & info [ "max-conns" ] ~docv:"N"
-          ~doc:"In-flight connection cap; connections beyond it are \
-                shed with an immediate 503.")
+          ~doc:"Live-connection cap; new connections past it are \
+                answered 503 and closed.")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value & opt float Serve.Server.default_config.Serve.Server.idle_timeout
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Close an idle keep-alive connection after this many \
+                seconds without a request.")
   in
   let serve_store_arg =
     Arg.(
@@ -727,7 +734,7 @@ let serve_cmd =
           ~doc:"Warn (with the request's trace id) about requests slower \
                 than MS milliseconds.")
   in
-  let run obs port host max_conns jobs store_dir slow_ms =
+  let run obs port host max_conns idle_timeout jobs store_dir slow_ms =
    (* the server owns the OTLP exporter (serve-side metrics snapshots
       must read the request aggregate), so skip the CLI-level one *)
    with_obs ~otlp:false obs @@ fun () ->
@@ -741,6 +748,7 @@ let serve_cmd =
         port;
         jobs;
         max_conns;
+        idle_timeout;
         store_dir;
         slow_request_ms = slow_ms;
         otlp_endpoint = obs.otlp_endpoint;
@@ -769,8 +777,8 @@ let serve_cmd =
              (/healthz, /metrics, /fit, /predict, /debug/traces, \
              /debug/flame).")
     Term.(
-      const run $ obs_term $ port_arg $ host_arg $ max_conns_arg $ jobs_arg
-      $ serve_store_arg $ slow_ms_arg)
+      const run $ obs_term $ port_arg $ host_arg $ max_conns_arg
+      $ idle_timeout_arg $ jobs_arg $ serve_store_arg $ slow_ms_arg)
 
 (* --- store --- *)
 

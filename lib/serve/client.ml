@@ -4,24 +4,33 @@ type response = {
   body : string;
 }
 
-let recv_all fd =
-  let chunk = Bytes.create 4096 in
-  let buf = Buffer.create 1024 in
-  let rec go () =
-    match Unix.read fd chunk 0 (Bytes.length chunk) with
-    | 0 -> Ok (Buffer.contents buf)
-    | n ->
-      Buffer.add_subbytes buf chunk 0 n;
-      go ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-      Error "read timed out"
-    | exception Unix.Unix_error (e, _, _) ->
-      Error (Printf.sprintf "read failed: %s" (Unix.error_message e))
-  in
-  go ()
+let parse_head head =
+  match String.split_on_char '\r' head with
+  | status_line :: _ -> (
+    match String.split_on_char ' ' status_line with
+    | _ :: code :: _ -> (
+      match int_of_string_opt code with
+      | Some status ->
+        let headers =
+          String.split_on_char '\n' head
+          |> List.filter_map (fun line ->
+                 let line = String.trim line in
+                 match String.index_opt line ':' with
+                 | None -> None
+                 | Some colon ->
+                   Some
+                     ( String.lowercase_ascii
+                         (String.trim (String.sub line 0 colon)),
+                       String.trim
+                         (String.sub line (colon + 1)
+                            (String.length line - colon - 1)) ))
+        in
+        Ok (status, headers)
+      | None -> Error (Printf.sprintf "bad status line %S" status_line))
+    | _ -> Error (Printf.sprintf "bad status line %S" status_line))
+  | [] -> Error "empty response"
 
-let find_separator raw =
+let find_separator ?(from = 0) raw =
   let n = String.length raw in
   let rec go i =
     if i + 3 >= n then None
@@ -31,7 +40,7 @@ let find_separator raw =
     then Some i
     else go (i + 1)
   in
-  go 0
+  go from
 
 let parse_response raw =
   match
@@ -42,31 +51,161 @@ let parse_response raw =
       (find_separator raw)
   with
   | Some (head, body) -> (
-    match String.split_on_char '\r' head with
-    | status_line :: _ -> (
-      match String.split_on_char ' ' status_line with
-      | _ :: code :: _ -> (
-        match int_of_string_opt code with
-        | Some status ->
-          let headers =
-            String.split_on_char '\n' head
-            |> List.filter_map (fun line ->
-                   let line = String.trim line in
-                   match String.index_opt line ':' with
-                   | None -> None
-                   | Some colon ->
-                     Some
-                       ( String.lowercase_ascii
-                           (String.trim (String.sub line 0 colon)),
-                         String.trim
-                           (String.sub line (colon + 1)
-                              (String.length line - colon - 1)) ))
-          in
-          Ok { status; headers; body }
-        | None -> Error (Printf.sprintf "bad status line %S" status_line))
-      | _ -> Error (Printf.sprintf "bad status line %S" status_line))
-    | [] -> Error "empty response")
+    match parse_head head with
+    | Ok (status, headers) -> Ok { status; headers; body }
+    | Error _ as e -> e)
   | None -> Error "no header/body separator in response"
+
+let write_all fd payload =
+  let total = Bytes.length payload in
+  let rec go off =
+    if off >= total then Ok ()
+    else
+      match Unix.write fd payload off (total - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "write failed: %s" (Unix.error_message e))
+  in
+  go 0
+
+(* --- persistent (keep-alive) connections --- *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  mutable c_left : string;  (* bytes read past the previous response *)
+  mutable c_closed : bool;
+}
+
+let connect ?(timeout = 10.) ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.connect fd
+      (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port))
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "connect failed: %s" (Unix.error_message e))
+  | () ->
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true
+     with Unix.Unix_error _ -> ());
+    Ok { c_fd = fd; c_left = ""; c_closed = false }
+
+let close conn =
+  if not conn.c_closed then begin
+    conn.c_closed <- true;
+    try Unix.close conn.c_fd with Unix.Unix_error _ -> ()
+  end
+
+let build_request ?body ?(headers = []) ?(close = false) meth target =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s %s HTTP/1.1\r\n" meth target);
+  Buffer.add_string buf "Host: 127.0.0.1\r\n";
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  (match body with
+  | None -> ()
+  | Some b ->
+    Buffer.add_string buf "Content-Type: application/json\r\n";
+    Buffer.add_string buf
+      (Printf.sprintf "Content-Length: %d\r\n" (String.length b)));
+  if close then Buffer.add_string buf "Connection: close\r\n";
+  Buffer.add_string buf "\r\n";
+  Option.iter (Buffer.add_string buf) body;
+  Buffer.contents buf
+
+let send_request conn ?body ?headers meth target =
+  if conn.c_closed then Error "connection already closed"
+  else
+    write_all conn.c_fd (Bytes.of_string (build_request ?body ?headers meth target))
+
+(* One read via the shared EINTR-safe helper; [Ok 0] is a genuine peer
+   close here. *)
+let recv conn chunk =
+  match Http.read_some conn.c_fd chunk 0 (Bytes.length chunk) with
+  | Ok n -> Ok n
+  | Error Http.Timeout -> Error "read timed out"
+  | Error Http.Closed -> Error "connection reset"
+  | Error (Http.Too_large m) | Error (Http.Bad m) -> Error m
+
+(* Read exactly one response, framed by its Content-Length; bytes past
+   it (a pipelined follower) are kept for the next call. *)
+let recv_response conn =
+  if conn.c_closed then Error "connection already closed"
+  else begin
+    let chunk = Bytes.create 4096 in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf conn.c_left;
+    conn.c_left <- "";
+    let rec read_head scanned =
+      let raw = Buffer.contents buf in
+      match find_separator ~from:scanned raw with
+      | Some i -> Ok (raw, i)
+      | None -> (
+        match recv conn chunk with
+        | Error _ as e -> e
+        | Ok 0 -> Error "connection closed mid-response"
+        | Ok n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          read_head (max 0 (String.length raw - 3)))
+    in
+    match read_head 0 with
+    | Error _ as e -> e
+    | Ok (raw, i) -> (
+      match parse_head (String.sub raw 0 i) with
+      | Error _ as e -> e
+      | Ok (status, headers) -> (
+        match
+          Option.bind (List.assoc_opt "content-length" headers)
+            int_of_string_opt
+        with
+        | None -> Error "response without Content-Length on a reused connection"
+        | Some cl ->
+          let body_start = i + 4 in
+          let rec read_body () =
+            let have = Buffer.length buf - body_start in
+            if have >= cl then begin
+              let raw = Buffer.contents buf in
+              conn.c_left <-
+                String.sub raw (body_start + cl)
+                  (String.length raw - body_start - cl);
+              Ok { status; headers; body = String.sub raw body_start cl }
+            end
+            else
+              match recv conn chunk with
+              | Error _ as e -> e
+              | Ok 0 -> Error "connection closed mid-body"
+              | Ok n ->
+                Buffer.add_subbytes buf chunk 0 n;
+                read_body ()
+          in
+          read_body ()))
+  end
+
+let request_on conn ?body ?headers meth target =
+  match send_request conn ?body ?headers meth target with
+  | Error _ as e -> e
+  | Ok () -> recv_response conn
+
+(* --- one-shot requests (Connection: close, read to EOF) --- *)
+
+let recv_all fd =
+  let chunk = Bytes.create 4096 in
+  let buf = Buffer.create 1024 in
+  let rec go () =
+    match Http.read_some fd chunk 0 (Bytes.length chunk) with
+    | Ok 0 -> Ok (Buffer.contents buf)
+    | Ok n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    | Error Http.Timeout -> Error "read timed out"
+    | Error Http.Closed -> Error "connection reset"
+    | Error (Http.Too_large m) | Error (Http.Bad m) -> Error m
+  in
+  go ()
 
 let send_and_receive ?(timeout = 10.) ~port payload =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -82,42 +221,15 @@ let send_and_receive ?(timeout = 10.) ~port payload =
   | () -> (
     Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
     Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
-    let payload = Bytes.of_string payload in
-    let total = Bytes.length payload in
-    let rec write_all off =
-      if off >= total then Ok ()
-      else
-        match Unix.write fd payload off (total - off) with
-        | n -> write_all (off + n)
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
-        | exception Unix.Unix_error (e, _, _) ->
-          Error (Printf.sprintf "write failed: %s" (Unix.error_message e))
-    in
-    match write_all 0 with
+    match write_all fd (Bytes.of_string payload) with
     | Error _ as e -> e
     | Ok () -> (
       match recv_all fd with
       | Error _ as e -> e
       | Ok raw -> parse_response raw))
 
-let request ?body ?(headers = []) ?timeout ~port meth target =
-  let payload =
-    let buf = Buffer.create 256 in
-    Buffer.add_string buf (Printf.sprintf "%s %s HTTP/1.1\r\n" meth target);
-    Buffer.add_string buf "Host: 127.0.0.1\r\n";
-    List.iter
-      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
-      headers;
-    (match body with
-    | None -> ()
-    | Some b ->
-      Buffer.add_string buf "Content-Type: application/json\r\n";
-      Buffer.add_string buf
-        (Printf.sprintf "Content-Length: %d\r\n" (String.length b)));
-    Buffer.add_string buf "Connection: close\r\n\r\n";
-    Option.iter (Buffer.add_string buf) body;
-    Buffer.contents buf
-  in
-  send_and_receive ?timeout ~port payload
+let request ?body ?headers ?timeout ~port meth target =
+  send_and_receive ?timeout ~port
+    (build_request ?body ?headers ~close:true meth target)
 
 let request_raw ?timeout ~port bytes = send_and_receive ?timeout ~port bytes

@@ -1,13 +1,60 @@
 (** A minimal blocking HTTP/1.1 client for loopback use — the test
-    suite and the serve bench talk to {!Server} with it.  One request
-    per connection, matching the server's [Connection: close]
-    discipline. *)
+    suite and the serve bench talk to {!Server} with it.
+
+    Two modes: one-shot {!request} (sends [Connection: close], reads to
+    EOF) and persistent connections ({!connect} / {!request_on}) that
+    ride the server's HTTP/1.1 keep-alive, framing each response by its
+    [Content-Length] so many requests share one socket.  {!send_request}
+    and {!recv_response} are exposed separately so a caller can
+    pipeline: write several requests back-to-back, then collect the
+    responses in order. *)
 
 type response = {
   status : int;
   headers : (string * string) list;  (** names lower-cased *)
   body : string;
 }
+
+(** {2 Persistent connections} *)
+
+type conn
+(** One open keep-alive connection.  Not thread-safe; one user at a
+    time. *)
+
+val connect : ?timeout:float -> port:int -> unit -> (conn, string) result
+(** Open a connection to [127.0.0.1:port].  [timeout] (default 10 s)
+    bounds each subsequent socket read and write. *)
+
+val request_on :
+  conn ->
+  ?body:string ->
+  ?headers:(string * string) list ->
+  string ->
+  string ->
+  (response, string) result
+(** [request_on conn meth target] sends one request on the open
+    connection (no [Connection: close] — the server keeps it alive)
+    and reads its response.  Bytes past the response stay buffered for
+    the next call. *)
+
+val send_request :
+  conn ->
+  ?body:string ->
+  ?headers:(string * string) list ->
+  string ->
+  string ->
+  (unit, string) result
+(** Write one request without waiting for its response — pair with
+    {!recv_response} to pipeline. *)
+
+val recv_response : conn -> (response, string) result
+(** Read the next response in order.  [EINTR]-safe (a stray signal
+    never truncates a read). *)
+
+val close : conn -> unit
+(** Close the socket.  Idempotent. *)
+
+(** {2 One-shot requests} *)
 
 val request :
   ?body:string ->
@@ -17,14 +64,14 @@ val request :
   string ->
   string ->
   (response, string) result
-(** [request ~port meth target] connects to [127.0.0.1:port], sends
-    one request (with [Content-Length] when [body] is given, plus any
-    extra [headers]) and reads the response to EOF.  [timeout]
-    (default 10 s) bounds each socket read and write.  Errors (refused
-    connection, timeout, malformed status line) come back as
+(** [request ~port meth target] connects, sends one request (with
+    [Content-Length] when [body] is given, plus any extra [headers]
+    and [Connection: close]) and reads the response to EOF.  Errors
+    (refused connection, timeout, malformed status line) come back as
     [Error msg] — never an exception. *)
 
 val request_raw :
   ?timeout:float -> port:int -> string -> (response, string) result
-(** Send [bytes] verbatim and read the response — for exercising the
-    server's handling of malformed or oversized requests. *)
+(** Send [bytes] verbatim and read the response to EOF — for
+    exercising the server's handling of malformed or oversized
+    requests. *)

@@ -4,6 +4,7 @@ type request = {
   query : (string * string) list;
   headers : (string * string) list;
   body : string;
+  version : string;
 }
 
 type read_error =
@@ -24,7 +25,7 @@ let status_reason = function
   | 503 -> "Service Unavailable"
   | _ -> "Unknown"
 
-(* --- reading --- *)
+(* --- target decoding --- *)
 
 let hex_value c =
   match c with
@@ -33,7 +34,10 @@ let hex_value c =
   | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
   | _ -> None
 
-let percent_decode s =
+(* '+' means space only inside query strings (the form-urlencoded rule);
+   in a path segment it is a literal plus, so the path decoder must not
+   touch it. *)
+let decode ~plus_is_space s =
   let n = String.length s in
   let buf = Buffer.create n in
   let i = ref 0 in
@@ -45,11 +49,13 @@ let percent_decode s =
         Buffer.add_char buf (Char.chr ((hi * 16) + lo));
         i := !i + 2
       | _ -> Buffer.add_char buf '%')
-    | '+' -> Buffer.add_char buf ' '
+    | '+' when plus_is_space -> Buffer.add_char buf ' '
     | c -> Buffer.add_char buf c);
     incr i
   done;
   Buffer.contents buf
+
+let percent_decode s = decode ~plus_is_space:false s
 
 let parse_query q =
   if q = "" then []
@@ -58,36 +64,30 @@ let parse_query q =
     |> List.filter_map (fun kv ->
            if kv = "" then None
            else
+             let dec = decode ~plus_is_space:true in
              match String.index_opt kv '=' with
-             | None -> Some (percent_decode kv, "")
+             | None -> Some (dec kv, "")
              | Some eq ->
                Some
-                 ( percent_decode (String.sub kv 0 eq),
-                   percent_decode
-                     (String.sub kv (eq + 1) (String.length kv - eq - 1)) ))
+                 ( dec (String.sub kv 0 eq),
+                   dec (String.sub kv (eq + 1) (String.length kv - eq - 1)) ))
 
-(* A read that maps the socket-level failure modes the server arranges
-   for (SO_RCVTIMEO, peer reset) onto read_error. *)
-let read_some fd buf off len =
+(* --- blocking-socket read helper (client side, SO_RCVTIMEO sockets) --- *)
+
+let rec read_some fd buf off len =
   match Unix.read fd buf off len with
   | n -> Ok n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+    (* a signal (e.g. SIGTERM starting a drain) must not masquerade as a
+       peer close: retry the read *)
+    read_some fd buf off len
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
     Error Timeout
   | exception Unix.Unix_error (Unix.ETIMEDOUT, _, _) -> Error Timeout
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
     Error Closed
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> Ok 0
 
-let find_header_end s len =
-  (* index just past "\r\n\r\n", scanning only the new tail *)
-  let rec go i =
-    if i + 3 >= len then None
-    else if
-      s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
-    then Some (i + 4)
-    else go (i + 1)
-  in
-  go 0
+(* --- header parsing --- *)
 
 let parse_headers lines =
   List.filter_map
@@ -115,80 +115,191 @@ let split_crlf s =
 
 let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
 
-let read_request fd ~max_header ~max_body =
-  let chunk = Bytes.create 4096 in
-  let acc = Buffer.create 1024 in
-  (* 1. accumulate until the blank line ending the header block *)
-  let rec read_head () =
-    let contents = Buffer.contents acc in
-    match find_header_end contents (String.length contents) with
-    | Some head_end -> Ok (contents, head_end)
-    | None ->
-      if Buffer.length acc > max_header then
-        Error (Too_large (Printf.sprintf "header block over %d bytes" max_header))
-      else
-        let* n = read_some fd chunk 0 (Bytes.length chunk) in
-        if n = 0 && Buffer.length acc = 0 then Error Closed
-        else if n = 0 then Error (Bad "connection closed mid-header")
-        else begin
-          Buffer.add_subbytes acc chunk 0 n;
-          read_head ()
-        end
+(* A repeated Content-Length is request smuggling bait: two conflicting
+   values frame the body two different ways, and even two identical
+   copies signal a mangled or hostile intermediary.  Reject outright
+   rather than quietly trusting whichever List.assoc_opt finds first. *)
+let content_length_of headers =
+  match List.filter (fun (name, _) -> name = "content-length") headers with
+  | [] -> Ok 0
+  | [ (_, v) ] -> (
+    match int_of_string_opt (String.trim v) with
+    | Some n when n >= 0 -> Ok n
+    | _ -> Error (Bad (Printf.sprintf "bad Content-Length %S" v)))
+  | _ :: _ :: _ -> Error (Bad "duplicate Content-Length headers")
+
+let header_of req name = List.assoc_opt (String.lowercase_ascii name) req.headers
+
+let keep_alive req =
+  (* Connection: is a comma-separated token list on both versions;
+     "close" wins over "keep-alive", and the absence of either falls
+     back to the version default (persistent on 1.1, one-shot on 1.0) *)
+  let tokens =
+    match header_of req "connection" with
+    | None -> []
+    | Some v ->
+      String.split_on_char ',' v
+      |> List.map (fun tok -> String.lowercase_ascii (String.trim tok))
   in
-  let* contents, head_end = read_head () in
-  let head = String.sub contents 0 (head_end - 4) in
-  let* meth, target, lines =
+  if List.mem "close" tokens then false
+  else if List.mem "keep-alive" tokens then true
+  else req.version = "HTTP/1.1"
+
+(* --- incremental request parser --- *)
+
+(* Bytes arrive in arbitrary chunks from a non-blocking socket; the
+   parser accumulates them and yields complete requests one at a time.
+   Bytes past the end of a request (the start of a pipelined next
+   request) stay buffered for the next [next] call instead of being
+   discarded. *)
+
+type head = {
+  h_meth : string;
+  h_target : string;
+  h_version : string;
+  h_headers : (string * string) list;
+  h_content_length : int;
+}
+
+type parser = {
+  p_max_header : int;
+  p_max_body : int;
+  mutable p_data : Bytes.t;
+  mutable p_start : int;  (* consumed prefix *)
+  mutable p_len : int;  (* live bytes at p_data[p_start ..] *)
+  mutable p_scanned : int;
+      (* bytes of the current head already scanned for the terminator,
+         relative to p_start — makes the CRLFCRLF scan O(total bytes)
+         instead of O(n^2) across chunks *)
+  mutable p_head : head option;  (* parsed head awaiting its body *)
+}
+
+let parser ~max_header ~max_body =
+  {
+    p_max_header = max_header;
+    p_max_body = max_body;
+    p_data = Bytes.create 4096;
+    p_start = 0;
+    p_len = 0;
+    p_scanned = 0;
+    p_head = None;
+  }
+
+let parser_feed p src off len =
+  if len < 0 || off < 0 || off + len > Bytes.length src then
+    invalid_arg "Http.parser_feed";
+  let cap = Bytes.length p.p_data in
+  if p.p_start + p.p_len + len > cap then begin
+    (* compact the consumed prefix away, growing if still too small *)
+    let need = p.p_len + len in
+    let dst = if need <= cap then p.p_data else Bytes.create (max need (cap * 2)) in
+    Bytes.blit p.p_data p.p_start dst 0 p.p_len;
+    p.p_data <- dst;
+    p.p_start <- 0
+  end;
+  Bytes.blit src off p.p_data (p.p_start + p.p_len) len;
+  p.p_len <- p.p_len + len
+
+let parser_buffered p = p.p_len
+let parser_partial p = p.p_head <> None || p.p_len > 0
+
+(* index just past "\r\n\r\n" relative to p_start, scanning only bytes
+   not covered by a previous scan *)
+let find_header_end p =
+  let data = p.p_data and base = p.p_start in
+  let rec go i =
+    if i + 3 >= p.p_len then begin
+      p.p_scanned <- max 0 (p.p_len - 3);
+      None
+    end
+    else if
+      Bytes.get data (base + i) = '\r'
+      && Bytes.get data (base + i + 1) = '\n'
+      && Bytes.get data (base + i + 2) = '\r'
+      && Bytes.get data (base + i + 3) = '\n'
+    then Some (i + 4)
+    else go (i + 1)
+  in
+  go p.p_scanned
+
+let parse_head p head_end =
+  let head = Bytes.sub_string p.p_data p.p_start (head_end - 4) in
+  let* meth, target, version, lines =
     match split_crlf head with
     | request_line :: rest -> (
       match String.split_on_char ' ' request_line with
       | [ meth; target; version ]
         when version = "HTTP/1.1" || version = "HTTP/1.0" ->
-        Ok (meth, target, rest)
-      | _ -> Error (Bad (Printf.sprintf "malformed request line %S" request_line)))
+        Ok (meth, target, version, rest)
+      | _ ->
+        Error (Bad (Printf.sprintf "malformed request line %S" request_line)))
     | [] -> Error (Bad "empty request")
   in
   let headers = parse_headers lines in
-  let header name = List.assoc_opt name headers in
-  (* 2. body, bounded by Content-Length which is bounded by max_body *)
-  let* content_length =
-    match header "content-length" with
-    | None -> Ok 0
-    | Some v -> (
-      match int_of_string_opt (String.trim v) with
-      | Some n when n >= 0 -> Ok n
-      | _ -> Error (Bad (Printf.sprintf "bad Content-Length %S" v)))
-  in
+  let* content_length = content_length_of headers in
   let* () =
-    if content_length > max_body then
-      Error (Too_large (Printf.sprintf "body of %d bytes over the %d limit"
-                          content_length max_body))
+    if content_length > p.p_max_body then
+      Error
+        (Too_large
+           (Printf.sprintf "body of %d bytes over the %d limit" content_length
+              p.p_max_body))
     else Ok ()
   in
-  let already = String.length contents - head_end in
-  let body_buf = Buffer.create content_length in
-  Buffer.add_string body_buf
-    (String.sub contents head_end (min already content_length));
-  let rec read_body () =
-    if Buffer.length body_buf >= content_length then
-      Ok (Buffer.sub body_buf 0 content_length)
-    else
-      let* n = read_some fd chunk 0 (Bytes.length chunk) in
-      if n = 0 then Error (Bad "connection closed mid-body")
-      else begin
-        Buffer.add_subbytes body_buf chunk 0 n;
-        read_body ()
-      end
-  in
-  let* body = read_body () in
+  Ok
+    {
+      h_meth = meth;
+      h_target = target;
+      h_version = version;
+      h_headers = headers;
+      h_content_length = content_length;
+    }
+
+let request_of_head h body =
   let path, query =
-    match String.index_opt target '?' with
-    | None -> (percent_decode target, [])
+    match String.index_opt h.h_target '?' with
+    | None -> (percent_decode h.h_target, [])
     | Some q ->
-      ( percent_decode (String.sub target 0 q),
-        parse_query (String.sub target (q + 1) (String.length target - q - 1))
-      )
+      ( percent_decode (String.sub h.h_target 0 q),
+        parse_query
+          (String.sub h.h_target (q + 1) (String.length h.h_target - q - 1)) )
   in
-  Ok { meth; path; query; headers; body }
+  {
+    meth = h.h_meth;
+    path;
+    query;
+    headers = h.h_headers;
+    body;
+    version = h.h_version;
+  }
+
+let rec parser_next p =
+  match p.p_head with
+  | Some h ->
+    if p.p_len >= h.h_content_length then begin
+      let body = Bytes.sub_string p.p_data p.p_start h.h_content_length in
+      p.p_start <- p.p_start + h.h_content_length;
+      p.p_len <- p.p_len - h.h_content_length;
+      p.p_head <- None;
+      `Request (request_of_head h body)
+    end
+    else `More
+  | None -> (
+    match find_header_end p with
+    | None ->
+      if p.p_len > p.p_max_header then
+        `Error
+          (Too_large
+             (Printf.sprintf "header block over %d bytes" p.p_max_header))
+      else `More
+    | Some head_end -> (
+      match parse_head p head_end with
+      | Error e -> `Error e
+      | Ok h ->
+        p.p_start <- p.p_start + head_end;
+        p.p_len <- p.p_len - head_end;
+        p.p_scanned <- 0;
+        p.p_head <- Some h;
+        parser_next p))
 
 (* --- writing --- *)
 
@@ -207,7 +318,7 @@ let response ?(content_type = "text/plain; charset=utf-8")
 let json_response status json =
   response ~content_type:"application/json" status (Tiny_json.to_string json)
 
-let write_response fd resp =
+let serialize_response ?(keep_alive = false) resp =
   let buf = Buffer.create (String.length resp.body + 256) in
   Buffer.add_string buf
     (Printf.sprintf "HTTP/1.1 %d %s\r\n" resp.status resp.reason);
@@ -218,9 +329,14 @@ let write_response fd resp =
   List.iter
     (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
     resp.extra_headers;
-  Buffer.add_string buf "Connection: close\r\n\r\n";
+  Buffer.add_string buf
+    (if keep_alive then "Connection: keep-alive\r\n\r\n"
+     else "Connection: close\r\n\r\n");
   Buffer.add_string buf resp.body;
-  let payload = Buffer.to_bytes buf in
+  Buffer.contents buf
+
+let write_response ?(keep_alive = false) fd resp =
+  let payload = Bytes.of_string (serialize_response ~keep_alive resp) in
   let total = Bytes.length payload in
   let rec write_all off =
     if off >= total then true
@@ -232,5 +348,5 @@ let write_response fd resp =
   in
   write_all 0
 
-let header req name = List.assoc_opt (String.lowercase_ascii name) req.headers
+let header = header_of
 let query_param req name = List.assoc_opt name req.query

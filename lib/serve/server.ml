@@ -9,6 +9,7 @@ type config = {
   max_conns : int;
   read_timeout : float;
   write_timeout : float;
+  idle_timeout : float;
   max_body : int;
   fit_starts_cap : int;
   store_dir : string option;
@@ -22,9 +23,10 @@ let default_config =
     host = "127.0.0.1";
     port = 8080;
     jobs = 1;
-    max_conns = 64;
+    max_conns = 1000;
     read_timeout = 10.;
     write_timeout = 10.;
+    idle_timeout = 30.;
     max_body = 2 * 1024 * 1024;
     fit_starts_cap = 16;
     store_dir = None;
@@ -35,6 +37,23 @@ let default_config =
 
 let max_header = 16 * 1024
 let max_cached_solutions = 64
+
+(* Parsed requests a connection may queue ahead of the one in flight
+   (HTTP/1.1 pipelining); past this the event loop stops reading the
+   socket until responses drain — backpressure, not disconnection. *)
+let max_pipeline = 8
+
+(* How long a connection the server decided to close lingers in a
+   read-and-discard state after its final response is flushed.  Closing
+   with unread request bytes pending would RST away the response; the
+   linger sends our FIN first and waits (briefly) for the peer's. *)
+let linger_timeout = 1.0
+
+(* Unix.select cannot take fds >= FD_SETSIZE; an accepted fd past this
+   is shed with a blocking 503 instead of entering the event loop. *)
+let fd_select_limit = 1024
+
+let fd_int (fd : Unix.file_descr) : int = Obj.magic fd (* Unix: fds are ints *)
 
 (* What a cached fit can serve predictions from.  The two PDE backends
    keep their parameters and phi so solutions can be (re)computed per
@@ -67,6 +86,21 @@ type trace_entry = {
   te_root : Obs.Span.t;
 }
 
+(* A fully parsed request handed to the worker pool, tagged with the
+   connection it came from (by id, not fd — fds are recycled). *)
+type job = {
+  jb_conn : int;
+  jb_req : Http.request;
+  jb_keep_alive : bool;  (* what the response's Connection: header says *)
+}
+
+(* A serialized response travelling back to the event loop. *)
+type done_msg = {
+  dn_conn : int;
+  dn_bytes : string;
+  dn_keep_alive : bool;
+}
+
 type t = {
   cfg : config;
   lfd : Unix.file_descr;
@@ -74,10 +108,12 @@ type t = {
   stop_flag : bool Atomic.t;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
-  queue : Unix.file_descr Queue.t;
+  queue : job Queue.t;  (* parsed requests awaiting a worker *)
   qmutex : Mutex.t;
   qcond : Condition.t;
   mutable qclosed : bool;
+  done_q : done_msg Queue.t;  (* responses awaiting the event loop *)
+  done_mutex : Mutex.t;
   inflight : int Atomic.t;
   handled : int Atomic.t;
   agg : Obs.Shard.t;
@@ -120,6 +156,15 @@ let m_route_status route status =
     "serve.route_responses"
 
 let m_slow = Obs.Metrics.counter "serve.slow_requests"
+
+(* connection-lifecycle series for the event loop: opened/closed totals,
+   a live-connection gauge (the shedding quantity), and reuse — a
+   request served on a connection that already served one.  Reuse is
+   the keep-alive win: reused/opened is the per-connection fan-in. *)
+let m_conn_opened = Obs.Metrics.counter "serve.connections_opened"
+let m_conn_closed = Obs.Metrics.counter "serve.connections_closed"
+let m_conn_reused = Obs.Metrics.counter "serve.connections_reused"
+let m_conn_live = Obs.Metrics.gauge "serve.live_connections"
 
 (* Run [f] with the server-wide aggregate context installed, under its
    lock.  Used to fold request shards in, to record accept-loop events,
@@ -223,6 +268,9 @@ let create ?(config = default_config) () =
   in
   let wake_r, wake_w = Unix.pipe () in
   Unix.set_nonblock wake_r;
+  (* workers write the wake byte; a full pipe means a wake-up is
+     already pending, so the write may simply fail with EAGAIN *)
+  Unix.set_nonblock wake_w;
   let agg = Obs.Shard.create () in
   (* Recovery runs inside the aggregate shard so the store.* counters
      (replayed/dropped records, partial recoveries) show up on
@@ -263,6 +311,8 @@ let create ?(config = default_config) () =
       qmutex = Mutex.create ();
       qcond = Condition.create ();
       qclosed = false;
+      done_q = Queue.create ();
+      done_mutex = Mutex.create ();
       inflight = Atomic.make 0;
       handled = Atomic.make 0;
       agg;
@@ -1000,76 +1050,65 @@ let route t (req : Http.request) =
     error_json 405 (Printf.sprintf "method %s not allowed here" req.Http.meth)
   | _ -> error_json 404 (Printf.sprintf "no such endpoint %s" req.Http.path)
 
-(* --- per-connection handling --- *)
+(* --- request processing (worker side) --- *)
 
-let handle_conn t fd =
+(* Everything between "a parsed request" and "serialized response
+   bytes": routing, tracing, per-request metrics, the trace ring.  Runs
+   on a worker domain, or inline on the event-loop thread when no
+   workers are available.  Socket I/O happens elsewhere — this function
+   never blocks on the network. *)
+let process_request t (job : job) =
+  let req = job.jb_req in
   let shard = Obs.Shard.create () in
-  Fun.protect
-    ~finally:(fun () ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      Atomic.decr t.inflight;
-      Atomic.incr t.handled;
-      (* request spans were captured into the trace ring below, so the
-         merge folds in metric values only — the server aggregate's
-         span list cannot grow without bound *)
-      with_agg t (fun () -> Obs.Shard.merge shard))
-  @@ fun () ->
-  Obs.Shard.with_shard shard @@ fun () ->
-  let t0 = Obs.now_ns () in
-  (* (request, trace id) once a request parses; error paths have none *)
-  let parsed = ref None in
   let resp =
-    match
-      Http.read_request fd ~max_header ~max_body:t.cfg.max_body
-    with
-    | Error Http.Closed -> None
-    | Error Http.Timeout -> Some (Http.response 408 "request read timed out\n")
-    | Error (Http.Too_large msg) -> Some (Http.response 413 (msg ^ "\n"))
-    | Error (Http.Bad msg) -> Some (Http.response 400 (msg ^ "\n"))
-    | Ok req ->
-      (* request-scoped trace id: accept a sane X-Trace-Id, else mint
-         one; stamped into every log record and span from here on *)
-      let trace_id =
-        match Http.header req "x-trace-id" with
-        | Some v when valid_trace_token v -> v
-        | _ -> Obs.Span.gen_trace_id ()
-      in
-      Obs.Span.set_trace_id (Some trace_id);
-      parsed := Some (req, trace_id);
-      let resp =
-        Obs.Span.with_span "serve.request"
-          ~attrs:(fun () ->
-            [
-              Obs.Log.str "method" req.Http.meth;
-              Obs.Log.str "route" (route_label req);
-            ])
-          (fun () ->
-            match route t req with
-            | resp -> resp
-            | exception e ->
-              Obs.Log.error "serve.handler_crashed" ~fields:(fun () ->
-                  [
-                    Obs.Log.str "path" req.Http.path;
-                    Obs.Log.str "exn" (Printexc.to_string e);
-                  ]);
-              error_json 500 "internal error")
-      in
-      Some
-        {
-          resp with
-          Http.extra_headers =
-            ("X-Trace-Id", trace_id) :: resp.Http.extra_headers;
-        }
-  in
-  (match resp with
-  | None -> ()
-  | Some resp ->
-    ignore (Http.write_response fd resp : bool);
-    Obs.Metrics.incr (m_responses resp.Http.status));
-  let dur_ns = Stdlib.max 0 (Obs.now_ns () - t0) in
-  Obs.Metrics.observe m_request_ns (float_of_int dur_ns);
-  match (!parsed, resp) with
-  | Some (req, trace_id), Some resp ->
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.decr t.inflight;
+        (* request spans were captured into the trace ring below, so the
+           merge folds in metric values only — the server aggregate's
+           span list cannot grow without bound *)
+        with_agg t (fun () -> Obs.Shard.merge shard))
+    @@ fun () ->
+    Obs.Shard.with_shard shard
+    @@ fun () ->
+    let t0 = Obs.now_ns () in
+    (* request-scoped trace id: accept a sane X-Trace-Id, else mint
+       one; stamped into every log record and span from here on *)
+    let trace_id =
+      match Http.header req "x-trace-id" with
+      | Some v when valid_trace_token v -> v
+      | _ -> Obs.Span.gen_trace_id ()
+    in
+    Obs.Span.set_trace_id (Some trace_id);
+    Fun.protect ~finally:(fun () -> Obs.Span.set_trace_id None)
+    @@ fun () ->
+    let resp =
+      Obs.Span.with_span "serve.request"
+        ~attrs:(fun () ->
+          [
+            Obs.Log.str "method" req.Http.meth;
+            Obs.Log.str "route" (route_label req);
+          ])
+        (fun () ->
+          match route t req with
+          | resp -> resp
+          | exception e ->
+            Obs.Log.error "serve.handler_crashed" ~fields:(fun () ->
+                [
+                  Obs.Log.str "path" req.Http.path;
+                  Obs.Log.str "exn" (Printexc.to_string e);
+                ]);
+            error_json 500 "internal error")
+    in
+    let resp =
+      {
+        resp with
+        Http.extra_headers = ("X-Trace-Id", trace_id) :: resp.Http.extra_headers;
+      }
+    in
+    Obs.Metrics.incr (m_responses resp.Http.status);
+    let dur_ns = Stdlib.max 0 (Obs.now_ns () - t0) in
+    Obs.Metrics.observe m_request_ns (float_of_int dur_ns);
     let rl = route_label req in
     Obs.Metrics.observe (m_route_ns rl) (float_of_int dur_ns);
     Obs.Metrics.incr (m_route_status rl resp.Http.status);
@@ -1105,47 +1144,37 @@ let handle_conn t fd =
           te_status = resp.Http.status;
           te_dur_ns = dur_ns;
           te_root = root;
-        })
-  | _ -> ()
+        });
+    resp
+  in
+  {
+    dn_conn = job.jb_conn;
+    dn_bytes = Http.serialize_response ~keep_alive:job.jb_keep_alive resp;
+    dn_keep_alive = job.jb_keep_alive;
+  }
 
-(* --- accept loop + worker pool --- *)
+(* --- worker pool --- *)
 
-let shed t fd =
-  ignore
-    (Http.write_response fd
-       (Http.response 503 "connection limit reached, try again\n")
-      : bool);
-  (* closing with unread request bytes pending would RST away the 503;
-     send our FIN, then drain what the peer sent until it closes *)
-  (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
-  (let buf = Bytes.create 1024 in
-   let rec drain budget =
-     if budget > 0 then
-       match Unix.read fd buf 0 1024 with
-       | 0 -> ()
-       | n -> drain (budget - n)
-       | exception Unix.Unix_error _ -> ()
-   in
-   drain (64 * 1024));
-  (try Unix.close fd with Unix.Unix_error _ -> ());
-  Atomic.decr t.inflight;
-  Atomic.incr t.handled;
-  with_agg t (fun () ->
-      Obs.Metrics.incr m_shed;
-      Obs.Metrics.incr (m_responses 503))
+let wake t =
+  (* EAGAIN (pipe full) means a wake-up is already pending — fine *)
+  try ignore (Unix.write t.wake_w (Bytes.of_string "!") 0 1 : int)
+  with Unix.Unix_error _ -> ()
 
-let dispatch t ~inline fd =
-  Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.read_timeout;
-  Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.write_timeout;
-  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-  let inflight = Atomic.fetch_and_add t.inflight 1 in
-  if inflight >= t.cfg.max_conns then shed t fd
-  else if inline then handle_conn t fd
+let rec worker_loop t =
+  Mutex.lock t.qmutex;
+  while Queue.is_empty t.queue && not t.qclosed do
+    Condition.wait t.qcond t.qmutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.qmutex (* closed + drained *)
   else begin
-    Mutex.lock t.qmutex;
-    Queue.push fd t.queue;
-    Condition.signal t.qcond;
-    Mutex.unlock t.qmutex
+    let job = Queue.pop t.queue in
+    Mutex.unlock t.qmutex;
+    let msg = process_request t job in
+    Mutex.lock t.done_mutex;
+    Queue.push msg t.done_q;
+    Mutex.unlock t.done_mutex;
+    wake t;
+    worker_loop t
   end
 
 let drain_wake t =
@@ -1159,62 +1188,455 @@ let drain_wake t =
   in
   go ()
 
-let rec accept_batch t ~inline =
-  match Unix.accept t.lfd with
-  | fd, _ ->
-    dispatch t ~inline fd;
-    accept_batch t ~inline
-  | exception
-      Unix.Unix_error
-        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
-    ->
-    ()
+(* --- the event loop --- *)
 
-let accept_loop t ~inline =
-  while not (Atomic.get t.stop_flag) do
-    match Unix.select [ t.lfd; t.wake_r ] [] [] 0.5 with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | ready, _, _ ->
-      if List.memq t.wake_r ready then drain_wake t;
-      if (not (Atomic.get t.stop_flag)) && List.memq t.lfd ready then
-        accept_batch t ~inline
-  done;
-  (* graceful drain: no new connections; queued ones still get served *)
-  (try Unix.close t.lfd with Unix.Unix_error _ -> ());
+(* Per-connection state.  Only the event-loop thread ever touches a
+   conn, so none of this needs locking; workers refer to connections by
+   id and the loop rechecks liveness when a response comes back. *)
+type conn = {
+  cn_fd : Unix.file_descr;
+  cn_id : int;
+  cn_parser : Http.parser;
+  cn_pending : Http.request Queue.t;  (* parsed, awaiting dispatch *)
+  mutable cn_out : Bytes.t;  (* unsent response bytes *)
+  mutable cn_out_off : int;
+  mutable cn_busy : bool;  (* a request is with a worker *)
+  mutable cn_close_after : bool;  (* close once current work is flushed *)
+  mutable cn_lingering : bool;  (* FIN sent; reading until the peer's *)
+  mutable cn_peer_eof : bool;
+  mutable cn_error : Http.response option;
+      (* parse error waiting for in-flight responses to go out first *)
+  mutable cn_deadline : float;  (* absolute; infinity while busy *)
+  mutable cn_served : int;  (* responses completed on this connection *)
+}
+
+let shed_response () =
+  Http.response 503 "connection limit reached, try again\n"
+
+(* The heart of the server: one thread multiplexing the listener, the
+   worker wake pipe and every live connection with Unix.select.  All
+   sockets are non-blocking; reads feed per-connection incremental
+   parsers, fully parsed requests go to the worker queue, responses
+   come back over [done_q] and are flushed through per-connection
+   output buffers.  Worker domains never see a socket. *)
+let event_loop t ~inline =
+  let conns_by_id : (int, conn) Hashtbl.t = Hashtbl.create 64 in
+  let conns_by_fd : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let draining = ref false in
+  let chunk = Bytes.create 16384 in
+  let now () = Unix.gettimeofday () in
+  let record f = with_agg t f in
+  let alive c = Hashtbl.mem conns_by_id c.cn_id in
+
+  let close_conn c =
+    if alive c then begin
+      Hashtbl.remove conns_by_id c.cn_id;
+      Hashtbl.remove conns_by_fd c.cn_fd;
+      (try Unix.close c.cn_fd with Unix.Unix_error _ -> ());
+      record (fun () ->
+          Obs.Metrics.incr m_conn_closed;
+          Obs.Metrics.set m_conn_live
+            (float_of_int (Hashtbl.length conns_by_id)))
+    end
+  in
+
+  let out_pending c = c.cn_out_off < Bytes.length c.cn_out in
+
+  let enqueue_out c s =
+    if not (out_pending c) then begin
+      c.cn_out <- Bytes.of_string s;
+      c.cn_out_off <- 0
+    end
+    else begin
+      (* a pipelined response lands before the previous one flushed *)
+      let rem = Bytes.length c.cn_out - c.cn_out_off in
+      let nb = Bytes.create (rem + String.length s) in
+      Bytes.blit c.cn_out c.cn_out_off nb 0 rem;
+      Bytes.blit_string s 0 nb rem (String.length s);
+      c.cn_out <- nb;
+      c.cn_out_off <- 0
+    end
+  in
+
+  (* best-effort non-blocking write; false = the connection died *)
+  let flush c =
+    let total = Bytes.length c.cn_out in
+    let rec go () =
+      if c.cn_out_off >= total then true
+      else
+        match
+          Unix.write c.cn_fd c.cn_out c.cn_out_off (total - c.cn_out_off)
+        with
+        | n ->
+          c.cn_out_off <- c.cn_out_off + n;
+          go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          true
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error _ -> false
+    in
+    go ()
+  in
+
+  let update_deadline c =
+    let n = now () in
+    c.cn_deadline <-
+      (if c.cn_lingering then c.cn_deadline
+       else if c.cn_busy then infinity (* a /fit may legitimately take long *)
+       else if out_pending c then n +. t.cfg.write_timeout
+       else if Http.parser_partial c.cn_parser then n +. t.cfg.read_timeout
+       else n +. t.cfg.idle_timeout)
+  in
+
+  (* server-initiated close: FIN first, then read-and-discard until the
+     peer's FIN (or a short deadline), so unread request bytes in the
+     kernel buffer cannot RST away a response already in flight *)
+  let start_linger c =
+    if c.cn_peer_eof then close_conn c
+    else begin
+      c.cn_lingering <- true;
+      (try Unix.shutdown c.cn_fd Unix.SHUTDOWN_SEND
+       with Unix.Unix_error _ -> ());
+      c.cn_deadline <- now () +. linger_timeout
+    end
+  in
+
+  (* send a final response (error or shed) and close the connection *)
+  let emit_final c resp =
+    c.cn_close_after <- true;
+    c.cn_error <- None;
+    Queue.clear c.cn_pending;
+    Atomic.incr t.handled;
+    record (fun () -> Obs.Metrics.incr (m_responses resp.Http.status));
+    enqueue_out c (Http.serialize_response ~keep_alive:false resp);
+    if not (flush c) then close_conn c
+    else if not (out_pending c) then start_linger c
+    else update_deadline c
+  in
+
+  let rec dispatch c =
+    if (not c.cn_busy) && not (Queue.is_empty c.cn_pending) then begin
+      let req = Queue.pop c.cn_pending in
+      let keep_alive =
+        Http.keep_alive req && (not !draining) && not c.cn_close_after
+      in
+      if not keep_alive then c.cn_close_after <- true;
+      if c.cn_served > 0 then
+        record (fun () -> Obs.Metrics.incr m_conn_reused);
+      c.cn_busy <- true;
+      c.cn_deadline <- infinity;
+      Atomic.incr t.inflight;
+      let job =
+        { jb_conn = c.cn_id; jb_req = req; jb_keep_alive = keep_alive }
+      in
+      if inline then complete c (process_request t job)
+      else begin
+        Mutex.lock t.qmutex;
+        Queue.push job t.queue;
+        Condition.signal t.qcond;
+        Mutex.unlock t.qmutex
+      end
+    end
+
+  (* a worker's response arrives for this connection *)
+  and complete c msg =
+    c.cn_busy <- false;
+    c.cn_served <- c.cn_served + 1;
+    Atomic.incr t.handled;
+    if (not msg.dn_keep_alive) || !draining then c.cn_close_after <- true;
+    enqueue_out c msg.dn_bytes;
+    on_writable c
+
+  (* flush progress; when the buffer empties, move the connection on *)
+  and on_writable c =
+    if not (flush c) then close_conn c
+    else if out_pending c then update_deadline c
+    else if c.cn_close_after then begin
+      Queue.clear c.cn_pending;
+      if not c.cn_busy then start_linger c else update_deadline c
+    end
+    else begin
+      dispatch c;
+      maybe_emit_error c;
+      if alive c then
+        if
+          c.cn_peer_eof && (not c.cn_busy)
+          && Queue.is_empty c.cn_pending
+          && not (out_pending c)
+        then close_conn c (* peer hung up and nothing is owed *)
+        else update_deadline c
+    end
+
+  (* a deferred parse error goes out only after the responses that
+     precede it, keeping pipelined responses in order *)
+  and maybe_emit_error c =
+    if
+      alive c && (not c.cn_busy)
+      && Queue.is_empty c.cn_pending
+      && not (out_pending c)
+    then
+      match c.cn_error with
+      | Some resp -> emit_final c resp
+      | None -> ()
+  in
+
+  let parse_new c =
+    let rec go () =
+      if
+        c.cn_error = None && (not c.cn_close_after)
+        && Queue.length c.cn_pending < max_pipeline
+      then
+        match Http.parser_next c.cn_parser with
+        | `Request req ->
+          Queue.push req c.cn_pending;
+          (* nothing may follow a Connection: close request *)
+          if Http.keep_alive req then go ()
+        | `More -> ()
+        | `Error err ->
+          let resp =
+            match err with
+            | Http.Too_large msg -> Http.response 413 (msg ^ "\n")
+            | Http.Bad msg -> Http.response 400 (msg ^ "\n")
+            | Http.Timeout | Http.Closed -> Http.response 400 "bad request\n"
+          in
+          c.cn_error <- Some resp
+    in
+    go ();
+    dispatch c;
+    maybe_emit_error c
+  in
+
+  let want_read c =
+    if c.cn_lingering then true
+    else
+      (not c.cn_peer_eof) && c.cn_error = None && (not c.cn_close_after)
+      && Queue.length c.cn_pending < max_pipeline
+  in
+
+  let on_readable c =
+    let rec rd budget =
+      (* bounded per wake-up so one fat connection cannot starve the rest *)
+      if budget = 0 then `Progress
+      else
+        match Unix.read c.cn_fd chunk 0 (Bytes.length chunk) with
+        | 0 -> `Eof
+        | n ->
+          if not c.cn_lingering then Http.parser_feed c.cn_parser chunk 0 n;
+          rd (budget - 1)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          `Progress
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> rd budget
+        | exception Unix.Unix_error _ -> `Dead
+    in
+    match rd 16 with
+    | `Dead -> close_conn c
+    | `Eof ->
+      c.cn_peer_eof <- true;
+      if c.cn_lingering then close_conn c
+      else begin
+        parse_new c;
+        if
+          alive c && (not c.cn_busy)
+          && Queue.is_empty c.cn_pending
+          && (not (out_pending c))
+          && c.cn_error = None
+        then
+          (* nothing owed — including a dangling half request that can
+             never complete now *)
+          close_conn c
+      end
+    | `Progress ->
+      if not c.cn_lingering then parse_new c;
+      if alive c then update_deadline c
+  in
+
+  let accept_one fd =
+    (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true
+     with Unix.Unix_error _ -> ());
+    if fd_int fd >= fd_select_limit then begin
+      (* beyond what select can multiplex: blocking 503, then close *)
+      (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
+      ignore (Http.write_response fd (shed_response ()) : bool);
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Atomic.incr t.handled;
+      record (fun () ->
+          Obs.Metrics.incr m_shed;
+          Obs.Metrics.incr (m_responses 503))
+    end
+    else begin
+      incr next_id;
+      let c =
+        {
+          cn_fd = fd;
+          cn_id = !next_id;
+          cn_parser =
+            Http.parser ~max_header ~max_body:t.cfg.max_body;
+          cn_pending = Queue.create ();
+          cn_out = Bytes.empty;
+          cn_out_off = 0;
+          cn_busy = false;
+          cn_close_after = false;
+          cn_lingering = false;
+          cn_peer_eof = false;
+          cn_error = None;
+          cn_deadline = now () +. t.cfg.idle_timeout;
+          cn_served = 0;
+        }
+      in
+      Hashtbl.replace conns_by_id c.cn_id c;
+      Hashtbl.replace conns_by_fd c.cn_fd c;
+      record (fun () ->
+          Obs.Metrics.incr m_conn_opened;
+          Obs.Metrics.set m_conn_live
+            (float_of_int (Hashtbl.length conns_by_id)));
+      if Hashtbl.length conns_by_id > t.cfg.max_conns then begin
+        record (fun () -> Obs.Metrics.incr m_shed);
+        emit_final c (shed_response ())
+      end
+    end
+  in
+
+  let rec accept_all () =
+    match Unix.accept t.lfd with
+    | fd, _ ->
+      accept_one fd;
+      accept_all ()
+    | exception
+        Unix.Unix_error
+          ( (Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED),
+            _,
+            _ ) ->
+      ()
+    | exception Unix.Unix_error (Unix.EMFILE, _, _) ->
+      (* out of fds: back off; pending connections stay in the backlog *)
+      ()
+  in
+
+  let drain_done () =
+    let msgs = Queue.create () in
+    Mutex.lock t.done_mutex;
+    Queue.transfer t.done_q msgs;
+    Mutex.unlock t.done_mutex;
+    Queue.iter
+      (fun msg ->
+        match Hashtbl.find_opt conns_by_id msg.dn_conn with
+        | Some c -> complete c msg
+        | None -> () (* connection died while the worker was busy *))
+      msgs
+  in
+
+  let begin_drain () =
+    if not !draining then begin
+      draining := true;
+      (try Unix.close t.lfd with Unix.Unix_error _ -> ());
+      let all = Hashtbl.fold (fun _ c acc -> c :: acc) conns_by_id [] in
+      (* pick up bytes already in the kernel first: a request fully sent
+         before the signal landed must be served, not dropped with its
+         connection *)
+      List.iter (fun c -> if alive c then on_readable c) all;
+      (* idle connections close now; ones with a request in flight —
+         busy, queued, or still being read — finish it first (dispatch
+         marks their response Connection: close) *)
+      List.iter
+        (fun c ->
+          if
+            (not c.cn_busy)
+            && Queue.is_empty c.cn_pending
+            && (not (out_pending c))
+            && (not (Http.parser_partial c.cn_parser))
+            && c.cn_error = None && not c.cn_lingering
+          then close_conn c)
+        all
+    end
+  in
+
+  let sweep tnow =
+    let expired =
+      Hashtbl.fold
+        (fun _ c acc -> if tnow > c.cn_deadline then c :: acc else acc)
+        conns_by_id []
+    in
+    List.iter
+      (fun c ->
+        if c.cn_lingering || out_pending c then close_conn c
+        else if
+          Http.parser_partial c.cn_parser
+          && (not c.cn_busy)
+          && Queue.is_empty c.cn_pending
+        then emit_final c (Http.response 408 "request read timed out\n")
+        else close_conn c (* idle keep-alive connection *))
+      expired
+  in
+
+  let rec loop () =
+    if Atomic.get t.stop_flag then begin_drain ();
+    if !draining && Hashtbl.length conns_by_id = 0 then ()
+    else begin
+      let tnow = now () in
+      sweep tnow;
+      if !draining && Hashtbl.length conns_by_id = 0 then ()
+      else begin
+        let reads = ref [ t.wake_r ] in
+        if not !draining then reads := t.lfd :: !reads;
+        let writes = ref [] in
+        let nearest = ref (tnow +. 0.5) in
+        Hashtbl.iter
+          (fun _ c ->
+            if c.cn_deadline < !nearest then nearest := c.cn_deadline;
+            if want_read c then reads := c.cn_fd :: !reads;
+            if out_pending c then writes := c.cn_fd :: !writes)
+          conns_by_id;
+        let timeout = Float.max 0.01 (Float.min 0.5 (!nearest -. tnow)) in
+        match Unix.select !reads !writes [] timeout with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | rs, ws, _ ->
+          if List.memq t.wake_r rs then begin
+            drain_wake t;
+            drain_done ()
+          end;
+          if (not !draining) && List.memq t.lfd rs then accept_all ();
+          List.iter
+            (fun fd ->
+              if fd != t.wake_r && fd != t.lfd then
+                match Hashtbl.find_opt conns_by_fd fd with
+                | Some c -> on_readable c
+                | None -> ())
+            rs;
+          List.iter
+            (fun fd ->
+              match Hashtbl.find_opt conns_by_fd fd with
+              | Some c -> if out_pending c then on_writable c
+              | None -> ())
+            ws;
+          loop ()
+      end
+    end
+  in
+  loop ();
+  (* all connections drained: close the job queue so workers exit *)
   Mutex.lock t.qmutex;
   t.qclosed <- true;
   Condition.broadcast t.qcond;
   Mutex.unlock t.qmutex
 
-let rec worker_loop t =
-  Mutex.lock t.qmutex;
-  while Queue.is_empty t.queue && not t.qclosed do
-    Condition.wait t.qcond t.qmutex
-  done;
-  if Queue.is_empty t.queue then Mutex.unlock t.qmutex (* closed + drained *)
-  else begin
-    let fd = Queue.pop t.queue in
-    Mutex.unlock t.qmutex;
-    handle_conn t fd;
-    worker_loop t
-  end
-
 let run t =
   (* a peer closing mid-write must not kill the process *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let jobs =
-    if Parallel.Pool.domains_available then max 1 t.cfg.jobs else 1
+    if Parallel.Pool.domains_available then Stdlib.max 1 t.cfg.jobs else 0
   in
   Obs.Log.info "serve.listening" ~fields:(fun () ->
       [
         Obs.Log.str "host" t.cfg.host;
         Obs.Log.int "port" t.bound_port;
-        Obs.Log.int "jobs" jobs;
+        Obs.Log.int "jobs" (Stdlib.max 1 jobs);
       ]);
-  if jobs = 1 then accept_loop t ~inline:true
+  if jobs = 0 then event_loop t ~inline:true
   else
     Parallel.Pool.run_workers ~jobs:(jobs + 1) (fun k ->
-        if k = 0 then accept_loop t ~inline:false else worker_loop t);
+        if k = 0 then event_loop t ~inline:false else worker_loop t);
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
   (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
   Option.iter Store.close t.store;

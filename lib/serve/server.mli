@@ -63,14 +63,39 @@
 
     {2 Concurrency and robustness}
 
-    An accept loop on the calling domain feeds a worker pool run via
-    {!Parallel.Pool.run_workers} (sequential inline handling when
-    Domains are unavailable or [jobs = 1]).  Each connection gets
-    socket read/write timeouts, the header block and body are bounded,
-    and connections beyond [max_conns] in flight are shed with an
-    immediate [503].  {!stop} (wired to SIGINT/SIGTERM by
-    {!install_signal_handlers}) stops accepting, drains queued and
-    in-flight requests, and returns from {!run}.
+    A single event-loop thread multiplexes the listener and every live
+    connection with [Unix.select]: sockets are non-blocking, each
+    connection owns an incremental {!Http.parser} and a buffered output
+    queue, and only {e fully parsed} requests are handed to the worker
+    pool (run via {!Parallel.Pool.run_workers}; handled inline on the
+    event loop when Domains are unavailable).  Serialized responses
+    travel back over a wake pipe, so worker domains never touch a
+    socket and a slow or stalled peer can never block a worker.
+
+    Connections are HTTP/1.1 keep-alive by default ([Connection:]
+    headers honoured on both 1.0 and 1.1; see {!Http.keep_alive}), with
+    pipelining: bytes past one request's body are preserved as the
+    start of the next, and up to a small window of parsed requests may
+    queue per connection — responses always return in request order.
+
+    Per-connection deadlines replace socket timeouts: a connection
+    mid-request has [read_timeout] to finish it (then [408]); one with
+    a stalled response write has [write_timeout] (then close); an idle
+    keep-alive connection is closed silently after [idle_timeout]; a
+    connection whose request is with a worker has no deadline (a /fit
+    may legitimately take long).  The header block and body are
+    bounded, and once more than [max_conns] connections are live, new
+    ones are answered [503] and closed.  {!stop} (wired to
+    SIGINT/SIGTERM by {!install_signal_handlers}) closes the listener,
+    lets every in-flight request — queued, running, or still being
+    read — finish with a [Connection: close] response, and returns
+    from {!run}.
+
+    Connection-lifecycle series on [/metrics]:
+    [serve.connections_opened], [serve.connections_closed],
+    [serve.connections_reused] (requests served on a connection that
+    had already served one — the keep-alive win) and the
+    [serve.live_connections] gauge (the shedding quantity).
 
     {2 Observability}
 
@@ -87,9 +112,17 @@ type config = {
   jobs : int;
       (** request-handling workers; clamped to 1 without Domains *)
   max_conns : int;
-      (** in-flight connection cap before 503 shedding (default 64) *)
-  read_timeout : float;  (** seconds per request read (default 10) *)
-  write_timeout : float;  (** seconds per response write (default 10) *)
+      (** live-connection cap before 503 shedding (default 1000; the
+          event loop's [Unix.select] cannot watch fds ≥ 1024, so caps
+          above that shed on the fd value instead) *)
+  read_timeout : float;
+      (** seconds a partially read request may stall before [408]
+          (default 10) *)
+  write_timeout : float;
+      (** seconds a response write may stall before close (default 10) *)
+  idle_timeout : float;
+      (** seconds an idle keep-alive connection is held open
+          (default 30) *)
   max_body : int;  (** request body cap in bytes (default 2 MiB) *)
   fit_starts_cap : int;
       (** upper bound on the Nelder--Mead restarts a [/fit] request may

@@ -338,6 +338,215 @@ let test_parallel_workers () =
       results
   end
 
+(* --- socket-layer correctness --- *)
+
+(* A signal landing mid-read must be retried, not reported as [Ok 0]
+   (which callers read as a peer close).  The reader thread is the only
+   one with SIGUSR1 unblocked, so the kill interrupts its blocking
+   read; the data written afterwards must still arrive intact. *)
+let test_eintr_read_retries () =
+  let fired = ref false in
+  let old = Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> fired := true)) in
+  Fun.protect ~finally:(fun () -> ignore (Sys.signal Sys.sigusr1 old))
+  @@ fun () ->
+  ignore (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigusr1 ] : int list);
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ r; w ])
+  @@ fun () ->
+  let result = ref (Ok (-1)) in
+  let reader =
+    Thread.create
+      (fun () ->
+        ignore (Thread.sigmask Unix.SIG_UNBLOCK [ Sys.sigusr1 ] : int list);
+        let buf = Bytes.create 64 in
+        result :=
+          Result.map
+            (fun n -> Bytes.sub_string buf 0 n |> String.length)
+            (Serve.Http.read_some r buf 0 64))
+      ()
+  in
+  Thread.delay 0.2;
+  Unix.kill (Unix.getpid ()) Sys.sigusr1;
+  Thread.delay 0.2;
+  ignore (Unix.write_substring w "hello" 0 5 : int);
+  Thread.join reader;
+  ignore (Thread.sigmask Unix.SIG_UNBLOCK [ Sys.sigusr1 ] : int list);
+  (match !result with
+  | Ok 5 -> ()
+  | Ok n -> Alcotest.failf "read returned %d bytes, wanted 5" n
+  | Error _ -> Alcotest.fail "read errored instead of retrying");
+  Alcotest.(check bool) "signal was actually delivered" true !fired
+
+(* a header block trickling in over many small writes must still parse
+   (and in O(bytes): the terminator scan resumes, never restarts) *)
+let test_multi_chunk_header () =
+  with_server @@ fun port ->
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+  let request =
+    "GET /healthz HTTP/1.1\r\nHost: x\r\n"
+    ^ String.concat ""
+        (List.init 64 (fun i ->
+             Printf.sprintf "X-Filler-%02d: %s\r\n" i (String.make 120 'f')))
+    ^ "Connection: close\r\n\r\n"
+  in
+  (* 40-byte slices, each its own packet (TCP_NODELAY keeps them small) *)
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  let n = String.length request in
+  let i = ref 0 in
+  while !i < n do
+    let len = min 40 (n - !i) in
+    ignore (Unix.write_substring fd request !i len : int);
+    if !i mod 400 = 0 then Thread.delay 0.005;
+    i := !i + len
+  done;
+  let buf = Bytes.create 4096 in
+  let got = Unix.read fd buf 0 4096 in
+  Alcotest.(check bool) "chunked header answered 200" true
+    (contains ~needle:"200 OK" (Bytes.sub_string buf 0 got))
+
+(* '+' decodes to space in query strings only; in paths it is literal *)
+let test_plus_decoding () =
+  Alcotest.(check string) "path plus preserved" "/pre+dict"
+    (Serve.Http.percent_decode "/pre+dict");
+  Alcotest.(check string) "percent still decodes in paths" "/a b+c"
+    (Serve.Http.percent_decode "/a%20b+c");
+  Alcotest.(check (list (pair string string))) "query plus is space"
+    [ ("q", "c d") ]
+    (Serve.Http.parse_query "q=c+d");
+  let p = Serve.Http.parser ~max_header:4096 ~max_body:4096 in
+  let raw = "GET /a+b?q=c+d HTTP/1.1\r\n\r\n" in
+  Serve.Http.parser_feed p (Bytes.of_string raw) 0 (String.length raw);
+  match Serve.Http.parser_next p with
+  | `Request req ->
+    Alcotest.(check string) "parsed path keeps plus" "/a+b" req.Serve.Http.path;
+    Alcotest.(check (option string)) "parsed query decodes plus" (Some "c d")
+      (Serve.Http.query_param req "q")
+  | `More | `Error _ -> Alcotest.fail "request did not parse"
+
+(* two Content-Length headers frame the body two ways — smuggling bait *)
+let test_duplicate_content_length () =
+  with_server @@ fun port ->
+  let r =
+    ok
+      (Serve.Client.request_raw ~port
+         "POST /fit HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\
+          Connection: close\r\n\r\n{}")
+  in
+  Alcotest.(check int) "duplicate Content-Length is a 400" 400
+    r.Serve.Client.status
+
+(* --- keep-alive --- *)
+
+let test_keep_alive_reuse () =
+  with_server @@ fun port ->
+  let conn =
+    match Serve.Client.connect ~port () with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "connect failed: %s" e
+  in
+  Fun.protect ~finally:(fun () -> Serve.Client.close conn)
+  @@ fun () ->
+  let r1 = ok (Serve.Client.request_on conn "GET" "/healthz") in
+  Alcotest.(check int) "first request" 200 r1.Serve.Client.status;
+  Alcotest.(check (option string)) "response advertises keep-alive"
+    (Some "keep-alive")
+    (List.assoc_opt "connection" r1.Serve.Client.headers);
+  let r2 = ok (Serve.Client.request_on conn "GET" "/healthz") in
+  Alcotest.(check int) "second request, same socket" 200
+    r2.Serve.Client.status;
+  (* the reuse counter must be visible on /metrics — over this very
+     connection, which is itself the second and third reuse *)
+  let r3 = ok (Serve.Client.request_on conn "GET" "/metrics") in
+  let reused =
+    String.split_on_char '\n' r3.Serve.Client.body
+    |> List.find_map (fun line ->
+           match
+             String.split_on_char ' ' line
+           with
+           | [ "dlosn_serve_connections_reused_total"; v ] ->
+             int_of_string_opt v
+           | _ -> None)
+  in
+  (match reused with
+  | Some n when n >= 2 -> ()
+  | Some n -> Alcotest.failf "reuse counter %d, wanted >= 2" n
+  | None -> Alcotest.fail "dlosn_serve_connections_reused_total not exported")
+
+let test_pipelined_pair () =
+  with_server @@ fun port ->
+  let conn =
+    match Serve.Client.connect ~port () with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "connect failed: %s" e
+  in
+  Fun.protect ~finally:(fun () -> Serve.Client.close conn)
+  @@ fun () ->
+  (* both requests on the wire before either response is read *)
+  (match Serve.Client.send_request conn "GET" "/healthz" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send 1: %s" e);
+  (match Serve.Client.send_request conn "GET" "/nope" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send 2: %s" e);
+  let r1 = ok (Serve.Client.recv_response conn) in
+  let r2 = ok (Serve.Client.recv_response conn) in
+  Alcotest.(check int) "first response in order" 200 r1.Serve.Client.status;
+  Alcotest.(check string) "first body" "ok\n" r1.Serve.Client.body;
+  Alcotest.(check int) "second response in order" 404 r2.Serve.Client.status
+
+let test_idle_timeout_closes () =
+  let config = { base_config with Serve.Server.idle_timeout = 0.3 } in
+  with_server ~config @@ fun port ->
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+  let req = "GET /healthz HTTP/1.1\r\n\r\n" in
+  ignore (Unix.write_substring fd req 0 (String.length req) : int);
+  let buf = Bytes.create 4096 in
+  let n = Unix.read fd buf 0 4096 in
+  Alcotest.(check bool) "request before going idle answered" true
+    (contains ~needle:"200 OK" (Bytes.sub_string buf 0 n));
+  (* now sit idle past the deadline: the server must close its end *)
+  let n = Unix.read fd buf 0 4096 in
+  Alcotest.(check int) "idle connection closed by the server" 0 n
+
+let test_connection_close_honoured () =
+  with_server @@ fun port ->
+  let conn =
+    match Serve.Client.connect ~port () with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "connect failed: %s" e
+  in
+  Fun.protect ~finally:(fun () -> Serve.Client.close conn)
+  @@ fun () ->
+  let r =
+    ok
+      (Serve.Client.request_on conn
+         ~headers:[ ("Connection", "close") ]
+         "GET" "/healthz")
+  in
+  Alcotest.(check int) "status" 200 r.Serve.Client.status;
+  Alcotest.(check (option string)) "response confirms close" (Some "close")
+    (List.assoc_opt "connection" r.Serve.Client.headers);
+  (* the server must actually close: a follow-up read sees EOF *)
+  match Serve.Client.recv_response conn with
+  | Ok _ -> Alcotest.fail "connection stayed open after Connection: close"
+  | Error _ -> ()
+
 let suite =
   [
     Alcotest.test_case "json round-trips" `Quick test_json_roundtrip;
@@ -355,4 +564,14 @@ let suite =
     Alcotest.test_case "shedding under load" `Quick test_shedding;
     Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
     Alcotest.test_case "parallel workers" `Slow test_parallel_workers;
+    Alcotest.test_case "EINTR read retries" `Quick test_eintr_read_retries;
+    Alcotest.test_case "multi-chunk header" `Quick test_multi_chunk_header;
+    Alcotest.test_case "plus decoding" `Quick test_plus_decoding;
+    Alcotest.test_case "duplicate Content-Length" `Quick
+      test_duplicate_content_length;
+    Alcotest.test_case "keep-alive reuse" `Quick test_keep_alive_reuse;
+    Alcotest.test_case "pipelined pair" `Quick test_pipelined_pair;
+    Alcotest.test_case "idle timeout closes" `Quick test_idle_timeout_closes;
+    Alcotest.test_case "Connection: close honoured" `Quick
+      test_connection_close_honoured;
   ]
