@@ -1283,8 +1283,10 @@ let event_loop t ~inline =
     let n = now () in
     c.cn_deadline <-
       (if c.cn_lingering then c.cn_deadline
-       else if c.cn_busy then infinity (* a /fit may legitimately take long *)
+       (* an unflushed earlier response keeps the write deadline armed
+          even while a long handler (e.g. /fit) runs *)
        else if out_pending c then n +. t.cfg.write_timeout
+       else if c.cn_busy then infinity (* a /fit may legitimately take long *)
        else if Http.parser_partial c.cn_parser then n +. t.cfg.read_timeout
        else n +. t.cfg.idle_timeout)
   in
@@ -1325,7 +1327,7 @@ let event_loop t ~inline =
       if c.cn_served > 0 then
         record (fun () -> Obs.Metrics.incr m_conn_reused);
       c.cn_busy <- true;
-      c.cn_deadline <- infinity;
+      update_deadline c;
       Atomic.incr t.inflight;
       let job =
         { jb_conn = c.cn_id; jb_req = req; jb_keep_alive = keep_alive }
@@ -1357,8 +1359,12 @@ let event_loop t ~inline =
       if not c.cn_busy then start_linger c else update_deadline c
     end
     else begin
-      dispatch c;
-      maybe_emit_error c;
+      (* the pipeline window may have freed: drain any requests already
+         buffered in the parser before dispatching, so a burst larger
+         than max_pipeline cannot strand its tail until the read
+         deadline (the peer owes no more bytes, so the socket never
+         turns readable again) *)
+      parse_new c;
       if alive c then
         if
           c.cn_peer_eof && (not c.cn_busy)
@@ -1379,9 +1385,8 @@ let event_loop t ~inline =
       match c.cn_error with
       | Some resp -> emit_final c resp
       | None -> ()
-  in
 
-  let parse_new c =
+  and parse_new c =
     let rec go () =
       if
         c.cn_error = None && (not c.cn_close_after)
@@ -1456,8 +1461,12 @@ let event_loop t ~inline =
     (try Unix.setsockopt fd Unix.TCP_NODELAY true
      with Unix.Unix_error _ -> ());
     if fd_int fd >= fd_select_limit then begin
-      (* beyond what select can multiplex: blocking 503, then close *)
+      (* beyond what select can multiplex: blocking 503, then close.
+         The send timeout bounds the write so a peer that never reads
+         cannot stall the event loop *)
       (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
+      (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0
+       with Unix.Unix_error _ -> ());
       ignore (Http.write_response fd (shed_response ()) : bool);
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Atomic.incr t.handled;
@@ -1596,7 +1605,10 @@ let event_loop t ~inline =
             drain_wake t;
             drain_done ()
           end;
-          if (not !draining) && List.memq t.lfd rs then accept_all ();
+          (* existing connections first: accepting earlier could recycle
+             an fd closed by drain_done/on_readable into a fresh
+             connection that a stale entry in rs/ws would then resolve
+             to, running its handler spuriously *)
           List.iter
             (fun fd ->
               if fd != t.wake_r && fd != t.lfd then
@@ -1610,6 +1622,7 @@ let event_loop t ~inline =
               | Some c -> if out_pending c then on_writable c
               | None -> ())
             ws;
+          if (not !draining) && List.memq t.lfd rs then accept_all ();
           loop ()
       end
     end

@@ -504,6 +504,52 @@ let test_pipelined_pair () =
   Alcotest.(check string) "first body" "ok\n" r1.Serve.Client.body;
   Alcotest.(check int) "second response in order" 404 r2.Serve.Client.status
 
+(* a burst larger than the server's pipeline window (8), written in one
+   packet with no further bytes: the tail sits in the parser buffer, so
+   responses only keep coming if the server re-drains the parser as the
+   window frees (the socket never turns readable again) *)
+let test_pipeline_beyond_window () =
+  with_server @@ fun port ->
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+  let n_reqs = 12 in
+  let burst =
+    String.concat ""
+      (List.init n_reqs (fun i ->
+           if i = n_reqs - 1 then
+             "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+           else "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"))
+  in
+  ignore (Unix.write_substring fd burst 0 (String.length burst) : int);
+  (* the final Connection: close gives the stream an EOF terminator *)
+  let buf = Buffer.create 4096 and chunk = Bytes.create 4096 in
+  let rec read_all () =
+    match Unix.read fd chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      read_all ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_all ()
+  in
+  read_all ();
+  let body = Buffer.contents buf in
+  let count =
+    let needle = "HTTP/1.1 200 OK" in
+    let nl = String.length needle in
+    let rec go i acc =
+      if i + nl > String.length body then acc
+      else if String.sub body i nl = needle then go (i + nl) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "every pipelined request answered" n_reqs count
+
 let test_idle_timeout_closes () =
   let config = { base_config with Serve.Server.idle_timeout = 0.3 } in
   with_server ~config @@ fun port ->
@@ -571,6 +617,8 @@ let suite =
       test_duplicate_content_length;
     Alcotest.test_case "keep-alive reuse" `Quick test_keep_alive_reuse;
     Alcotest.test_case "pipelined pair" `Quick test_pipelined_pair;
+    Alcotest.test_case "pipeline beyond window" `Quick
+      test_pipeline_beyond_window;
     Alcotest.test_case "idle timeout closes" `Quick test_idle_timeout_closes;
     Alcotest.test_case "Connection: close honoured" `Quick
       test_connection_close_honoured;
