@@ -3,8 +3,12 @@
 
 Usage: check_bench.py CURRENT_JSON BASELINE_JSON
 
-Reads the "solver" section of two dlosn-bench/1 files and fails
-(exit 1) when the fresh run regresses against bench/baseline.json:
+Reads the "solver" section of two bench files (either the full
+dlosn-bench/1 harness output or the standalone dlosn-bench-solver/1
+document the DLOSN_BENCH_SOLVER_ONLY mode writes) and fails (exit 1)
+when the fresh run regresses against bench/baseline.json.
+
+Per-scheme checks (scalar workspace path vs reference stepper):
 
 - output divergence: every scheme must report identical=true (the
   workspace path is only allowed to exist while it is bit-identical to
@@ -22,12 +26,27 @@ Reads the "solver" section of two dlosn-bench/1 files and fails
   relative — fast_ns_per_step / ref_ns_per_step, both measured in the
   same run on the same machine, may not exceed the baseline ratio by
   more than 20%.
+
+Panel checks (fused multi-story panel vs a per-story scalar loop,
+both measured in the same run):
+
+- every panel entry must report identical=true — the fused solver is
+  only allowed to exist while each story's output is bit-identical to
+  its scalar solve;
+- speedup (scalar time / panel time per story-step) must stay >= 2
+  for the committed >= 8-story panels ("min_speedup" in the baseline
+  entry overrides the floor);
+- allocation regression: panel_minor_words_per_story may not exceed
+  the baseline by more than 20%.
 """
 import json
 import sys
 
 TOLERANCE = 1.20
 MIN_ALLOC_RATIO = 2.0
+MIN_PANEL_SPEEDUP = 2.0
+
+SCHEMAS = ("dlosn-bench/1", "dlosn-bench-solver/1")
 
 
 def fail(msg):
@@ -35,21 +54,20 @@ def fail(msg):
     sys.exit(1)
 
 
-def schemes_of(path):
+def solver_of(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != "dlosn-bench/1":
+    if doc.get("schema") not in SCHEMAS:
         fail(f"{path}: unexpected schema {doc.get('schema')!r}")
     solver = doc.get("solver")
     if not solver or not solver.get("schemes"):
         fail(f"{path}: no solver section")
-    return {s["name"]: s for s in solver["schemes"]}
+    schemes = {s["name"]: s for s in solver["schemes"]}
+    panel = {p["name"]: p for p in solver.get("panel", [])}
+    return schemes, panel
 
 
-def main():
-    current = schemes_of(sys.argv[1])
-    baseline = schemes_of(sys.argv[2])
-
+def check_schemes(current, baseline):
     checked = 0
     for name, base in sorted(baseline.items()):
         cur = current.get(name)
@@ -92,7 +110,65 @@ def main():
 
     if checked == 0:
         fail("baseline contained no schemes")
-    print(f"check_bench: OK — {checked} schemes within tolerance")
+    return checked
+
+
+def check_panel(current, baseline):
+    checked = 0
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            fail(f"panel {name!r} present in baseline but missing from run")
+
+        if cur.get("identical") is not True:
+            fail(
+                f"panel {name}: fused solve is not bit-identical to the "
+                f"per-story scalar path"
+            )
+
+        if cur["stories"] < base["stories"]:
+            fail(
+                f"panel {name}: run used {cur['stories']} stories, "
+                f"baseline gates {base['stories']}"
+            )
+
+        speedup = cur["speedup"]
+        min_speedup = base.get("min_speedup", MIN_PANEL_SPEEDUP)
+        if speedup < min_speedup:
+            fail(
+                f"panel {name}: speedup {speedup:.2f}x vs the scalar loop "
+                f"below the required {min_speedup}x"
+            )
+
+        words = cur["panel_minor_words_per_story"]
+        base_words = base["panel_minor_words_per_story"]
+        if words > base_words * TOLERANCE:
+            fail(
+                f"panel {name}: allocation regression — "
+                f"{words:.0f} minor words/story vs baseline {base_words:.0f} "
+                f"(>{TOLERANCE:.0%})"
+            )
+        checked += 1
+        print(
+            f"check_bench: panel {name}: identical, {cur['stories']} stories, "
+            f"{speedup:.2f}x vs scalar loop (floor {min_speedup}x), "
+            f"{words:.0f} words/story (baseline {base_words:.0f})"
+        )
+    return checked
+
+
+def main():
+    cur_schemes, cur_panel = solver_of(sys.argv[1])
+    base_schemes, base_panel = solver_of(sys.argv[2])
+
+    checked = check_schemes(cur_schemes, base_schemes)
+    panel_checked = check_panel(cur_panel, base_panel)
+    if base_panel and panel_checked == 0:
+        fail("baseline contained panel entries but none were checked")
+    print(
+        f"check_bench: OK — {checked} schemes and {panel_checked} panels "
+        f"within tolerance"
+    )
 
 
 if __name__ == "__main__":

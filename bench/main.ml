@@ -1085,7 +1085,7 @@ let run_solver_bench () =
       xr = 6.;
       nx = 101;
       diffusion = (fun _ -> 0.05);
-      reaction = (fun ~x:_ ~t ~u -> r t *. u *. (1. -. (u /. k)));
+      reaction = Pde.Custom (fun ~x:_ ~t ~u -> r t *. u *. (1. -. (u /. k)));
       initial = (fun x -> 8. *. exp (-0.5 *. (x -. 1.)));
       t0 = 1.;
     }
@@ -1169,6 +1169,171 @@ let run_solver_bench () =
         b.vb_name b.vb_steps b.vb_fast_ns b.vb_ref_ns b.vb_speedup
         b.vb_fast_minor_words b.vb_ref_minor_words b.vb_alloc_ratio
         b.vb_identical)
+    rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Panel bench: fused multi-story panel vs a per-story scalar loop     *)
+(* ------------------------------------------------------------------ *)
+
+type panel_bench = {
+  pn_name : string;
+  pn_stories : int;
+  pn_steps : int;               (* macro time steps per solve *)
+  pn_panel_ns : float;          (* ns per story per step, fused panel *)
+  pn_scalar_ns : float;         (* ns per story per step, scalar loop *)
+  pn_speedup : float;
+  pn_panel_words : float;       (* minor words per story per solve *)
+  pn_scalar_words : float;
+  pn_alloc_ratio : float;       (* scalar / panel *)
+  pn_identical : bool;          (* per-cell bit equality vs scalar loop *)
+}
+
+let run_panel_bench () =
+  section "Solver: fused multi-story panels vs a per-story scalar loop";
+  let module Pde = Numerics.Pde in
+  let ns = 8 in
+  let dt = 0.01 in
+  let times = [| 2.; 3.; 4.; 5.; 6. |] in
+  (* stories share the grid (the panel precondition) but not the
+     physics: every story gets its own diffusion, growth, K and
+     initial amplitude so the batched sweeps do real per-story work *)
+  let story_bits i =
+    let fi = float_of_int i in
+    let a = 1.1 +. (0.07 *. fi) and b = 1.2 +. (0.05 *. fi) in
+    let c = 0.2 +. (0.015 *. fi) in
+    let r t = (a *. exp (-.b *. (t -. 1.))) +. c in
+    let k = 18. +. (2.5 *. fi) in
+    let d = 0.03 +. (0.004 *. fi) in
+    let amp = 6. +. (0.5 *. fi) in
+    (d, r, k, amp)
+  in
+  let pp =
+    {
+      Pde.pp_xl = 1.;
+      pp_xr = 6.;
+      pp_nx = 101;
+      pp_t0 = 1.;
+      pp_stories =
+        Array.init ns (fun i ->
+            let d, r, k, amp = story_bits i in
+            {
+              Pde.ps_diffusion = (fun _ -> d);
+              ps_reaction = Pde.Logistic { r; k };
+              ps_initial = (fun x -> amp *. exp (-0.5 *. (x -. 1.)));
+            });
+    }
+  in
+  let ws = Pde.panel_workspace () in
+  let panel_solve name =
+    let scheme =
+      match name with
+      | "imex-cn" -> Pde.Panel_imex 0.5
+      | "strang" -> Pde.Panel_strang
+      | _ -> assert false
+    in
+    Pde.solve_panel ~scheme ~dt ~workspace:ws pp ~times
+  in
+  let scalar_solve name i =
+    let d, r, k, amp = story_bits i in
+    let p =
+      {
+        Pde.xl = 1.;
+        xr = 6.;
+        nx = 101;
+        diffusion = (fun _ -> d);
+        reaction = Pde.Logistic { r; k };
+        initial = (fun x -> amp *. exp (-0.5 *. (x -. 1.)));
+        t0 = 1.;
+      }
+    in
+    (* fresh scheme value per solve: the Strang reaction closure is
+       stateful (memoized r-integral) *)
+    let scheme =
+      match name with
+      | "imex-cn" -> Pde.Imex 0.5
+      | "strang" -> Pde.Strang (Pde.logistic_reaction_step ~r ~k)
+      | _ -> assert false
+    in
+    Pde.solve ~scheme ~dt ~reference:false p ~times
+  in
+  let identical (a : Pde.solution) (b : Pde.solution) =
+    let ok = ref (Array.length a.Pde.values = Array.length b.Pde.values) in
+    Array.iteri
+      (fun it row ->
+        Array.iteri
+          (fun ix v ->
+            if
+              not
+                (Int64.equal (Int64.bits_of_float v)
+                   (Int64.bits_of_float b.Pde.values.(it).(ix)))
+            then ok := false)
+          row)
+      a.Pde.values;
+    !ok
+  in
+  let reps = 10 in
+  let bench name =
+    let c_steps = Obs.Metrics.counter "pde.panel_steps" in
+    let before = Obs.Metrics.counter_value c_steps in
+    let panel_sols = panel_solve name in
+    let steps = Obs.Metrics.counter_value c_steps - before in
+    let scalar_sols = Array.init ns (scalar_solve name) in
+    let pn_identical =
+      let ok = ref (Array.length panel_sols = ns) in
+      Array.iteri
+        (fun i sol -> if not (identical sol scalar_sols.(i)) then ok := false)
+        panel_sols;
+      !ok
+    in
+    Obs.set_enabled false;
+    ignore (panel_solve name);
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (panel_solve name)
+    done;
+    let panel_s = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+    let panel_w = (Gc.minor_words () -. w0) /. float_of_int reps in
+    for i = 0 to ns - 1 do
+      ignore (scalar_solve name i)
+    done;
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      for i = 0 to ns - 1 do
+        ignore (scalar_solve name i)
+      done
+    done;
+    let scalar_s = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+    let scalar_w = (Gc.minor_words () -. w0) /. float_of_int reps in
+    Obs.set_enabled true;
+    let fns = float_of_int ns in
+    let per s = s *. 1e9 /. (float_of_int steps *. fns) in
+    {
+      pn_name = name;
+      pn_stories = ns;
+      pn_steps = steps;
+      pn_panel_ns = per panel_s;
+      pn_scalar_ns = per scalar_s;
+      pn_speedup = scalar_s /. panel_s;
+      pn_panel_words = panel_w /. fns;
+      pn_scalar_words = scalar_w /. fns;
+      pn_alloc_ratio = scalar_w /. panel_w;
+      pn_identical;
+    }
+  in
+  let rows = List.map bench [ "imex-cn"; "strang" ] in
+  Format.printf "  %-10s %7s %5s %13s %14s %8s %12s %12s %7s %s@." "scheme"
+    "stories" "steps" "panel ns/s/st" "scalar ns/s/st" "speedup" "panel w/st"
+    "scalar w/st" "alloc x" "identical";
+  List.iter
+    (fun b ->
+      Format.printf
+        "  %-10s %7d %5d %13.0f %14.0f %8.2f %12.0f %12.0f %7.1f %b@."
+        b.pn_name b.pn_stories b.pn_steps b.pn_panel_ns b.pn_scalar_ns
+        b.pn_speedup b.pn_panel_words b.pn_scalar_words b.pn_alloc_ratio
+        b.pn_identical)
     rows;
   rows
 
@@ -1291,8 +1456,48 @@ let run_tournament_bench () =
   Format.printf "%a" Dl.Tournament.pp lb;
   lb
 
+(* the "solver" object shared by the full bench JSON and the
+   standalone solver-only JSON CI gates on *)
+let write_solver_obj oc ~solver ~panel =
+  let out fmt = Printf.fprintf oc fmt in
+  out "  \"solver\": {\"nx\": 101, \"dt\": 0.01, \"schemes\": [\n";
+  List.iteri
+    (fun i b ->
+      out
+        "    {\"name\": \"%s\", \"steps_per_solve\": %d, \
+         \"fast_ns_per_step\": %s, \"ref_ns_per_step\": %s, \"speedup\": \
+         %s, \"fast_minor_words_per_solve\": %s, \
+         \"ref_minor_words_per_solve\": %s, \"alloc_ratio\": %s, \
+         \"identical\": %b}%s\n"
+        (json_escape b.vb_name) b.vb_steps
+        (json_float b.vb_fast_ns) (json_float b.vb_ref_ns)
+        (json_float b.vb_speedup)
+        (json_float b.vb_fast_minor_words)
+        (json_float b.vb_ref_minor_words)
+        (json_float b.vb_alloc_ratio) b.vb_identical
+        (if i = List.length solver - 1 then "" else ","))
+    solver;
+  out "  ], \"panel\": [\n";
+  List.iteri
+    (fun i b ->
+      out
+        "    {\"name\": \"%s\", \"stories\": %d, \"steps_per_solve\": %d, \
+         \"panel_ns_per_story_step\": %s, \"scalar_ns_per_story_step\": %s, \
+         \"speedup\": %s, \"panel_minor_words_per_story\": %s, \
+         \"scalar_minor_words_per_story\": %s, \"alloc_ratio\": %s, \
+         \"identical\": %b}%s\n"
+        (json_escape b.pn_name) b.pn_stories b.pn_steps
+        (json_float b.pn_panel_ns) (json_float b.pn_scalar_ns)
+        (json_float b.pn_speedup)
+        (json_float b.pn_panel_words)
+        (json_float b.pn_scalar_words)
+        (json_float b.pn_alloc_ratio) b.pn_identical
+        (if i = List.length panel - 1 then "" else ","))
+    panel;
+  out "  ]}"
+
 let write_bench_json ~path ~scale_name ~scaling ~micro ~serve_load ~solver
-    ~store ~tournament =
+    ~panel ~store ~tournament =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -1333,24 +1538,8 @@ let write_bench_json ~path ~scale_name ~scaling ~micro ~serve_load ~solver
     (json_float serve_load.sl_rps)
     (json_float serve_load.sl_p50_ms)
     (json_float serve_load.sl_p99_ms);
-  out "  \"solver\": {\"nx\": 101, \"dt\": 0.01, \"schemes\": [\n";
-  List.iteri
-    (fun i b ->
-      out
-        "    {\"name\": \"%s\", \"steps_per_solve\": %d, \
-         \"fast_ns_per_step\": %s, \"ref_ns_per_step\": %s, \"speedup\": \
-         %s, \"fast_minor_words_per_solve\": %s, \
-         \"ref_minor_words_per_solve\": %s, \"alloc_ratio\": %s, \
-         \"identical\": %b}%s\n"
-        (json_escape b.vb_name) b.vb_steps
-        (json_float b.vb_fast_ns) (json_float b.vb_ref_ns)
-        (json_float b.vb_speedup)
-        (json_float b.vb_fast_minor_words)
-        (json_float b.vb_ref_minor_words)
-        (json_float b.vb_alloc_ratio) b.vb_identical
-        (if i = List.length solver - 1 then "" else ","))
-    solver;
-  out "  ]},\n";
+  write_solver_obj oc ~solver ~panel;
+  out ",\n";
   (* the leaderboard document (schema dlosn-tournament/1) embeds as-is *)
   out "  \"tournament\": %s,\n"
     (String.trim (Dl.Tournament.json_string tournament));
@@ -1609,6 +1798,16 @@ let write_serve_json ~path serve_load =
     (json_float serve_load.sl_p99_ms);
   close_out oc
 
+(* Solver-only JSON: the same "solver" object write_bench_json embeds,
+   standalone — lets CI gate the panel bit-identity and speedup at
+   several domain counts without paying for the full harness. *)
+let write_solver_json ~path ~solver ~panel =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"dlosn-bench-solver/1\",\n";
+  write_solver_obj oc ~solver ~panel;
+  Printf.fprintf oc "\n}\n";
+  close_out oc
+
 let () =
   (* The harness always records internal counters (fit iterations, PDE
      steps, pool balance) so BENCH_*.json trajectories carry more than
@@ -1624,6 +1823,22 @@ let () =
     write_serve_json ~path:json_path serve_load;
     Format.printf "serve bench written to %s@." json_path;
     exit (if serve_load.sl_dropped = 0 && serve_load.sl_drained then 0 else 1)
+  end;
+  if Sys.getenv_opt "DLOSN_BENCH_SOLVER_ONLY" <> None then begin
+    let solver = run_solver_bench () in
+    let panel = run_panel_bench () in
+    let json_path =
+      match Sys.getenv_opt "DLOSN_BENCH_JSON" with
+      | Some p -> p
+      | None -> "bench_solver.json"
+    in
+    write_solver_json ~path:json_path ~solver ~panel;
+    Format.printf "solver bench written to %s@." json_path;
+    let ok =
+      List.for_all (fun b -> b.vb_identical) solver
+      && List.for_all (fun b -> b.pn_identical) panel
+    in
+    exit (if ok then 0 else 1)
   end;
   let scale_name, scale = scale_of_env () in
   Format.printf
@@ -1722,6 +1937,7 @@ let () =
 
   let scaling = print_parallel_scaling ds in
   let solver = run_solver_bench () in
+  let panel = run_panel_bench () in
   let store = run_store_bench () in
   let tournament = run_tournament_bench () in
   let micro = run_benchmarks () in
@@ -1731,7 +1947,7 @@ let () =
     | None -> "bench_results.json"
   in
   write_bench_json ~path:json_path ~scale_name ~scaling ~micro ~serve_load
-    ~solver ~store ~tournament;
+    ~solver ~panel ~store ~tournament;
   let metrics_path =
     match Sys.getenv_opt "DLOSN_BENCH_METRICS" with
     | Some p -> p

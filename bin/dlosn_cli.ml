@@ -154,13 +154,26 @@ let otlp_endpoint_arg =
               $(b,DLOSN_OTLP) environment variable sets the same \
               default.")
 
+let otlp_sample_rate_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "otlp-sample-rate" ] ~docv:"RATE"
+        ~doc:"Head-sample OTLP export: keep this fraction of traces \
+              (0..1, default 1 = everything), decided per trace id so \
+              a trace exports with all its spans and logs or not at \
+              all.  The $(b,DLOSN_OTLP_SAMPLE) environment variable \
+              sets the same default.")
+
 type obs_opts = {
   metrics_out : string option;
   flame_out : string option;
   otlp_endpoint : string option;  (* resolved: flag, else DLOSN_OTLP *)
+  otlp_sample_rate : float;  (* resolved: flag, else DLOSN_OTLP_SAMPLE *)
 }
 
-let setup_obs level json metrics_out no_solver_cache flame_out otlp_endpoint =
+let setup_obs level json metrics_out no_solver_cache flame_out otlp_endpoint
+    otlp_sample_rate =
   if level <> None || json || metrics_out <> None || flame_out <> None then
     Obs.set_enabled true;
   (match (level, json) with
@@ -177,7 +190,21 @@ let setup_obs level json metrics_out no_solver_cache flame_out otlp_endpoint =
     | Some _ as e -> e
     | None -> Sys.getenv_opt Otlp.env_var
   in
-  { metrics_out; flame_out; otlp_endpoint }
+  let otlp_sample_rate =
+    match otlp_sample_rate with
+    | Some r -> r
+    | None -> (
+      match Sys.getenv_opt Otlp.sample_env_var with
+      | None -> 1.0
+      | Some v -> (
+        match float_of_string_opt v with
+        | Some r -> r
+        | None ->
+          Format.eprintf "dlosn: ignoring %s=%S (not a number)@."
+            Otlp.sample_env_var v;
+          1.0))
+  in
+  { metrics_out; flame_out; otlp_endpoint; otlp_sample_rate }
 
 (* Build, hook and start an exporter for a batch-style command.  The
    serve command skips this (with_obs ~otlp:false) and passes the
@@ -187,7 +214,13 @@ let start_cli_otlp opts =
   match opts.otlp_endpoint with
   | None -> None
   | Some endpoint -> (
-    match Otlp.create ~endpoint ~metrics_provider:Obs.Metrics.expose () with
+    match
+      Otlp.create
+        ~config:
+          { Otlp.default_config with
+            Otlp.sample_rate = opts.otlp_sample_rate }
+        ~endpoint ~metrics_provider:Obs.Metrics.expose ()
+    with
     | exporter ->
       Obs.set_enabled true;
       Otlp.observe_spans exporter;
@@ -201,7 +234,8 @@ let start_cli_otlp opts =
 let obs_term =
   Term.(
     const setup_obs $ log_level_arg $ log_json_arg $ metrics_out_arg
-    $ no_solver_cache_arg $ flame_out_arg $ otlp_endpoint_arg)
+    $ no_solver_cache_arg $ flame_out_arg $ otlp_endpoint_arg
+    $ otlp_sample_rate_arg)
 
 (* Runs even when the command raises, so a failed run still leaves its
    profile and metrics behind. *)
@@ -752,6 +786,7 @@ let serve_cmd =
         store_dir;
         slow_request_ms = slow_ms;
         otlp_endpoint = obs.otlp_endpoint;
+        otlp_sample_rate = obs.otlp_sample_rate;
       }
     in
     let server =

@@ -41,10 +41,12 @@ let phi_of_obs (obs : Socialnet.Density.t) =
   let densities = Array.map (fun row -> row.(0)) obs.Socialnet.Density.density in
   Initial.of_observations ~xs ~densities
 
-let objective ?(scheme = Model.Strang) ?(nx = 101) ?(dt = 0.01) ~phi ~obs
-    ~fit_times params =
+let objective ?(scheme = Model.Strang) ?(nx = 101) ?(dt = 0.01) ?workspace
+    ~phi ~obs ~fit_times params =
   try
-    let sol = Model.solve ~scheme ~nx ~dt params ~phi ~times:fit_times in
+    let sol =
+      Model.solve ~scheme ~nx ~dt ?workspace params ~phi ~times:fit_times
+    in
     let predict = Model.predictor sol in
     let err = ref 0. and count = ref 0 in
     Array.iter
@@ -156,9 +158,9 @@ let fit ?(config = default_config) ?(pool = Parallel.Pool.sequential) ?id
       v;
     !penalty
   in
-  let objective_at ~d ~k ~a ~b ~c =
+  let objective_at ?workspace ~d ~k ~a ~b ~c () =
     objective ~scheme:config.solver_scheme ~nx:config.solver_nx
-      ~dt:config.solver_dt ~phi ~obs ~fit_times:config.fit_times
+      ~dt:config.solver_dt ?workspace ~phi ~obs ~fit_times:config.fit_times
       (Params.make ~d ~k ~r:(Growth.Exp_decay { a; b; c }) ~l ~big_l)
   in
   (* The PDE-solve part of the penalised function depends only on the
@@ -170,12 +172,19 @@ let fit ?(config = default_config) ?(pool = Parallel.Pool.sequential) ?id
      because it depends on the unclamped vector. *)
   let make_f () =
     let tbl = if !memo_enabled then Some (Hashtbl.create 64) else None in
+    (* One panel workspace per restart, captured by the closure: the
+       pool hands a restart to exactly one worker domain, so the
+       workspace is domain-private, and every objective evaluation of
+       the restart's Nelder--Mead loop reuses the same solver buffers
+       (counted by pde.panel_reuses).  Reuse is bit-invisible: the
+       panel path is bit-identical to the scalar solve. *)
+    let workspace = Pde.panel_workspace () in
     fun v ->
       let d = clamp 0 v.(0) and k = clamp 1 v.(1) in
       let a = clamp 2 v.(2) and b = clamp 3 v.(3) and c = clamp 4 v.(4) in
       let base =
         match tbl with
-        | None -> objective_at ~d ~k ~a ~b ~c
+        | None -> objective_at ~workspace ~d ~k ~a ~b ~c ()
         | Some tbl -> (
           let key = (d, k, a, b, c) in
           match Hashtbl.find_opt tbl key with
@@ -183,7 +192,7 @@ let fit ?(config = default_config) ?(pool = Parallel.Pool.sequential) ?id
             Obs.Metrics.incr m_objective_cache_hits;
             cached
           | None ->
-            let value = objective_at ~d ~k ~a ~b ~c in
+            let value = objective_at ~workspace ~d ~k ~a ~b ~c () in
             if Hashtbl.length tbl < memo_capacity then
               Hashtbl.add tbl key value;
             value)

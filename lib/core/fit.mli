@@ -106,6 +106,7 @@ val phi_of_obs : Socialnet.Density.t -> Initial.t
 
 val objective :
   ?scheme:Model.scheme -> ?nx:int -> ?dt:float ->
+  ?workspace:Numerics.Pde.panel_workspace ->
   phi:Initial.t -> obs:Socialnet.Density.t -> fit_times:float array ->
   Params.t -> float
 (** The raw fitting objective (exposed for tests and ablations): mean
@@ -113,7 +114,10 @@ val objective :
     if the solve blows up on an expected failure ([Failure],
     [Invalid_argument], [Mat.Singular], [Not_found] — logged at warn
     level as [fit.objective_failed]).  Unexpected exceptions
-    propagate. *)
+    propagate.  [?workspace] threads a reusable panel workspace into
+    {!Model.solve} (bit-identical results; {!fit} keeps one per
+    restart so every Nelder--Mead evaluation reuses the solver
+    buffers). *)
 
 val set_objective_memo : bool -> unit
 val objective_memo_enabled : unit -> bool

@@ -37,7 +37,7 @@ let solve ?(scheme = Strang) ?(nx = 101) ?(dt = 0.01) params ~phi ~times =
       xr = params.big_l;
       nx;
       diffusion = (fun _ -> params.d);
-      reaction = (fun ~x:_ ~t ~u -> r_fn t *. u);
+      reaction = Pde.Linear { r = r_fn };
       initial = Initial.to_function phi;
       t0 = 1.;
     }

@@ -15,11 +15,30 @@ type solution = {
 
 val solve :
   ?scheme:scheme -> ?nx:int -> ?dt:float ->
+  ?workspace:Numerics.Pde.panel_workspace ->
   Params.t -> phi:Initial.t -> times:float array -> solution
 (** [solve params ~phi ~times] integrates from t = 1 (the paper's
     initial observation hour) and records a snapshot at each requested
     time (all must be [>= 1]).  Defaults: [Strang], [nx = 101] grid
-    points, [dt = 0.01] hours. *)
+    points, [dt = 0.01] hours.
+
+    With [?workspace] (and a non-FTCS scheme) the solve runs as a
+    width-1 panel through {!Numerics.Pde.solve_panel} — bit-identical
+    output, but the solver buffers are reused across calls sharing the
+    workspace instead of being reallocated per solve.  Pass one
+    workspace per fit restart / pool worker; never share one across
+    domains concurrently. *)
+
+val solve_panel :
+  ?scheme:scheme -> ?nx:int -> ?dt:float ->
+  ?workspace:Numerics.Pde.panel_workspace ->
+  (Params.t * Initial.t) array -> times:float array -> solution array
+(** Fused multi-story solve: every story (params, initial profile)
+    must share the domain [(l, L)] ([Invalid_argument] otherwise); all
+    stories advance in lockstep through one batched Thomas sweep per
+    step.  Each element of the result is bit-identical to {!solve} on
+    that story alone.  FTCS falls back to per-story solves (its CFL
+    sub-stepping is per-story). *)
 
 val solve_extended :
   ?scheme:scheme -> ?nx:int -> ?dt:float ->

@@ -60,13 +60,19 @@ let default_predict_times = [| 2.; 3.; 4.; 5.; 6. |]
 
 let m_runs = Obs.Metrics.counter "pipeline.runs"
 
-let run ?(params = Paper) ?(pool = Parallel.Pool.sequential)
-    ?(predict_times = default_predict_times)
-    ?(construction = `Cubic_spline) ?fit_id ?on_fit ds ~story ~metric =
- Obs.Span.with_span "pipeline.run"
-   ~attrs:(fun () -> [ Obs.Log.int "story" story.Types.id ])
- @@ fun () ->
-  Obs.Metrics.incr m_runs;
+type prepared = {
+  pr_story : Types.story;
+  pr_metric : metric;
+  pr_assignment : int array;
+  pr_observation : Density.t;
+  pr_phi : Initial.t;
+  pr_l : float;
+  pr_big_l : float;
+  pr_times : float array;
+}
+
+let prepare ?(predict_times = default_predict_times)
+    ?(construction = `Cubic_spline) ds ~story ~metric =
   let assignment, obs_raw = observe ds ~story ~metric ~times:predict_times in
   let obs = trim_empty_groups obs_raw in
   let distances = obs.Density.distances in
@@ -75,17 +81,64 @@ let run ?(params = Paper) ?(pool = Parallel.Pool.sequential)
   let xs = Array.map float_of_int distances in
   let densities = Array.map (fun row -> row.(0)) obs.Density.density in
   let phi = Initial.of_observations_with ~construction ~xs ~densities in
-  let l = xs.(0) and big_l = xs.(Array.length xs - 1) in
+  {
+    pr_story = story;
+    pr_metric = metric;
+    pr_assignment = assignment;
+    pr_observation = obs;
+    pr_phi = phi;
+    pr_l = xs.(0);
+    pr_big_l = xs.(Array.length xs - 1);
+    pr_times = predict_times;
+  }
+
+let paper_params pre =
+  let base =
+    match pre.pr_metric with
+    | Hops _ -> Params.paper_hops
+    | Interest _ -> Params.paper_interest
+  in
+  Params.with_domain base ~l:pre.pr_l ~big_l:pre.pr_big_l
+
+let finish pre ~params ~fit_error ~solution =
+  Obs.Metrics.incr m_runs;
+  let obs = pre.pr_observation in
+  let table =
+    Accuracy.table
+      ~predict:(fun ~x ~t -> Model.predict solution ~x:(float_of_int x) ~t)
+      ~actual:(fun ~x ~t -> Density.at obs ~distance:x ~time:t)
+      ~distances:obs.Density.distances ~times:pre.pr_times
+  in
+  Obs.Log.debug "pipeline.run" ~fields:(fun () ->
+      [
+        Obs.Log.int "story" pre.pr_story.Types.id;
+        Obs.Log.float "overall" table.Accuracy.overall_average;
+        Obs.Log.float "fit_error"
+          (match fit_error with None -> nan | Some e -> e);
+      ]);
+  {
+    story = pre.pr_story;
+    metric = pre.pr_metric;
+    assignment = pre.pr_assignment;
+    observation = obs;
+    phi = pre.pr_phi;
+    params;
+    fit_error;
+    solution;
+    table;
+  }
+
+let run ?(params = Paper) ?(pool = Parallel.Pool.sequential)
+    ?(predict_times = default_predict_times)
+    ?(construction = `Cubic_spline) ?fit_id ?on_fit ds ~story ~metric =
+ Obs.Span.with_span "pipeline.run"
+   ~attrs:(fun () -> [ Obs.Log.int "story" story.Types.id ])
+ @@ fun () ->
+  let pre = prepare ~predict_times ~construction ds ~story ~metric in
   let chosen, fit_error =
     match params with
-    | Given p -> (Params.with_domain p ~l ~big_l, None)
-    | Paper ->
-      let base =
-        match metric with
-        | Hops _ -> Params.paper_hops
-        | Interest _ -> Params.paper_interest
-      in
-      (Params.with_domain base ~l ~big_l, None)
+    | Given p -> (Params.with_domain p ~l:pre.pr_l ~big_l:pre.pr_big_l, None)
+    | Paper -> (paper_params pre, None)
     | Auto { rng; config } ->
       (* label the fit with the story so store checkpoints are
          self-describing (overridable via [fit_id]) *)
@@ -94,34 +147,11 @@ let run ?(params = Paper) ?(pool = Parallel.Pool.sequential)
         | Some i -> i
         | None -> "story-" ^ string_of_int story.Types.id
       in
-      let r = Fit.fit ~config ~pool ~id ?on_fit rng obs in
+      let r = Fit.fit ~config ~pool ~id ?on_fit rng pre.pr_observation in
       (r.Fit.params, Some r.Fit.training_error)
   in
-  let solution = Model.solve chosen ~phi ~times:predict_times in
-  let table =
-    Accuracy.table
-      ~predict:(fun ~x ~t -> Model.predict solution ~x:(float_of_int x) ~t)
-      ~actual:(fun ~x ~t -> Density.at obs ~distance:x ~time:t)
-      ~distances ~times:predict_times
-  in
-  Obs.Log.debug "pipeline.run" ~fields:(fun () ->
-      [
-        Obs.Log.int "story" story.Types.id;
-        Obs.Log.float "overall" table.Accuracy.overall_average;
-        Obs.Log.float "fit_error"
-          (match fit_error with None -> nan | Some e -> e);
-      ]);
-  {
-    story;
-    metric;
-    assignment;
-    observation = obs;
-    phi;
-    params = chosen;
-    fit_error;
-    solution;
-    table;
-  }
+  let solution = Model.solve chosen ~phi:pre.pr_phi ~times:predict_times in
+  finish pre ~params:chosen ~fit_error ~solution
 
 let baseline_table exp ~baseline =
   Accuracy.table

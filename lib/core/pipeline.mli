@@ -63,6 +63,47 @@ val run :
     [fit_id], which defaults to ["story-<id>"] — so a run with a
     store hook attached checkpoints its calibration durably. *)
 
+(** {2 Split pipeline}
+
+    {!run} decomposed into its pure-observation front half and its
+    scoring back half, so callers holding many stories can batch the
+    PDE solves in between ({!Batch.evaluate} fuses every story sharing
+    a domain into one {!Model.solve_panel} call). *)
+
+type prepared = {
+  pr_story : Socialnet.Types.story;
+  pr_metric : metric;
+  pr_assignment : int array;
+  pr_observation : Socialnet.Density.t;
+  pr_phi : Initial.t;
+  pr_l : float;      (** first observed distance group *)
+  pr_big_l : float;  (** last observed distance group *)
+  pr_times : float array;
+}
+
+val prepare :
+  ?predict_times:float array ->
+  ?construction:Initial.construction ->
+  Socialnet.Dataset.t ->
+  story:Socialnet.Types.story ->
+  metric:metric ->
+  prepared
+(** Observation half of {!run}: distance assignment, densities,
+    trimming, phi and the story's domain [(pr_l, pr_big_l)].
+    @raise Invalid_argument when fewer than two distance groups remain
+    (same message as {!run}). *)
+
+val paper_params : prepared -> Params.t
+(** The published parameter set for the prepared story's metric,
+    clamped to its observed domain — what {!run} uses under [Paper]. *)
+
+val finish :
+  prepared -> params:Params.t -> fit_error:float option ->
+  solution:Model.solution -> experiment
+(** Scoring half of {!run}: accuracy table and the experiment record.
+    Increments the [pipeline.runs] counter (so fused batch paths count
+    the same as {!run}). *)
+
 val baseline_table :
   experiment -> baseline:Baselines.predictor -> Accuracy.table
 (** Accuracy of a baseline predictor on the same observations and

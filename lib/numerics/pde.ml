@@ -1,9 +1,28 @@
+(* The reaction term, specialised by shape.  [Logistic]/[Linear] name
+   the paper's two models directly so hot loops can dispatch once per
+   solve and run unboxed float arithmetic per cell; [Custom] keeps the
+   fully general closure (floats box at every call — the per-cell
+   closure-call floor the panel path removes for the named shapes).
+   [reaction_eval] is the single semantics: every path, reference or
+   fast, scalar or panel, computes exactly its floating-point
+   expressions. *)
+type reaction =
+  | Logistic of { r : float -> float; k : float }
+  | Linear of { r : float -> float }
+  | Custom of (x:float -> t:float -> u:float -> float)
+
+let reaction_eval re ~x ~t ~u =
+  match re with
+  | Logistic { r; k } -> r t *. u *. (1. -. (u /. k))
+  | Linear { r } -> r t *. u
+  | Custom f -> f ~x ~t ~u
+
 type problem = {
   xl : float;
   xr : float;
   nx : int;
   diffusion : float -> float;
-  reaction : x:float -> t:float -> u:float -> float;
+  reaction : reaction;
   initial : float -> float;
   t0 : float;
 }
@@ -109,8 +128,8 @@ let reaction_rk2 p xs t dt u =
   Array.mapi
     (fun i ui ->
       let x = xs.(i) in
-      let k1 = p.reaction ~x ~t ~u:ui in
-      let k2 = p.reaction ~x ~t:(t +. dt) ~u:(ui +. (dt *. k1)) in
+      let k1 = reaction_eval p.reaction ~x ~t ~u:ui in
+      let k2 = reaction_eval p.reaction ~x ~t:(t +. dt) ~u:(ui +. (dt *. k1)) in
       dt *. (k1 +. k2) /. 2.)
     u
 
@@ -223,8 +242,8 @@ let step_ws p xs df l scheme ws t dt =
       let lu = (flux_right -. flux_left) /. ws.w_h2w.(i) in
       let x = xs.(i) in
       let ui = u.(i) in
-      let k1 = p.reaction ~x ~t ~u:ui in
-      let k2 = p.reaction ~x ~t:(t +. dt) ~u:(ui +. (dt *. k1)) in
+      let k1 = reaction_eval p.reaction ~x ~t ~u:ui in
+      let k2 = reaction_eval p.reaction ~x ~t:(t +. dt) ~u:(ui +. (dt *. k1)) in
       next.(i) <- ui +. (dt *. lu) +. (dt *. (k1 +. k2) /. 2.)
     done
   | Imex _ ->
@@ -233,8 +252,8 @@ let step_ws p xs df l scheme ws t dt =
     for i = 0 to n - 1 do
       let x = xs.(i) in
       let ui = u.(i) in
-      let k1 = p.reaction ~x ~t ~u:ui in
-      let k2 = p.reaction ~x ~t:(t +. dt) ~u:(ui +. (dt *. k1)) in
+      let k1 = reaction_eval p.reaction ~x ~t ~u:ui in
+      let k2 = reaction_eval p.reaction ~x ~t:(t +. dt) ~u:(ui +. (dt *. k1)) in
       ws.w_rhs.(i) <- ws.w_rhs.(i) +. (dt *. (k1 +. k2) /. 2.)
     done;
     Tridiag.solve_factored imp ~src:ws.w_rhs ~dst:next
@@ -342,6 +361,424 @@ let solve ?(scheme = Imex 0.5) ?(dt = 1e-3) ?reference p ~times =
     ts = Array.map fst snaps;
     values = Array.map snd snaps;
   }
+
+(* --- fused panel path -------------------------------------------- *)
+
+(* A panel steps S problems sharing (domain, grid, t0, dt, scheme)
+   through the time loop in lockstep: one batched Thomas sweep per
+   step services every story with contiguous inner-loop access
+   (structure-of-arrays [Tridiag.panel]s, story-major rows), the
+   x-independent per-step scalars (r(t), Simpson integrals of r, their
+   exponentials) are hoisted out of the cell loops once per story, and
+   the [Logistic]/[Linear] reactions run as unboxed float arithmetic.
+   Column [s] of the result is bit-identical to [solve] on story [s]
+   alone — the loop interchange never mixes stories, the hoisted
+   scalars are exactly the values the scalar path computes per cell
+   (or memoizes, for the Strang Simpson integral), and every batched
+   kernel replicates its scalar counterpart's operation order. *)
+
+type panel_story = {
+  ps_diffusion : float -> float;
+  ps_reaction : reaction;
+  ps_initial : float -> float;
+}
+
+type panel_problem = {
+  pp_xl : float;
+  pp_xr : float;
+  pp_nx : int;
+  pp_t0 : float;
+  pp_stories : panel_story array;
+}
+
+type panel_scheme = Panel_imex of float | Panel_strang
+
+let problem_of_story pp st =
+  {
+    xl = pp.pp_xl;
+    xr = pp.pp_xr;
+    nx = pp.pp_nx;
+    t0 = pp.pp_t0;
+    diffusion = st.ps_diffusion;
+    reaction = st.ps_reaction;
+    initial = st.ps_initial;
+  }
+
+(* The scalar scheme a panel story runs under — also the definition of
+   what the fused path must reproduce.  Strang panels derive the exact
+   reaction flow from the reaction shape; a [Custom] closure carries no
+   derivable flow, so it is rejected (use [Panel_imex], where the
+   closure path applies, or the scalar [solve] with an explicit
+   [Strang] step). *)
+let scalar_scheme_of_story scheme st =
+  match scheme with
+  | Panel_imex theta -> Imex theta
+  | Panel_strang -> (
+    match st.ps_reaction with
+    | Logistic { r; k } -> Strang (logistic_reaction_step ~r ~k)
+    | Linear { r } -> Strang (linear_reaction_step ~r)
+    | Custom _ ->
+      invalid_arg
+        "Pde.solve_panel: Strang panels need a Logistic or Linear reaction")
+
+(* Reaction tags for the per-cell dispatch (int match, no closure). *)
+let tag_logistic = 0
+let tag_linear = 1
+let tag_custom = 2
+
+(* All the panel buffers for one (nx, stories) shape.  Everything is
+   rebuilt per solve except the allocations themselves; [pb_ops_dt]
+   tracks which step size the shifted operators + factorization
+   currently hold (NaN = none), so ragged final partial steps refill
+   the same buffers and the macro ops are restored on the next full
+   step. *)
+type panel_bufs = {
+  pb_nx : int;
+  pb_ns : int;
+  mutable pb_u : Tridiag.panel;
+  mutable pb_next : Tridiag.panel;
+  pb_rhs : Tridiag.panel;
+  pb_stage : Tridiag.panel;
+  (* the FV operator L, per story *)
+  pb_l_sub : Tridiag.panel;
+  pb_l_diag : Tridiag.panel;
+  pb_l_sup : Tridiag.panel;
+  (* shifted explicit (I + cE L) and implicit (I + cI L) operators *)
+  pb_e_sub : Tridiag.panel;
+  pb_e_diag : Tridiag.panel;
+  pb_e_sup : Tridiag.panel;
+  pb_i_sub : Tridiag.panel;
+  pb_i_diag : Tridiag.panel;
+  pb_i_sup : Tridiag.panel;
+  (* Thomas factorization of the implicit operator *)
+  pb_f_c : Tridiag.panel;
+  pb_f_m : Tridiag.panel;
+  mutable pb_ops_dt : float;
+  (* per-story hoisted scalars: r(t), r(t+dt), reaction flow factors *)
+  pb_rt : float array;
+  pb_rt2 : float array;
+  pb_flow : float array;
+  pb_k : float array;
+  pb_tag : int array;
+}
+
+let make_panel_bufs ~nx ~ns =
+  let p () = Tridiag.panel_create ~n:nx ~stories:ns in
+  {
+    pb_nx = nx;
+    pb_ns = ns;
+    pb_u = p ();
+    pb_next = p ();
+    pb_rhs = p ();
+    pb_stage = p ();
+    pb_l_sub = p ();
+    pb_l_diag = p ();
+    pb_l_sup = p ();
+    pb_e_sub = p ();
+    pb_e_diag = p ();
+    pb_e_sup = p ();
+    pb_i_sub = p ();
+    pb_i_diag = p ();
+    pb_i_sup = p ();
+    pb_f_c = p ();
+    pb_f_m = p ();
+    pb_ops_dt = Float.nan;
+    pb_rt = Array.make ns 0.;
+    pb_rt2 = Array.make ns 0.;
+    pb_flow = Array.make ns 0.;
+    pb_k = Array.make ns 0.;
+    pb_tag = Array.make ns tag_custom;
+  }
+
+(* A reusable panel workspace: keeps the buffer block alive across
+   solves (one per fit restart / pool worker — at any instant a single
+   domain owns it; do not share concurrently).  Shape changes
+   reallocate. *)
+type panel_workspace = {
+  mutable pw_bufs : panel_bufs option;
+  mutable pw_reuses : int;
+  mutable pw_rebuilds : int;
+}
+
+let panel_workspace () = { pw_bufs = None; pw_reuses = 0; pw_rebuilds = 0 }
+
+let panel_workspace_stats ws = (ws.pw_reuses, ws.pw_rebuilds)
+
+let m_panel_solves = Obs.Metrics.counter "pde.panel_solves"
+let m_panel_stories = Obs.Metrics.counter "pde.panel_stories"
+let m_panel_steps = Obs.Metrics.counter "pde.panel_steps"
+let m_panel_reuses = Obs.Metrics.counter "pde.panel_reuses"
+let m_panel_rebuilds = Obs.Metrics.counter "pde.panel_rebuilds"
+let m_panel_solve_ns = Obs.Metrics.histogram "pde.panel_solve_ns"
+
+let ensure_panel_bufs ws ~nx ~ns ~obs_on =
+  match ws.pw_bufs with
+  | Some b when b.pb_nx = nx && b.pb_ns = ns ->
+    ws.pw_reuses <- ws.pw_reuses + 1;
+    if obs_on then Obs.Metrics.incr m_panel_reuses;
+    b.pb_ops_dt <- Float.nan;
+    b
+  | _ ->
+    let b = make_panel_bufs ~nx ~ns in
+    ws.pw_bufs <- Some b;
+    ws.pw_rebuilds <- ws.pw_rebuilds + 1;
+    if obs_on then Obs.Metrics.incr m_panel_rebuilds;
+    b
+
+(* Fill the shifted operator panels and factorize the implicit one for
+   step size [dt].  Coefficients replicate [build_ops]/[shifted]: the
+   per-element expressions are identical, so the factorization matches
+   the scalar one bit for bit. *)
+let panel_ops b scheme dt =
+  if not (dt = b.pb_ops_dt) then begin
+    let ce, ci =
+      match scheme with
+      | Panel_imex theta -> ((1. -. theta) *. dt, -.(theta *. dt))
+      | Panel_strang -> (dt /. 2., -.(dt /. 2.))
+    in
+    let nx = b.pb_nx and ns = b.pb_ns in
+    let open Bigarray.Array2 in
+    for i = 0 to nx - 1 do
+      for s = 0 to ns - 1 do
+        let ld = unsafe_get b.pb_l_diag i s in
+        unsafe_set b.pb_e_diag i s (1. +. (ce *. ld));
+        unsafe_set b.pb_i_diag i s (1. +. (ci *. ld))
+      done
+    done;
+    for i = 0 to nx - 2 do
+      for s = 0 to ns - 1 do
+        let lsub = unsafe_get b.pb_l_sub i s in
+        let lsup = unsafe_get b.pb_l_sup i s in
+        unsafe_set b.pb_e_sub i s (ce *. lsub);
+        unsafe_set b.pb_e_sup i s (ce *. lsup);
+        unsafe_set b.pb_i_sub i s (ci *. lsub);
+        unsafe_set b.pb_i_sup i s (ci *. lsup)
+      done
+    done;
+    Tridiag.factorize_batch ~sub:b.pb_i_sub ~diag:b.pb_i_diag ~sup:b.pb_i_sup
+      ~c:b.pb_f_c ~m:b.pb_f_m;
+    b.pb_ops_dt <- dt
+  end
+
+(* One lockstep macro step of size [dt] for the whole panel, into
+   [pb_next], then a buffer swap. *)
+let step_panel b stories xs scheme t dt =
+  let nx = b.pb_nx and ns = b.pb_ns in
+  let open Bigarray.Array2 in
+  panel_ops b scheme dt;
+  (match scheme with
+  | Panel_imex _ ->
+    (* rhs <- (I + cE L) u, then += RK2 (Heun) reaction increment *)
+    Tridiag.mv_batch ~sub:b.pb_e_sub ~diag:b.pb_e_diag ~sup:b.pb_e_sup
+      ~src:b.pb_u ~dst:b.pb_rhs;
+    for s = 0 to ns - 1 do
+      match stories.(s).ps_reaction with
+      | Logistic { r; k } ->
+        b.pb_rt.(s) <- r t;
+        b.pb_rt2.(s) <- r (t +. dt);
+        b.pb_k.(s) <- k
+      | Linear { r } ->
+        b.pb_rt.(s) <- r t;
+        b.pb_rt2.(s) <- r (t +. dt)
+      | Custom _ -> ()
+    done;
+    for i = 0 to nx - 1 do
+      let x = xs.(i) in
+      for s = 0 to ns - 1 do
+        let ui = unsafe_get b.pb_u i s in
+        let tag = b.pb_tag.(s) in
+        let dr =
+          if tag = tag_logistic then begin
+            (* same association as [reaction_eval]'s Logistic arm, with
+               r(t)/r(t+dt) hoisted per story (identical floats: r is
+               deterministic in t) *)
+            let k = b.pb_k.(s) in
+            let k1 = b.pb_rt.(s) *. ui *. (1. -. (ui /. k)) in
+            let u2 = ui +. (dt *. k1) in
+            let k2 = b.pb_rt2.(s) *. u2 *. (1. -. (u2 /. k)) in
+            dt *. (k1 +. k2) /. 2.
+          end
+          else if tag = tag_linear then begin
+            let k1 = b.pb_rt.(s) *. ui in
+            let k2 = b.pb_rt2.(s) *. (ui +. (dt *. k1)) in
+            dt *. (k1 +. k2) /. 2.
+          end
+          else begin
+            let f =
+              match stories.(s).ps_reaction with
+              | Custom f -> f
+              | Logistic _ | Linear _ -> assert false
+            in
+            let k1 = f ~x ~t ~u:ui in
+            let k2 = f ~x ~t:(t +. dt) ~u:(ui +. (dt *. k1)) in
+            dt *. (k1 +. k2) /. 2.
+          end
+        in
+        unsafe_set b.pb_rhs i s (unsafe_get b.pb_rhs i s +. dr)
+      done
+    done;
+    Tridiag.solve_factored_batch ~sub:b.pb_i_sub ~c:b.pb_f_c ~m:b.pb_f_m
+      ~src:b.pb_rhs ~dst:b.pb_next
+  | Panel_strang ->
+    let half = dt /. 2. in
+    (* First half reaction step at t.  The flow factor exp(±∫r) is
+       x-independent: computed once per story, exactly the value the
+       scalar path's one-slot Simpson memo hands every cell. *)
+    for s = 0 to ns - 1 do
+      match stories.(s).ps_reaction with
+      | Logistic { r; k } ->
+        b.pb_flow.(s) <-
+          exp (-.Quadrature.simpson r ~a:t ~b:(t +. half) ~n:8);
+        b.pb_k.(s) <- k
+      | Linear { r } ->
+        b.pb_flow.(s) <- exp (Quadrature.simpson r ~a:t ~b:(t +. half) ~n:8)
+      | Custom _ -> assert false (* rejected before stepping *)
+    done;
+    for i = 0 to nx - 1 do
+      for s = 0 to ns - 1 do
+        let ui = unsafe_get b.pb_u i s in
+        let v =
+          if ui = 0. then 0.
+          else if b.pb_tag.(s) = tag_logistic then
+            (* Ode.logistic_varying_r's closed form, flow hoisted *)
+            let k = b.pb_k.(s) in
+            k /. (1. +. (((k /. ui) -. 1.) *. b.pb_flow.(s)))
+          else ui *. b.pb_flow.(s)
+        in
+        unsafe_set b.pb_stage i s v
+      done
+    done;
+    (* Crank--Nicolson diffusion over the full step *)
+    Tridiag.mv_batch ~sub:b.pb_e_sub ~diag:b.pb_e_diag ~sup:b.pb_e_sup
+      ~src:b.pb_stage ~dst:b.pb_rhs;
+    Tridiag.solve_factored_batch ~sub:b.pb_i_sub ~c:b.pb_f_c ~m:b.pb_f_m
+      ~src:b.pb_rhs ~dst:b.pb_stage;
+    (* Second half reaction step at t + half (integral over
+       [t+half, (t+half)+half], matching the scalar call order). *)
+    let t2 = t +. half in
+    for s = 0 to ns - 1 do
+      match stories.(s).ps_reaction with
+      | Logistic { r; _ } ->
+        b.pb_flow.(s) <-
+          exp (-.Quadrature.simpson r ~a:t2 ~b:(t2 +. half) ~n:8)
+      | Linear { r } ->
+        b.pb_flow.(s) <- exp (Quadrature.simpson r ~a:t2 ~b:(t2 +. half) ~n:8)
+      | Custom _ -> assert false
+    done;
+    for i = 0 to nx - 1 do
+      for s = 0 to ns - 1 do
+        let ui = unsafe_get b.pb_stage i s in
+        let v =
+          if ui = 0. then 0.
+          else if b.pb_tag.(s) = tag_logistic then
+            let k = b.pb_k.(s) in
+            k /. (1. +. (((k /. ui) -. 1.) *. b.pb_flow.(s)))
+          else ui *. b.pb_flow.(s)
+        in
+        unsafe_set b.pb_next i s v
+      done
+    done);
+  let u = b.pb_u in
+  b.pb_u <- b.pb_next;
+  b.pb_next <- u
+
+let solve_panel ?(scheme = Panel_imex 0.5) ?(dt = 1e-3) ?reference ?workspace
+    pp ~times =
+  assert (dt > 0.);
+  (match scheme with
+  | Panel_imex theta ->
+    if theta < 0.5 || theta > 1. then
+      invalid_arg "Pde.solve_panel: theta must be in [0.5, 1]"
+  | Panel_strang -> ());
+  let stories = pp.pp_stories in
+  let ns = Array.length stories in
+  if ns = 0 then [||]
+  else begin
+    (* Validate every story's scheme pairing up front (this also
+       rejects Custom-under-Strang before any work happens). *)
+    let scalar_schemes =
+      Array.map (fun st -> scalar_scheme_of_story scheme st) stories
+    in
+    let reference =
+      match reference with Some b -> b | None -> !use_reference
+    in
+    if reference then
+      (* The oracle: the panel is definitionally S independent scalar
+         solves.  Used by the bit-identity gates. *)
+      Array.mapi
+        (fun s st ->
+          solve ~scheme:scalar_schemes.(s) ~dt ~reference:true
+            (problem_of_story pp st) ~times)
+        stories
+    else begin
+      let obs_on = Obs.enabled () in
+      let solve_start = if obs_on then Obs.now_ns () else 0 in
+      let nx = pp.pp_nx in
+      (* grid + operators once per panel, not per story: every story
+         shares (xl, xr, nx), so [grid] is computed a single time. *)
+      let p0 = problem_of_story pp stories.(0) in
+      let xs = grid p0 in
+      let ws = match workspace with Some w -> w | None -> panel_workspace () in
+      let b = ensure_panel_bufs ws ~nx ~ns ~obs_on in
+      let open Bigarray.Array2 in
+      (* per-story FV operator L and initial state, packed into panels
+         (packing copies exact values — nothing is recomputed) *)
+      Array.iteri
+        (fun s st ->
+          let p = problem_of_story pp st in
+          let df = face_diffusion p xs in
+          let l = operator_tridiag p df in
+          for i = 0 to nx - 1 do
+            unsafe_set b.pb_l_diag i s l.Tridiag.diag.(i);
+            unsafe_set b.pb_u i s (st.ps_initial xs.(i))
+          done;
+          for i = 0 to nx - 2 do
+            unsafe_set b.pb_l_sub i s l.Tridiag.sub.(i);
+            unsafe_set b.pb_l_sup i s l.Tridiag.sup.(i)
+          done;
+          b.pb_tag.(s) <-
+            (match st.ps_reaction with
+            | Logistic _ -> tag_logistic
+            | Linear _ -> tag_linear
+            | Custom _ -> tag_custom))
+        stories;
+      let dt_macro = dt in
+      let steps = ref 0 in
+      let t = ref pp.pp_t0 in
+      let snapshot_of s = Array.init nx (fun i -> unsafe_get b.pb_u i s) in
+      let snapshots = Array.map (fun _ -> ref []) stories in
+      Array.iteri
+        (fun s _ -> snapshots.(s) := [ (pp.pp_t0, snapshot_of s) ])
+        stories;
+      Array.iter
+        (fun target ->
+          if target < !t -. 1e-12 then
+            invalid_arg "Pde.solve: times must be increasing and >= t0";
+          while target -. !t > 1e-12 do
+            let step_dt = Float.min dt_macro (target -. !t) in
+            step_panel b stories xs scheme !t step_dt;
+            incr steps;
+            t := !t +. step_dt
+          done;
+          t := target;
+          Array.iteri
+            (fun s snaps -> snaps := (target, snapshot_of s) :: !snaps)
+            snapshots)
+        times;
+      if obs_on then begin
+        Obs.Metrics.incr m_panel_solves;
+        Obs.Metrics.incr ~by:ns m_panel_stories;
+        Obs.Metrics.incr ~by:!steps m_panel_steps;
+        Obs.Metrics.observe m_panel_solve_ns
+          (float_of_int (Obs.now_ns () - solve_start))
+      end;
+      Array.map
+        (fun snaps ->
+          let arr = Array.of_list (List.rev !snaps) in
+          { xs; ts = Array.map fst arr; values = Array.map snd arr })
+        snapshots
+    end
+  end
 
 (* Top level, not per call: the old per-call [clampf] closure was an
    allocation on the prediction hot path. *)

@@ -23,12 +23,31 @@
       the reaction sub-step is user-supplied and may be exact (see
       [logistic_reaction_step]). *)
 
+(** The reaction term [f(x, t, u)], specialised by shape.  [Logistic]
+    and [Linear] name the paper's two models so the solver's hot loops
+    can dispatch once and run unboxed float arithmetic per cell;
+    [Custom] keeps the fully general closure (with its per-call float
+    boxing).  All solve paths evaluate the named shapes as exactly
+    [r t *. u *. (1. -. (u /. k))] and [r t *. u] — building a
+    [Custom] closure with the same body produces the same bits, just
+    slower.  [r] must be a pure function of [t] (it is hoisted out of
+    cell loops). *)
+type reaction =
+  | Logistic of { r : float -> float; k : float }
+      (** [f = r(t) u (1 - u/K)] — the paper's Eq. 4. *)
+  | Linear of { r : float -> float }
+      (** [f = r(t) u] — the authors' follow-up linear model. *)
+  | Custom of (x:float -> t:float -> u:float -> float)
+
+val reaction_eval : reaction -> x:float -> t:float -> u:float -> float
+(** The single evaluation semantics shared by every solve path. *)
+
 type problem = {
   xl : float;
   xr : float;
   nx : int;  (** number of grid points, at least 3 *)
   diffusion : float -> float;  (** [d(x)], non-negative *)
-  reaction : x:float -> t:float -> u:float -> float;
+  reaction : reaction;
   initial : float -> float;
   t0 : float;
 }
@@ -97,6 +116,74 @@ val linear_reaction_step : r:(float -> float) -> reaction_step
     {!logistic_reaction_step} the closure memoizes the x-independent
     integral per [(t, dt)], so it is stateful: build one per solve and
     do not share it across domains. *)
+
+(** {2 Fused panel solves}
+
+    A panel steps S problems sharing (domain, grid, [t0], [dt],
+    scheme) through the time loop in lockstep: per-story state and
+    operators live in structure-of-arrays {!Tridiag.panel}s, one
+    batched Thomas sweep per step services every story with the
+    innermost loop walking contiguous memory, the x-independent
+    per-step scalars (r(t), Simpson [∫r], their exponentials) are
+    hoisted out of the cell loops, and [Logistic]/[Linear] reactions
+    run unboxed.  Story [s] of the result is {e bit-identical} to
+    {!solve} on that story alone (enforced by test_pde_perf and the CI
+    bench gate): batching reorders loops across independent stories
+    but never changes any story's floating-point operations. *)
+
+type panel_story = {
+  ps_diffusion : float -> float;
+  ps_reaction : reaction;
+  ps_initial : float -> float;
+}
+
+type panel_problem = {
+  pp_xl : float;
+  pp_xr : float;
+  pp_nx : int;
+  pp_t0 : float;
+  pp_stories : panel_story array;
+}
+
+type panel_scheme =
+  | Panel_imex of float  (** theta in [\[0.5, 1\]]; 0.5 = Crank--Nicolson *)
+  | Panel_strang
+      (** Strang splitting with the {e exact} reaction flow derived
+          from each story's reaction shape ([Logistic] -> closed-form
+          logistic flow, [Linear] -> [u e^{∫r}]).  [Custom] reactions
+          are rejected ([Invalid_argument]): no flow is derivable from
+          a closure — use [Panel_imex] or the scalar {!solve}. *)
+
+(** FTCS is deliberately absent: its CFL-bounded macro step depends on
+    each story's diffusion, so stories cannot march in lockstep. *)
+
+type panel_workspace
+(** Reusable panel buffer block (state, operators, factorization,
+    per-story scratch), reallocated only when the [(nx, stories)]
+    shape changes.  Keep one per fit restart / pool worker: a
+    workspace must not be used from two domains concurrently.
+    Buffer reuse is counted in the [pde.panel_reuses] /
+    [pde.panel_rebuilds] metrics (visible on [/metrics]). *)
+
+val panel_workspace : unit -> panel_workspace
+
+val panel_workspace_stats : panel_workspace -> int * int
+(** [(reuses, rebuilds)] over the workspace's lifetime. *)
+
+val solve_panel :
+  ?scheme:panel_scheme ->
+  ?dt:float ->
+  ?reference:bool ->
+  ?workspace:panel_workspace ->
+  panel_problem ->
+  times:float array ->
+  solution array
+(** [solve_panel pp ~times] solves every story of the panel over the
+    shared snapshot [times] (semantics per story exactly as {!solve};
+    defaults [Panel_imex 0.5], [dt = 1e-3]).  With [~reference:true]
+    (or the global reference default) each story runs the scalar
+    reference stepper instead — the definitional oracle for the
+    bit-identity gates.  An empty panel returns [[||]]. *)
 
 val eval : solution -> x:float -> t:float -> float
 (** Bilinear interpolation in the snapshot table (clamped at the

@@ -22,6 +22,7 @@ type config = {
   max_retries : int; (* additional attempts after the first *)
   backoff : float; (* initial retry delay, doubled per retry *)
   timeout : float; (* per-socket send/receive timeout *)
+  sample_rate : float; (* head-sampling keep fraction, keyed on trace id *)
 }
 
 let default_config =
@@ -34,9 +35,48 @@ let default_config =
     max_retries = 2;
     backoff = 0.1;
     timeout = 5.0;
+    sample_rate = 1.0;
   }
 
 let env_var = "DLOSN_OTLP"
+let sample_env_var = "DLOSN_OTLP_SAMPLE"
+
+(* --- trace-id-keyed head sampling --- *)
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> -1
+
+(* Deterministic all-in-or-all-out decision per trace: the last (up
+   to) 12 hex chars of the trace id map to a point u in [0, 1), kept
+   iff u < rate — so the keep set at a lower rate is a subset of the
+   keep set at any higher rate (monotone), and every process looking
+   at the same trace id reaches the same verdict.  Non-hex ids fall
+   back to a [Hashtbl.hash]-derived point with the same properties. *)
+let sampled ~rate trace_id =
+  if rate >= 1.0 then true
+  else if not (rate > 0.0) then false (* 0, negative or NaN: drop all *)
+  else begin
+    let n = String.length trace_id in
+    let take = Stdlib.min 12 n in
+    let rec hex_tail i acc =
+      if i >= n then Some acc
+      else
+        let v = hex_val trace_id.[i] in
+        if v < 0 then None else hex_tail (i + 1) ((acc lsl 4) lor v)
+    in
+    let u =
+      match if take = 0 then None else hex_tail (n - take) 0 with
+      | Some key -> float_of_int key /. float_of_int (1 lsl (4 * take))
+      | None ->
+        float_of_int (Hashtbl.hash trace_id land 0x3FFFFFFF)
+        /. 1073741824.
+    in
+    u < rate
+  end
 
 (* --- endpoint parsing --- *)
 
@@ -385,6 +425,10 @@ let create ?(config = default_config) ?metrics_provider ?endpoint () =
   let endpoint =
     match endpoint with Some e -> e | None -> config.endpoint
   in
+  if not (config.sample_rate >= 0. && config.sample_rate <= 1.) then
+    invalid_arg
+      (Printf.sprintf "Otlp: sample rate %g outside [0, 1]"
+         config.sample_rate);
   let target = parse_endpoint endpoint in
   let t =
     {
@@ -543,6 +587,15 @@ let flusher_loop t =
 
 (* --- wiring into Obs --- *)
 
+(* The head-sampling filter: spans and log records that carry a trace
+   id are kept iff their trace is sampled, so a trace exports either
+   completely or not at all across both signals.  Traceless telemetry
+   (spans recorded outside any trace context, plain log records) is
+   always kept — there is no key to decide by, and dropping it would
+   hide process-level events like startup and shutdown. *)
+let keep_trace t trace_id =
+  trace_id = "" || sampled ~rate:t.cfg.sample_rate trace_id
+
 let observe_spans t =
   match t.span_sub with
   | Some _ -> ()
@@ -550,13 +603,23 @@ let observe_spans t =
     t.span_sub <-
       Some
         (Obs.Span.subscribe (fun ev ->
-             if ev.Obs.Span.root then enqueue_span t ev.Obs.Span.span))
+             if
+               ev.Obs.Span.root
+               && keep_trace t ev.Obs.Span.span.Obs.Span.trace_id
+             then enqueue_span t ev.Obs.Span.span))
 
 let tee_logs t =
   if not t.log_tee then begin
     t.log_tee <- true;
     Obs.Log.set_tee
-      (Some (fun r -> if not (own_record r) then enqueue_log t r))
+      (Some
+         (fun r ->
+           let kept =
+             match r.Obs.Log.r_trace_id with
+             | None -> true
+             | Some tid -> keep_trace t tid
+           in
+           if kept && not (own_record r) then enqueue_log t r))
   end
 
 let start t =

@@ -21,15 +21,34 @@ type config = {
   max_retries : int;  (** additional attempts after the first *)
   backoff : float;  (** initial retry delay, doubled per retry *)
   timeout : float;  (** per-socket send/receive timeout, seconds *)
+  sample_rate : float;
+      (** head-sampling keep fraction in [0, 1], keyed on the trace id
+          (see {!sampled}); 1 exports everything *)
 }
 
 val default_config : config
 (** Service ["dlosn"], 2 s flushes, 512-span batches, 4096-item
-    buffers, 2 retries from 0.1 s, 5 s socket timeouts. *)
+    buffers, 2 retries from 0.1 s, 5 s socket timeouts, sample rate 1
+    (no sampling). *)
 
 val env_var : string
 (** ["DLOSN_OTLP"] — the endpoint environment variable honoured by the
     CLI and server when no [--otlp-endpoint] flag is given. *)
+
+val sample_env_var : string
+(** ["DLOSN_OTLP_SAMPLE"] — the sample-rate environment variable
+    honoured by the CLI and server when no [--otlp-sample-rate] flag
+    is given. *)
+
+val sampled : rate:float -> string -> bool
+(** [sampled ~rate trace_id] is the pure head-sampling decision: the
+    last (up to) 12 hex chars of [trace_id] map to a deterministic
+    point [u] in [0, 1), kept iff [u < rate].  All-in-or-all-out per
+    trace: every span and log record of a trace shares the id and so
+    the verdict.  Monotone in [rate] (the keep set at a lower rate is
+    a subset of the keep set at any higher rate); [rate >= 1] keeps
+    everything, [rate <= 0] (or NaN) keeps nothing.  Non-hex ids fall
+    back to a hash-derived point with the same properties. *)
 
 type t
 
@@ -40,7 +59,8 @@ val create :
   unit ->
   t
 (** Build an exporter for [endpoint] (overrides [config.endpoint]).
-    Raises [Invalid_argument] on a malformed or [https://] endpoint.
+    Raises [Invalid_argument] on a malformed or [https://] endpoint,
+    or on a [sample_rate] outside [0, 1].
     [metrics_provider], when given, is sampled at every flush and
     posted to [/v1/metrics] — it runs on the flusher thread, so it
     must be safe to call concurrently (the server wraps it in its
@@ -48,13 +68,18 @@ val create :
 
 val observe_spans : t -> unit
 (** Subscribe to the {!Obs.Span} close stream and queue every root
-    span (with its full subtree) for export. *)
+    span (with its full subtree) for export.  Roots whose trace fails
+    the {!sampled} check are dropped at enqueue time (head sampling);
+    traceless roots are always kept. *)
 
 val tee_logs : t -> unit
 (** Install the {!Obs.Log.set_tee} hook and queue every emitted log
     record for export.  The exporter's own ["otlp.*"] warn records are
     skipped so a dead collector cannot feed the exporter its own
-    error reports. *)
+    error reports.  Records linked to a trace follow the trace's
+    {!sampled} verdict, so a sampled trace exports with all its logs
+    and a dropped one exports neither; untraced records are always
+    kept. *)
 
 val start : t -> unit
 (** Start the background flusher thread (idempotent). *)

@@ -16,6 +16,7 @@ type config = {
   slow_request_ms : float;
   trace_capacity : int;
   otlp_endpoint : string option;
+  otlp_sample_rate : float;
 }
 
 let default_config =
@@ -33,6 +34,7 @@ let default_config =
     slow_request_ms = 1000.;
     trace_capacity = 128;
     otlp_endpoint = None;
+    otlp_sample_rate = 1.0;
   }
 
 let max_header = 16 * 1024
@@ -331,7 +333,11 @@ let create ?(config = default_config) () =
   | None -> ()
   | Some endpoint ->
     let exporter =
-      Otlp.create ~endpoint
+      Otlp.create
+        ~config:
+          { Otlp.default_config with
+            Otlp.sample_rate = config.otlp_sample_rate }
+        ~endpoint
         ~metrics_provider:(fun () ->
           Mutex.lock t.agg_mutex;
           Fun.protect

@@ -139,6 +139,10 @@ type config = {
   otlp_endpoint : string option;
       (** OTLP/HTTP collector ([http://host:port]) for span, log and
           metric export; [None] (the default) exports nothing *)
+  otlp_sample_rate : float;
+      (** head-sampling keep fraction for exported traces and their
+          logs, keyed on the trace id ([Otlp.sampled]);
+          1.0 (the default) exports everything *)
 }
 
 val default_config : config

@@ -117,7 +117,7 @@ let gaussian_problem d nx =
     xr = 10.;
     nx;
     diffusion = (fun _ -> d);
-    reaction = (fun ~x:_ ~t:_ ~u:_ -> 0.);
+    reaction = Pde.Custom (fun ~x:_ ~t:_ ~u:_ -> 0.);
     initial = (fun x -> exp (-.((x -. 5.) ** 2.)));
     t0 = 0.;
   }
@@ -157,7 +157,7 @@ let test_heat_equation_decay_rate () =
       xr = l;
       nx = 201;
       diffusion = (fun _ -> d);
-      reaction = (fun ~x:_ ~t:_ ~u:_ -> 0.);
+      reaction = Pde.Custom (fun ~x:_ ~t:_ ~u:_ -> 0.);
       initial = (fun x -> 1. +. (0.5 *. cos (Float.pi *. x /. l)));
       t0 = 0.;
     }
@@ -181,7 +181,7 @@ let test_reaction_only_logistic () =
       xr = 5.;
       nx = 41;
       diffusion = (fun _ -> 0.);
-      reaction = (fun ~x:_ ~t:_ ~u -> r0 *. u *. (1. -. (u /. k)));
+      reaction = Pde.Custom (fun ~x:_ ~t:_ ~u -> r0 *. u *. (1. -. (u /. k)));
       initial = (fun x -> 1. +. (0.1 *. x));
       t0 = 0.;
     }
@@ -210,7 +210,7 @@ let test_schemes_agree () =
       xr = 6.;
       nx = 51;
       diffusion = (fun _ -> 0.05);
-      reaction = (fun ~x:_ ~t ~u -> r t *. u *. (1. -. (u /. k)));
+      reaction = Pde.Custom (fun ~x:_ ~t ~u -> r t *. u *. (1. -. (u /. k)));
       initial = (fun x -> 8. *. exp (-0.5 *. (x -. 1.)));
       t0 = 1.;
     }
@@ -241,7 +241,7 @@ let test_dl_bounds_invariant () =
       xr = 6.;
       nx = 51;
       diffusion = (fun _ -> 0.01);
-      reaction = (fun ~x:_ ~t:_ ~u -> 0.9 *. u *. (1. -. (u /. k)));
+      reaction = Pde.Custom (fun ~x:_ ~t:_ ~u -> 0.9 *. u *. (1. -. (u /. k)));
       initial = (fun x -> 12. *. exp (-0.8 *. (x -. 1.)) +. 0.5);
       t0 = 1.;
     }
@@ -266,7 +266,7 @@ let test_dl_monotone_in_time () =
       xr = 6.;
       nx = 51;
       diffusion = (fun _ -> 0.01);
-      reaction = (fun ~x:_ ~t ~u -> r t *. u *. (1. -. (u /. k)));
+      reaction = Pde.Custom (fun ~x:_ ~t ~u -> r t *. u *. (1. -. (u /. k)));
       initial = (fun x -> (6. *. exp (-1.2 *. (x -. 1.))) +. 0.3);
       t0 = 1.;
     }
@@ -307,7 +307,7 @@ let test_variable_diffusion_mass () =
       xr = 4.;
       nx = 81;
       diffusion = (fun x -> 0.05 +. (0.2 *. x /. 4.));
-      reaction = (fun ~x:_ ~t:_ ~u:_ -> 0.);
+      reaction = Pde.Custom (fun ~x:_ ~t:_ ~u:_ -> 0.);
       initial = (fun x -> exp (-.((x -. 2.) ** 2.) *. 4.));
       t0 = 0.;
     }

@@ -344,6 +344,134 @@ let test_dead_collector_drops () =
     (stats.Otlp.failed_posts >= 1);
   Alcotest.(check int) "nothing sent" 0 stats.Otlp.sent_posts
 
+let test_sampled_properties () =
+  let ids =
+    (* golden-ratio mix so the low 48 bits (the sampled tail) spread
+       over the whole key space *)
+    Array.init 400 (fun i ->
+        Printf.sprintf "%032x" ((i + 1) * 0x9E3779B97F4A7C1 land max_int))
+  in
+  (* deterministic: the same id always gets the same verdict *)
+  Array.iter
+    (fun id ->
+      Alcotest.(check bool)
+        ("deterministic " ^ id)
+        (Otlp.sampled ~rate:0.5 id)
+        (Otlp.sampled ~rate:0.5 id))
+    ids;
+  (* monotone: kept at a low rate implies kept at every higher rate *)
+  Array.iter
+    (fun id ->
+      List.iter
+        (fun (lo, hi) ->
+          if Otlp.sampled ~rate:lo id then
+            Alcotest.(check bool)
+              (Printf.sprintf "monotone %s %g<=%g" id lo hi)
+              true
+              (Otlp.sampled ~rate:hi id))
+        [ (0.1, 0.3); (0.3, 0.7); (0.7, 0.9) ])
+    ids;
+  (* boundary rates *)
+  Array.iter
+    (fun id ->
+      Alcotest.(check bool) "rate 1 keeps all" true (Otlp.sampled ~rate:1. id);
+      Alcotest.(check bool) "rate 0 keeps none" false
+        (Otlp.sampled ~rate:0. id);
+      Alcotest.(check bool) "negative keeps none" false
+        (Otlp.sampled ~rate:(-0.5) id);
+      Alcotest.(check bool) "nan keeps none" false
+        (Otlp.sampled ~rate:Float.nan id))
+    ids;
+  (* the kept fraction tracks the rate (loose bound over 400 ids) *)
+  let kept =
+    Array.fold_left
+      (fun acc id -> if Otlp.sampled ~rate:0.5 id then acc + 1 else acc)
+      0 ids
+  in
+  let frac = float_of_int kept /. float_of_int (Array.length ids) in
+  Alcotest.(check bool)
+    (Printf.sprintf "kept fraction %.2f near 0.5" frac)
+    true
+    (frac > 0.35 && frac < 0.65);
+  (* non-hex ids fall back to the hash path with the same properties *)
+  let odd = "not-a-hex-trace-id" in
+  Alcotest.(check bool) "non-hex deterministic"
+    (Otlp.sampled ~rate:0.5 odd)
+    (Otlp.sampled ~rate:0.5 odd);
+  Alcotest.(check bool) "non-hex rate 1" true (Otlp.sampled ~rate:1. odd);
+  (* extreme ids pin the decision: all-zero tail maps to u = 0 (always
+     kept for any positive rate), all-f tail to u ~ 1 (dropped below 1) *)
+  Alcotest.(check bool) "zero tail kept" true
+    (Otlp.sampled ~rate:0.01 (String.make 32 '0'));
+  Alcotest.(check bool) "all-f tail dropped" false
+    (Otlp.sampled ~rate:0.99 (String.make 32 'f'))
+
+let test_sample_rate_validation () =
+  List.iter
+    (fun rate ->
+      match
+        Otlp.create
+          ~config:
+            { Otlp.default_config with
+              Otlp.endpoint = "http://127.0.0.1:4318";
+              sample_rate = rate }
+          ()
+      with
+      | _ -> Alcotest.failf "rate %g accepted" rate
+      | exception Invalid_argument _ -> ())
+    [ -0.1; 1.5; Float.nan ]
+
+(* Head sampling end-to-end: at rate 0.5 the all-zero trace is kept
+   and the all-f trace dropped, for spans AND their logs (all-in or
+   all-out); untraced log records always export. *)
+let test_sampling_filters_spans_and_logs () =
+  let kept_trace = String.make 32 '0' in
+  let dropped_trace = String.make 32 'f' in
+  let sink = start_sink () in
+  Fun.protect ~finally:(fun () -> stop_sink sink) @@ fun () ->
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.Log.set_level None;
+      Obs.Log.set_out prerr_endline;
+      Obs.reset ())
+  @@ fun () ->
+  Obs.Log.set_out (fun _ -> ());
+  Obs.Log.set_level (Some Obs.Level.Info);
+  let exporter =
+    Otlp.create
+      ~config:{ Otlp.default_config with Otlp.sample_rate = 0.5 }
+      ~endpoint:(Printf.sprintf "http://127.0.0.1:%d" sink.sk_port)
+      ()
+  in
+  Otlp.observe_spans exporter;
+  Otlp.tee_logs exporter;
+  Obs.Span.with_trace_id kept_trace (fun () ->
+      Obs.Span.with_span "sampled.kept" (fun () ->
+          Obs.Log.info "sampled.kept_log"));
+  Obs.Span.with_trace_id dropped_trace (fun () ->
+      Obs.Span.with_span "sampled.dropped" (fun () ->
+          Obs.Log.info "sampled.dropped_log"));
+  Obs.Log.info "sampled.untraced_log";
+  Otlp.shutdown exporter;
+  let posts = sink_posts sink in
+  let bodies_to path =
+    List.filter_map (fun (p, b) -> if p = path then Some b else None) posts
+    |> String.concat "\n"
+  in
+  let traces = bodies_to "/v1/traces" and logs = bodies_to "/v1/logs" in
+  Alcotest.(check bool) "kept span exported" true
+    (Test_serve.contains ~needle:"sampled.kept" traces);
+  Alcotest.(check bool) "dropped span filtered" false
+    (Test_serve.contains ~needle:"sampled.dropped" traces);
+  Alcotest.(check bool) "kept trace's log exported" true
+    (Test_serve.contains ~needle:"sampled.kept_log" logs);
+  Alcotest.(check bool) "dropped trace's log filtered" false
+    (Test_serve.contains ~needle:"sampled.dropped_log" logs);
+  Alcotest.(check bool) "untraced log always exported" true
+    (Test_serve.contains ~needle:"sampled.untraced_log" logs)
+
 let suite =
   [
     Alcotest.test_case "spans body golden" `Quick test_spans_body_golden;
@@ -356,4 +484,10 @@ let suite =
       test_export_roundtrip;
     Alcotest.test_case "dead collector drops after retries" `Quick
       test_dead_collector_drops;
+    Alcotest.test_case "head sampling: pure decision properties" `Quick
+      test_sampled_properties;
+    Alcotest.test_case "head sampling: rate validation" `Quick
+      test_sample_rate_validation;
+    Alcotest.test_case "head sampling: spans and logs agree" `Quick
+      test_sampling_filters_spans_and_logs;
   ]

@@ -101,7 +101,7 @@ let dl_problem () =
       xr = 6.;
       nx = 41;
       diffusion = (fun _ -> 0.05);
-      reaction = (fun ~x:_ ~t ~u -> r t *. u *. (1. -. (u /. k)));
+      reaction = Pde.Custom (fun ~x:_ ~t ~u -> r t *. u *. (1. -. (u /. k)));
       initial = (fun x -> 8. *. exp (-0.5 *. (x -. 1.)));
       t0 = 1.;
     },
@@ -211,6 +211,295 @@ let test_workspace_counters () =
       Alcotest.(check int) "reference adds no reuses" r1
         (Obs.Metrics.counter_value reuses))
 
+(* --- batched Thomas panels vs scalar, column by column --- *)
+
+let pack_panel ~n ~ns get =
+  let p = Tridiag.panel_create ~n ~stories:ns in
+  for i = 0 to n - 1 do
+    for s = 0 to ns - 1 do
+      Bigarray.Array2.set p i s (get s i)
+    done
+  done;
+  p
+
+let col (p : Tridiag.panel) ~n s = Array.init n (fun i -> Bigarray.Array2.get p i s)
+
+let test_batch_thomas_matches_scalar () =
+  let rng = Rng.create 19 in
+  let n = 23 and ns = 5 in
+  let systems = Array.init ns (fun _ -> random_dominant_system rng n) in
+  (* off-diagonal panels allocated with n rows on purpose: the extra
+     row is part of the documented layout and must be ignored *)
+  let sub = pack_panel ~n ~ns (fun s i ->
+      if i < n - 1 then (fst systems.(s)).Tridiag.sub.(i) else nan)
+  and diag = pack_panel ~n ~ns (fun s i -> (fst systems.(s)).Tridiag.diag.(i))
+  and sup = pack_panel ~n ~ns (fun s i ->
+      if i < n - 1 then (fst systems.(s)).Tridiag.sup.(i) else nan) in
+  let c = Tridiag.panel_create ~n ~stories:ns
+  and m = Tridiag.panel_create ~n ~stories:ns in
+  Tridiag.factorize_batch ~sub ~diag ~sup ~c ~m;
+  let src = pack_panel ~n ~ns (fun s i -> (snd systems.(s)).(i)) in
+  let dst = Tridiag.panel_create ~n ~stories:ns in
+  Tridiag.solve_factored_batch ~sub ~c ~m ~src ~dst;
+  Array.iteri
+    (fun s (t, b) ->
+      let expect = Tridiag.solve t b in
+      let got = col dst ~n s in
+      Array.iteri
+        (fun i v ->
+          if not (Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float got.(i)))
+          then Alcotest.failf "story %d cell %d: %.17g vs %.17g" s i v got.(i))
+        expect)
+    systems;
+  (* mv_batch column s must match the scalar mv bit for bit *)
+  let mv_dst = Tridiag.panel_create ~n ~stories:ns in
+  Tridiag.mv_batch ~sub ~diag ~sup ~src ~dst:mv_dst;
+  Array.iteri
+    (fun s (t, b) ->
+      let expect = Tridiag.mv t b in
+      let got = col mv_dst ~n s in
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check bool) "mv_batch bit equal" true
+            (Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float got.(i))))
+        expect)
+    systems
+
+let test_batch_solve_in_place () =
+  (* the batched solve inherits solve_factored's aliasing contract:
+     src == dst is an in-place solve with identical bits *)
+  let rng = Rng.create 23 in
+  let n = 17 and ns = 3 in
+  let systems = Array.init ns (fun _ -> random_dominant_system rng n) in
+  let sub = pack_panel ~n ~ns (fun s i ->
+      if i < n - 1 then (fst systems.(s)).Tridiag.sub.(i) else nan)
+  and diag = pack_panel ~n ~ns (fun s i -> (fst systems.(s)).Tridiag.diag.(i))
+  and sup = pack_panel ~n ~ns (fun s i ->
+      if i < n - 1 then (fst systems.(s)).Tridiag.sup.(i) else nan) in
+  let c = Tridiag.panel_create ~n ~stories:ns
+  and m = Tridiag.panel_create ~n ~stories:ns in
+  Tridiag.factorize_batch ~sub ~diag ~sup ~c ~m;
+  let buf = pack_panel ~n ~ns (fun s i -> (snd systems.(s)).(i)) in
+  Tridiag.solve_factored_batch ~sub ~c ~m ~src:buf ~dst:buf;
+  Array.iteri
+    (fun s (t, b) ->
+      let expect = Tridiag.solve t b in
+      let got = col buf ~n s in
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check bool) "batch in-place bit equal" true
+            (Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float got.(i))))
+        expect)
+    systems
+
+let test_batch_singular_raises () =
+  let sub = pack_panel ~n:2 ~ns:2 (fun _ i -> if i = 0 then 1. else nan) in
+  let sup = pack_panel ~n:2 ~ns:2 (fun _ i -> if i = 0 then 1. else nan) in
+  (* story 1 has a zero leading pivot *)
+  let diag = pack_panel ~n:2 ~ns:2 (fun s _ -> if s = 1 then 0. else 2.) in
+  let c = Tridiag.panel_create ~n:2 ~stories:2
+  and m = Tridiag.panel_create ~n:2 ~stories:2 in
+  try
+    Tridiag.factorize_batch ~sub ~diag ~sup ~c ~m;
+    Alcotest.fail "expected Mat.Singular"
+  with Mat.Singular -> ()
+
+(* --- fused panel solves vs per-story scalar solves --- *)
+
+(* A pseudo-random story: paper-shaped r(t), per-story (d, k,
+   amplitude).  [kind] selects the reaction representation; the
+   [Custom] closure computes the same logistic formula through the
+   boxed path. *)
+let panel_story_of_rng rng kind =
+  let d = Rng.uniform rng 0.01 0.3 in
+  let a = Rng.uniform rng 0.3 1.8 in
+  let b = Rng.uniform rng 0.5 2.0 in
+  let c = Rng.uniform rng 0.1 0.5 in
+  let r t = (a *. exp (-.b *. (t -. 1.))) +. c in
+  let k = Rng.uniform rng 5. 40. in
+  let amp = Rng.uniform rng 2. 10. in
+  let reaction =
+    match kind with
+    | 0 -> Pde.Logistic { r; k }
+    | 1 -> Pde.Linear { r }
+    | _ -> Pde.Custom (fun ~x:_ ~t ~u -> r t *. u *. (1. -. (u /. k)))
+  in
+  ( {
+      Pde.ps_diffusion = (fun _ -> d);
+      ps_reaction = reaction;
+      ps_initial = (fun x -> amp *. exp (-0.5 *. (x -. 1.)));
+    },
+    r,
+    k )
+
+let scalar_scheme_for st r k =
+  function
+  | Pde.Panel_imex theta -> Pde.Imex theta
+  | Pde.Panel_strang -> (
+    match st.Pde.ps_reaction with
+    | Pde.Logistic _ -> Pde.Strang (Pde.logistic_reaction_step ~r ~k)
+    | Pde.Linear _ -> Pde.Strang (Pde.linear_reaction_step ~r)
+    | Pde.Custom _ -> assert false)
+
+let check_panel_matches_scalar ?workspace ~scheme ~kinds seed ns =
+  let rng = Rng.create seed in
+  let stories = Array.init ns (fun s -> panel_story_of_rng rng (kinds s)) in
+  let pp =
+    {
+      Pde.pp_xl = 1.;
+      pp_xr = 6.;
+      pp_nx = 25;
+      pp_t0 = 1.;
+      pp_stories = Array.map (fun (st, _, _) -> st) stories;
+    }
+  in
+  let sols = Pde.solve_panel ~scheme ~dt:0.01 ?workspace pp ~times:ragged_times in
+  Alcotest.(check int) "panel story count" ns (Array.length sols);
+  Array.iteri
+    (fun s (st, r, k) ->
+      let p =
+        {
+          Pde.xl = 1.;
+          xr = 6.;
+          nx = 25;
+          diffusion = st.Pde.ps_diffusion;
+          reaction = st.Pde.ps_reaction;
+          initial = st.Pde.ps_initial;
+          t0 = 1.;
+        }
+      in
+      let expect =
+        Pde.solve ~scheme:(scalar_scheme_for st r k scheme) ~dt:0.01
+          ~reference:false p ~times:ragged_times
+      in
+      check_solutions_bit_identical (Printf.sprintf "panel story %d" s) sols.(s)
+        expect)
+    stories
+
+let prop_panel_bit_identity =
+  (* panel sizes 1/2/17, both panel schemes, ragged snapshot times and
+     mixed reaction shapes — including a Custom story exercising the
+     closure fallback under IMEX.  Every column must reproduce the
+     per-story scalar solve bit for bit. *)
+  QCheck.Test.make ~count:10 ~name:"solve_panel bit-identical per story"
+    QCheck.(triple (oneofl [ 1; 2; 17 ]) bool small_nat)
+    (fun (ns, strang, seed) ->
+      let scheme = if strang then Pde.Panel_strang else Pde.Panel_imex 0.5 in
+      (* Strang panels cannot carry Custom; IMEX panels cycle all three *)
+      let kinds s = if strang then s mod 2 else s mod 3 in
+      check_panel_matches_scalar ~scheme ~kinds (seed + (7 * ns)) ns;
+      true)
+
+let test_panel_reference_fallback () =
+  (* ~reference:true must route every story through the reference
+     stepper — still bit-identical, by the existing scalar contract *)
+  let rng = Rng.create 5 in
+  let stories = Array.init 3 (fun s -> panel_story_of_rng rng (s mod 2)) in
+  let pp =
+    {
+      Pde.pp_xl = 1.;
+      pp_xr = 6.;
+      pp_nx = 25;
+      pp_t0 = 1.;
+      pp_stories = Array.map (fun (st, _, _) -> st) stories;
+    }
+  in
+  let fast =
+    Pde.solve_panel ~scheme:(Pde.Panel_imex 0.5) ~dt:0.01 ~reference:false pp
+      ~times:ragged_times
+  in
+  let slow =
+    Pde.solve_panel ~scheme:(Pde.Panel_imex 0.5) ~dt:0.01 ~reference:true pp
+      ~times:ragged_times
+  in
+  Array.iteri
+    (fun s f ->
+      check_solutions_bit_identical
+        (Printf.sprintf "reference story %d" s)
+        f slow.(s))
+    fast
+
+let test_panel_strang_rejects_custom () =
+  let st =
+    {
+      Pde.ps_diffusion = (fun _ -> 0.05);
+      ps_reaction = Pde.Custom (fun ~x:_ ~t:_ ~u -> u);
+      ps_initial = (fun _ -> 1.);
+    }
+  in
+  let pp =
+    { Pde.pp_xl = 1.; pp_xr = 6.; pp_nx = 11; pp_t0 = 1.; pp_stories = [| st |] }
+  in
+  try
+    ignore (Pde.solve_panel ~scheme:Pde.Panel_strang ~dt:0.01 pp ~times:[| 2. |]);
+    Alcotest.fail "expected Invalid_argument for Custom under Strang"
+  with Invalid_argument _ -> ()
+
+let test_panel_workspace_reuse () =
+  with_obs_enabled (fun () ->
+      let reuses = Obs.Metrics.counter "pde.panel_reuses" in
+      let rebuilds = Obs.Metrics.counter "pde.panel_rebuilds" in
+      let r0 = Obs.Metrics.counter_value reuses in
+      let b0 = Obs.Metrics.counter_value rebuilds in
+      let ws = Pde.panel_workspace () in
+      (* same shape twice: one rebuild then one reuse, results
+         unchanged by the recycled buffers *)
+      check_panel_matches_scalar ~workspace:ws ~scheme:(Pde.Panel_imex 0.5)
+        ~kinds:(fun s -> s mod 3) 11 4;
+      check_panel_matches_scalar ~workspace:ws ~scheme:Pde.Panel_strang
+        ~kinds:(fun s -> s mod 2) 13 4;
+      Alcotest.(check (pair int int)) "workspace stats" (1, 1)
+        (Pde.panel_workspace_stats ws);
+      (* shape change reallocates *)
+      check_panel_matches_scalar ~workspace:ws ~scheme:(Pde.Panel_imex 0.5)
+        ~kinds:(fun s -> s mod 3) 17 2;
+      Alcotest.(check (pair int int)) "workspace stats after reshape" (1, 2)
+        (Pde.panel_workspace_stats ws);
+      Alcotest.(check int) "pde.panel_reuses counter" 1
+        (Obs.Metrics.counter_value reuses - r0);
+      Alcotest.(check int) "pde.panel_rebuilds counter" 2
+        (Obs.Metrics.counter_value rebuilds - b0))
+
+let model_phi () =
+  Dl.Initial.of_observations ~xs:[| 1.; 2.; 3.; 4.; 5.; 6. |]
+    ~densities:[| 6.0; 3.1; 2.3; 1.2; 0.7; 0.4 |]
+
+let test_model_solve_workspace_bit_identical () =
+  (* Model.solve ?workspace routes through a width-1 panel: outputs
+     must not move by a bit for either implicit scheme *)
+  let phi = model_phi () in
+  let times = [| 2.; 3.5; 4.017 |] in
+  let ws = Pde.panel_workspace () in
+  List.iter
+    (fun scheme ->
+      let plain = Dl.Model.solve ~scheme Dl.Params.paper_hops ~phi ~times in
+      let panel =
+        Dl.Model.solve ~scheme ~workspace:ws Dl.Params.paper_hops ~phi ~times
+      in
+      check_solutions_bit_identical "model workspace" plain.Dl.Model.pde
+        panel.Dl.Model.pde)
+    [ Dl.Model.Crank_nicolson; Dl.Model.Strang ]
+
+let test_model_solve_panel_shared_domain () =
+  let phi = model_phi () in
+  let times = [| 2.; 3.; 4. |] in
+  let p1 = Dl.Params.paper_hops in
+  let p2 = { p1 with Dl.Params.d = p1.Dl.Params.d *. 1.5; k = 30. } in
+  let sols = Dl.Model.solve_panel [| (p1, phi); (p2, phi) |] ~times in
+  Array.iteri
+    (fun i (p, _) ->
+      let expect = Dl.Model.solve p ~phi ~times in
+      check_solutions_bit_identical
+        (Printf.sprintf "model panel story %d" i)
+        sols.(i).Dl.Model.pde expect.Dl.Model.pde)
+    [| (p1, phi); (p2, phi) |];
+  (* mismatched domains are rejected *)
+  let p3 = { p1 with Dl.Params.big_l = p1.Dl.Params.big_l +. 1. } in
+  try
+    ignore (Dl.Model.solve_panel [| (p1, phi); (p3, phi) |] ~times);
+    Alcotest.fail "expected Invalid_argument for mixed domains"
+  with Invalid_argument _ -> ()
+
 (* --- eval hardening --- *)
 
 let test_eval_rejects_nan () =
@@ -245,7 +534,7 @@ let prop_factored_diffusion_mass =
           xr = 10.;
           nx;
           diffusion = (fun _ -> d);
-          reaction = (fun ~x:_ ~t:_ ~u:_ -> 0.);
+          reaction = Pde.Custom (fun ~x:_ ~t:_ ~u:_ -> 0.);
           initial = (fun x -> exp (-.((x -. 5.) ** 2.)));
           t0 = 0.;
         }
@@ -378,6 +667,21 @@ let suite =
     Alcotest.test_case "global reference toggle" `Quick
       test_global_reference_toggle;
     Alcotest.test_case "workspace counters" `Quick test_workspace_counters;
+    Alcotest.test_case "batch thomas = scalar" `Quick
+      test_batch_thomas_matches_scalar;
+    Alcotest.test_case "batch solve in place" `Quick test_batch_solve_in_place;
+    Alcotest.test_case "batch singular" `Quick test_batch_singular_raises;
+    QCheck_alcotest.to_alcotest prop_panel_bit_identity;
+    Alcotest.test_case "panel reference fallback" `Quick
+      test_panel_reference_fallback;
+    Alcotest.test_case "panel strang rejects custom" `Quick
+      test_panel_strang_rejects_custom;
+    Alcotest.test_case "panel workspace reuse" `Quick
+      test_panel_workspace_reuse;
+    Alcotest.test_case "model solve workspace bit-identical" `Quick
+      test_model_solve_workspace_bit_identical;
+    Alcotest.test_case "model solve_panel shared domain" `Quick
+      test_model_solve_panel_shared_domain;
     Alcotest.test_case "eval rejects NaN" `Quick test_eval_rejects_nan;
     QCheck_alcotest.to_alcotest prop_factored_diffusion_mass;
     Alcotest.test_case "objective memo hit rate" `Quick

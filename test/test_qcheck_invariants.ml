@@ -80,7 +80,7 @@ let prop_pde_max_principle_pure_diffusion =
           xr = float_of_int (n - 1);
           nx = 51;
           diffusion = (fun _ -> Rng.uniform rng 0.01 0.5);
-          reaction = (fun ~x:_ ~t:_ ~u:_ -> 0.);
+          reaction = Pde.Custom (fun ~x:_ ~t:_ ~u:_ -> 0.);
           initial = Spline.eval spline;
           t0 = 0.;
         }
