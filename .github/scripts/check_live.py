@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Gate the live-ingestion smoke and benchmark.
+
+Usage: check_live.py SCRAPE_TXT [BENCH_JSON]
+
+SCRAPE_TXT is a Prometheus exposition scraped from a server that just
+ingested a `dlosn replay` stream.  Fails (exit 1) unless:
+
+- dlosn_live_votes_ingested_total > 0: the /observe path actually
+  accepted votes;
+- dlosn_live_fits_total >= 1: the refit daemon produced at least one
+  fit from the stream;
+- dlosn_live_refits_total >= 1: at least one of those was a
+  drift-triggered warm refit, i.e. the drift detector closed the loop
+  (override the floor via LIVE_MIN_REFITS);
+- dlosn_fit_warm_starts_total >= 1: the refit really warm-started from
+  the previous generation instead of fitting cold.
+
+BENCH_JSON, if given, is a dlosn-bench-live/1 (or dlosn-bench/1) file
+from `DLOSN_BENCH_LIVE_ONLY=1 bench/main.exe`.  Additional gates:
+
+- votes > 0 and dropped == 0: every /observe batch was answered;
+- fits >= 1: the daemon kept up with the blast-speed stream;
+- warm_evals < cold_evals: the warm refit is strictly cheaper than an
+  equivalent cold fit on the same data;
+- observe_p99_ms <= LIVE_P99_MS (default 50: /observe is a mutation
+  plus drift check, the bar is looser than cache-hit /predict).
+"""
+import json
+import os
+import sys
+
+MIN_REFITS = int(os.environ.get("LIVE_MIN_REFITS", "1"))
+P99_MS = float(os.environ.get("LIVE_P99_MS", "50"))
+
+
+def fail(msg):
+    print(f"check_live: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def metric(lines, name):
+    for line in lines:
+        parts = line.split()
+        if len(parts) == 2 and parts[0] == name:
+            try:
+                return float(parts[1])
+            except ValueError:
+                fail(f"unparseable sample for {name}: {line!r}")
+    fail(f"metric {name} not found in scrape")
+
+
+def check_scrape(path):
+    with open(path) as f:
+        lines = f.read().splitlines()
+    votes = metric(lines, "dlosn_live_votes_ingested_total")
+    if votes <= 0:
+        fail(f"dlosn_live_votes_ingested_total = {votes:.0f}, expected > 0")
+    fits = metric(lines, "dlosn_live_fits_total")
+    if fits < 1:
+        fail(f"dlosn_live_fits_total = {fits:.0f}, expected >= 1")
+    refits = metric(lines, "dlosn_live_refits_total")
+    if refits < MIN_REFITS:
+        fail(f"dlosn_live_refits_total = {refits:.0f}, expected >= {MIN_REFITS}")
+    warm = metric(lines, "dlosn_fit_warm_starts_total")
+    if warm < 1:
+        fail(f"dlosn_fit_warm_starts_total = {warm:.0f}, expected >= 1")
+    print(
+        f"check_live: scrape OK: {votes:.0f} votes ingested, "
+        f"{fits:.0f} daemon fits ({refits:.0f} drift-triggered, "
+        f"{warm:.0f} warm starts)"
+    )
+
+
+def check_bench(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") not in ("dlosn-bench-live/1", "dlosn-bench/1"):
+        fail(f"unexpected schema {doc.get('schema')!r} in {path}")
+    live = doc.get("live")
+    if not isinstance(live, dict):
+        fail(f"no \"live\" object in {path}")
+    if live.get("votes", 0) <= 0:
+        fail(f"bench ingested {live.get('votes')} votes, expected > 0")
+    if live.get("dropped", 1) != 0:
+        fail(f"bench dropped {live.get('dropped')} /observe batches")
+    if live.get("fits", 0) < 1:
+        fail(f"bench saw {live.get('fits')} daemon fits, expected >= 1")
+    warm, cold = live.get("warm_evals", 0), live.get("cold_evals", 0)
+    if not warm or not cold or warm >= cold:
+        fail(f"warm refit not cheaper: {warm} evals vs cold {cold}")
+    p99 = live.get("observe_p99_ms")
+    if p99 is None or p99 > P99_MS:
+        fail(f"observe_p99_ms = {p99}, bound {P99_MS}")
+    print(
+        f"check_live: bench OK: {live['votes']} votes at "
+        f"{live.get('votes_per_s', 0):.0f}/s, p99 {p99:.2f} ms, "
+        f"warm {warm} vs cold {cold} evals"
+    )
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_live.py SCRAPE_TXT [BENCH_JSON]")
+    check_scrape(sys.argv[1])
+    if len(sys.argv) > 2:
+        check_bench(sys.argv[2])
+    print("check_live: OK")
+
+
+if __name__ == "__main__":
+    main()

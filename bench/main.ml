@@ -1058,6 +1058,232 @@ let run_serve_load () =
   load
 
 (* ------------------------------------------------------------------ *)
+(* Live ingestion: /observe throughput and warm vs cold refit cost     *)
+(* ------------------------------------------------------------------ *)
+
+type live_bench = {
+  lb_votes : int;  (* votes accepted by the server *)
+  lb_batches : int;  (* /observe requests sent *)
+  lb_dropped : int;  (* failed requests or non-200s *)
+  lb_seconds : float;
+  lb_votes_per_s : float;
+  lb_p50_ms : float;  (* per-batch /observe round trip *)
+  lb_p99_ms : float;
+  lb_fits : int;  (* daemon fits completed server-side *)
+  lb_refits : int;  (* of which drift-triggered warm refits *)
+  lb_warm_s : float;  (* in-process warm refit wall time *)
+  lb_cold_s : float;  (* in-process cold fit wall time, same data *)
+  lb_warm_evals : int;
+  lb_cold_evals : int;
+}
+
+let live_batch_size = 25
+
+(* Like the serve-load bench, the server lives in a forked child; this
+   must run before any domain spawns (OCaml 5 forbids fork afterwards),
+   and the daemon refits need real worker threads of their own. *)
+let run_live_bench () =
+  section "Live: /observe ingestion throughput, daemon refit cadence";
+  let module J = Serve.Tiny_json in
+  let jobs = if Parallel.Pool.domains_available then 2 else 1 in
+  let config =
+    { Serve.Server.default_config with Serve.Server.port = 0; jobs }
+  in
+  let server = Serve.Server.create ~config () in
+  let port = Serve.Server.port server in
+  let child =
+    match Unix.fork () with
+    | 0 ->
+      (try
+         Serve.Server.install_signal_handlers server;
+         Serve.Server.run server;
+         Unix._exit 0
+       with _ -> Unix._exit 1)
+    | pid -> pid
+  in
+  let stream = Socialnet.Replay.simulate ~seed:7 () in
+  let events = stream.Socialnet.Replay.events in
+  let story = "bench" in
+  let conn =
+    match Serve.Client.connect ~timeout:60. ~port () with
+    | Ok c -> c
+    | Error e -> failwith ("live bench connect failed: " ^ e)
+  in
+  let vote_json (e : Socialnet.Replay.event) =
+    J.Object
+      [
+        ("voter", J.Number (float_of_int e.Socialnet.Replay.voter));
+        ("time", J.Number e.Socialnet.Replay.time);
+        ("distance", J.Number (float_of_int e.Socialnet.Replay.distance));
+      ]
+  in
+  let num_array a = J.List (List.map (fun v -> J.Number v) (Array.to_list a)) in
+  let n = Array.length events in
+  let dropped = ref 0 and accepted = ref 0 and batches = ref 0 in
+  let lats = ref [] in
+  let t0 = Unix.gettimeofday () in
+  let i = ref 0 in
+  while !i < n do
+    let j = min n (!i + live_batch_size) in
+    let votes =
+      Array.sub events !i (j - !i) |> Array.to_list |> List.map vote_json
+    in
+    let fields =
+      [ ("story", J.String story); ("votes", J.List votes) ]
+      @
+      if !i = 0 then
+        [
+          ("times", num_array stream.Socialnet.Replay.times);
+          ( "population",
+            num_array
+              (Array.map float_of_int stream.Socialnet.Replay.population) );
+          ( "max_distance",
+            J.Number (float_of_int stream.Socialnet.Replay.max_distance) );
+        ]
+      else []
+    in
+    let body = J.to_string (J.Object fields) in
+    let sent = Unix.gettimeofday () in
+    (match Serve.Client.request_on conn ~body "POST" "/observe" with
+    | Ok r when r.Serve.Client.status = 200 ->
+      lats := ((Unix.gettimeofday () -. sent) *. 1e3) :: !lats;
+      let ingested =
+        match J.parse r.Serve.Client.body with
+        | Ok doc ->
+          Option.bind (J.member "ingested" doc) J.to_int
+          |> Option.value ~default:0
+        | Error _ -> 0
+      in
+      accepted := !accepted + ingested
+    | Ok _ | Error _ -> incr dropped);
+    incr batches;
+    i := j
+  done;
+  let seconds = Unix.gettimeofday () -. t0 in
+  (* daemon fits run async on the child's workers — poll /live until
+     the last one lands before reading the counters *)
+  let story_status () =
+    match Serve.Client.request_on conn "GET" ("/live?story=" ^ story) with
+    | Ok r when r.Serve.Client.status = 200 -> (
+      match J.parse r.Serve.Client.body with
+      | Ok doc -> (
+        match Option.bind (J.member "stories" doc) J.to_list with
+        | Some [ s ] -> Some s
+        | _ -> None)
+      | Error _ -> None)
+    | Ok _ | Error _ -> None
+  in
+  let deadline = Unix.gettimeofday () +. 60. in
+  let rec settle () =
+    match story_status () with
+    | Some s
+      when J.member "refit_inflight" s = Some (J.Bool false)
+           || Unix.gettimeofday () > deadline ->
+      s
+    | _ ->
+      ignore (Unix.select [] [] [] 0.05);
+      settle ()
+  in
+  let status = settle () in
+  let int_field name =
+    Option.bind (J.member name status) J.to_int |> Option.value ~default:0
+  in
+  let fits = int_field "fits" and refits = int_field "refits" in
+  Serve.Client.close conn;
+  Unix.kill child Sys.sigterm;
+  ignore (Unix.waitpid [] child);
+  (* warm vs cold, in process: a prior fit on the first two thirds of
+     the stream warm-starts a refit on the whole of it — the daemon's
+     exact recipe — against a from-scratch fit on the same data *)
+  let full = Socialnet.Replay.batch_density stream in
+  let horizon = stream.Socialnet.Replay.times.(Array.length stream.Socialnet.Replay.times - 1) in
+  let cut = horizon *. 2. /. 3. in
+  let m =
+    let k = ref 0 in
+    Array.iter
+      (fun t -> if t <= cut then incr k)
+      stream.Socialnet.Replay.times;
+    !k
+  in
+  let prefix =
+    {
+      full with
+      Socialnet.Density.times = Array.sub stream.Socialnet.Replay.times 0 m;
+      density =
+        Array.map
+          (fun row -> Array.sub row 0 m)
+          full.Socialnet.Density.density;
+    }
+  in
+  let keep times = Array.of_list (List.filter (fun t -> t > 1.) (Array.to_list times)) in
+  let prior =
+    Dl.Fit.fit
+      ~config:
+        {
+          Dl.Fit.default_config with
+          Dl.Fit.fit_times = keep prefix.Socialnet.Density.times;
+        }
+      (Numerics.Rng.create 7) prefix
+  in
+  let fit_times = keep stream.Socialnet.Replay.times in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let warm, warm_s =
+    timed (fun () ->
+        Dl.Fit.fit
+          ~config:
+            { Dl.Fit.default_config with Dl.Fit.fit_times; starts = 1 }
+          ~init:(Dl.Fit.Init_params prior.Dl.Fit.params)
+          (Numerics.Rng.create 7) full)
+  in
+  let cold, cold_s =
+    timed (fun () ->
+        Dl.Fit.fit
+          ~config:{ Dl.Fit.default_config with Dl.Fit.fit_times }
+          (Numerics.Rng.create 7) full)
+  in
+  let lat_ms = Array.of_list !lats in
+  Array.sort compare lat_ms;
+  let nlat = Array.length lat_ms in
+  let pct p =
+    if nlat = 0 then nan
+    else lat_ms.(min (nlat - 1) (int_of_float (p *. float_of_int nlat)))
+  in
+  let bench =
+    {
+      lb_votes = !accepted;
+      lb_batches = !batches;
+      lb_dropped = !dropped;
+      lb_seconds = seconds;
+      lb_votes_per_s = float_of_int !accepted /. seconds;
+      lb_p50_ms = pct 0.50;
+      lb_p99_ms = pct 0.99;
+      lb_fits = fits;
+      lb_refits = refits;
+      lb_warm_s = warm_s;
+      lb_cold_s = cold_s;
+      lb_warm_evals = warm.Dl.Fit.evaluations;
+      lb_cold_evals = cold.Dl.Fit.evaluations;
+    }
+  in
+  Format.printf
+    "  %d votes in %d batches (%d worker%s): %.0f votes/s, /observe p50 \
+     %.2f ms, p99 %.2f ms@."
+    bench.lb_votes bench.lb_batches jobs
+    (if jobs = 1 then "" else "s")
+    bench.lb_votes_per_s bench.lb_p50_ms bench.lb_p99_ms;
+  Format.printf "  daemon fits %d (refits %d), dropped %d@." bench.lb_fits
+    bench.lb_refits bench.lb_dropped;
+  Format.printf
+    "  refit on full stream: warm %.3f s (%d evals) vs cold %.3f s (%d \
+     evals)@."
+    bench.lb_warm_s bench.lb_warm_evals bench.lb_cold_s bench.lb_cold_evals;
+  bench
+
+(* ------------------------------------------------------------------ *)
 (* Solver microbench: workspace fast path vs reference stepper         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1388,6 +1614,8 @@ let run_store_bench () =
       training_error = 0.05 +. (float_of_int i *. 1e-9);
       evaluations = 1200 + i;
       starts = 4;
+      trace_id = "";
+      obs_cursor = 0.;
     }
   in
   let n = 10_000 in
@@ -1496,8 +1724,8 @@ let write_solver_obj oc ~solver ~panel =
     panel;
   out "  ]}"
 
-let write_bench_json ~path ~scale_name ~scaling ~micro ~serve_load ~solver
-    ~panel ~store ~tournament =
+let write_bench_json ~path ~scale_name ~scaling ~micro ~serve_load ~live
+    ~solver ~panel ~store ~tournament =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -1538,6 +1766,21 @@ let write_bench_json ~path ~scale_name ~scaling ~micro ~serve_load ~solver
     (json_float serve_load.sl_rps)
     (json_float serve_load.sl_p50_ms)
     (json_float serve_load.sl_p99_ms);
+  out
+    "  \"live\": {\"votes\": %d, \"batches\": %d, \"dropped\": %d, \
+     \"seconds\": %s, \"votes_per_s\": %s, \"observe_p50_ms\": %s, \
+     \"observe_p99_ms\": %s, \"fits\": %d, \"refits\": %d, \
+     \"warm_refit_s\": %s, \"cold_refit_s\": %s, \"warm_evals\": %d, \
+     \"cold_evals\": %d},\n"
+    live.lb_votes live.lb_batches live.lb_dropped
+    (json_float live.lb_seconds)
+    (json_float live.lb_votes_per_s)
+    (json_float live.lb_p50_ms)
+    (json_float live.lb_p99_ms)
+    live.lb_fits live.lb_refits
+    (json_float live.lb_warm_s)
+    (json_float live.lb_cold_s)
+    live.lb_warm_evals live.lb_cold_evals;
   write_solver_obj oc ~solver ~panel;
   out ",\n";
   (* the leaderboard document (schema dlosn-tournament/1) embeds as-is *)
@@ -1798,6 +2041,27 @@ let write_serve_json ~path serve_load =
     (json_float serve_load.sl_p99_ms);
   close_out oc
 
+(* Live-only JSON: the same "live" object write_bench_json embeds,
+   standalone — CI's streaming-ingestion gate. *)
+let write_live_json ~path live =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"dlosn-bench-live/1\",\n  \"live\": {\"votes\": %d, \
+     \"batches\": %d, \"dropped\": %d, \"seconds\": %s, \"votes_per_s\": \
+     %s, \"observe_p50_ms\": %s, \"observe_p99_ms\": %s, \"fits\": %d, \
+     \"refits\": %d, \"warm_refit_s\": %s, \"cold_refit_s\": %s, \
+     \"warm_evals\": %d, \"cold_evals\": %d}\n}\n"
+    live.lb_votes live.lb_batches live.lb_dropped
+    (json_float live.lb_seconds)
+    (json_float live.lb_votes_per_s)
+    (json_float live.lb_p50_ms)
+    (json_float live.lb_p99_ms)
+    live.lb_fits live.lb_refits
+    (json_float live.lb_warm_s)
+    (json_float live.lb_cold_s)
+    live.lb_warm_evals live.lb_cold_evals;
+  close_out oc
+
 (* Solver-only JSON: the same "solver" object write_bench_json embeds,
    standalone — lets CI gate the panel bit-identity and speedup at
    several domain counts without paying for the full harness. *)
@@ -1824,6 +2088,21 @@ let () =
     Format.printf "serve bench written to %s@." json_path;
     exit (if serve_load.sl_dropped = 0 && serve_load.sl_drained then 0 else 1)
   end;
+  if Sys.getenv_opt "DLOSN_BENCH_LIVE_ONLY" <> None then begin
+    let live = run_live_bench () in
+    let json_path =
+      match Sys.getenv_opt "DLOSN_BENCH_JSON" with
+      | Some p -> p
+      | None -> "bench_live.json"
+    in
+    write_live_json ~path:json_path live;
+    Format.printf "live bench written to %s@." json_path;
+    let ok =
+      live.lb_dropped = 0 && live.lb_votes > 0 && live.lb_fits >= 1
+      && live.lb_warm_evals < live.lb_cold_evals
+    in
+    exit (if ok then 0 else 1)
+  end;
   if Sys.getenv_opt "DLOSN_BENCH_SOLVER_ONLY" <> None then begin
     let solver = run_solver_bench () in
     let panel = run_panel_bench () in
@@ -1849,6 +2128,7 @@ let () =
      server into a child process, and OCaml 5 forbids Unix.fork once
      other domains have ever existed *)
   let serve_load = run_serve_load () in
+  let live = run_live_bench () in
   let t0 = Unix.gettimeofday () in
   let corpus = Socialnet.Digg.build ~scale ~seed:7 () in
   let ds = corpus.Socialnet.Digg.dataset in
@@ -1947,7 +2227,7 @@ let () =
     | None -> "bench_results.json"
   in
   write_bench_json ~path:json_path ~scale_name ~scaling ~micro ~serve_load
-    ~solver ~panel ~store ~tournament;
+    ~live ~solver ~panel ~store ~tournament;
   let metrics_path =
     match Sys.getenv_opt "DLOSN_BENCH_METRICS" with
     | Some p -> p

@@ -768,12 +768,80 @@ let serve_cmd =
           ~doc:"Warn (with the request's trace id) about requests slower \
                 than MS milliseconds.")
   in
-  let run obs port host max_conns idle_timeout jobs store_dir slow_ms =
+  let lateness_arg =
+    Arg.(
+      value
+      & opt float Serve.Server.default_config.Serve.Server.live_lateness
+      & info [ "lateness" ] ~docv:"HOURS"
+          ~doc:"Out-of-order window for POST /observe streams: votes \
+                older than the story's watermark minus HOURS are \
+                dropped (and counted as live.dropped_late).")
+  in
+  let drift_arg =
+    Arg.(
+      value
+      & opt float Serve.Server.default_config.Serve.Server.drift_threshold
+      & info [ "drift-threshold" ] ~docv:"ERR"
+          ~doc:"Mean relative error of the serving fit against the \
+                live profile beyond which the daemon schedules a \
+                warm-started refit.")
+  in
+  let refit_min_votes_arg =
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.Serve.Server.refit_min_votes
+      & info [ "refit-min-votes" ] ~docv:"N"
+          ~doc:"Profile votes required before the refit daemon fits a \
+                story at all.")
+  in
+  let refit_min_new_arg =
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.Serve.Server.refit_min_new_votes
+      & info [ "refit-min-new-votes" ] ~docv:"N"
+          ~doc:"Votes that must have arrived since the serving fit \
+                before drift may trigger a refit.")
+  in
+  let live_seed_arg =
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.Serve.Server.live_seed
+      & info [ "live-seed" ] ~docv:"SEED"
+          ~doc:"Rng seed for daemon fits (fixed, so refits are \
+                reproducible offline).")
+  in
+  let graph_arg =
+    Arg.(
+      value
+      & opt (some scale_conv) None
+      & info [ "graph" ] ~docv:"SCALE"
+          ~doc:"Build a synthetic Digg influence graph at SCALE \
+                (small|medium|full) so POST /observe can resolve hop \
+                distances for votes that carry none (the first batch \
+                must then name the story's initiator).")
+  in
+  let graph_seed_arg =
+    Arg.(
+      value & opt int 7
+      & info [ "graph-seed" ] ~docv:"SEED"
+          ~doc:"Seed for the --graph corpus (must match the replay \
+                driver's --seed for hop labels to agree).")
+  in
+  let run obs port host max_conns idle_timeout jobs store_dir slow_ms lateness
+      drift_threshold refit_min_votes refit_min_new_votes live_seed graph
+      graph_seed =
    (* the server owns the OTLP exporter (serve-side metrics snapshots
       must read the request aggregate), so skip the CLI-level one *)
    with_obs ~otlp:false obs @@ fun () ->
     let jobs =
       match jobs with Some j -> j | None -> Parallel.Pool.default_jobs ()
+    in
+    let graph =
+      Option.map
+        (fun scale ->
+          (Socialnet.Digg.build ~scale ~seed:graph_seed ()).Socialnet.Digg
+            .dataset)
+        graph
     in
     let config =
       {
@@ -787,6 +855,12 @@ let serve_cmd =
         slow_request_ms = slow_ms;
         otlp_endpoint = obs.otlp_endpoint;
         otlp_sample_rate = obs.otlp_sample_rate;
+        live_lateness = lateness;
+        drift_threshold;
+        refit_min_votes;
+        refit_min_new_votes;
+        live_seed;
+        graph;
       }
     in
     let server =
@@ -809,11 +883,173 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve DL-model fits and predictions over HTTP \
-             (/healthz, /metrics, /fit, /predict, /debug/traces, \
-             /debug/flame).")
+             (/healthz, /metrics, /fit, /predict, /observe, /live, \
+             /debug/traces, /debug/flame).")
     Term.(
       const run $ obs_term $ port_arg $ host_arg $ max_conns_arg
-      $ idle_timeout_arg $ jobs_arg $ serve_store_arg $ slow_ms_arg)
+      $ idle_timeout_arg $ jobs_arg $ serve_store_arg $ slow_ms_arg
+      $ lateness_arg $ drift_arg $ refit_min_votes_arg $ refit_min_new_arg
+      $ live_seed_arg $ graph_arg $ graph_seed_arg)
+
+(* --- replay: stream a simulated cascade into a live server --- *)
+
+module Tiny_json = Serve.Tiny_json
+
+let replay_cmd =
+  let port_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Port of the dlosn server to stream into (loopback).")
+  in
+  let speedup_arg =
+    Arg.(
+      value & opt float 3600.
+      & info [ "speedup" ] ~docv:"X"
+          ~doc:"Event-time compression: one hour of cascade time plays \
+                back in 3600/X seconds (default 3600 — an hour per \
+                second).  Use $(b,inf) to stream with no pacing.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Votes per POST /observe request.")
+  in
+  let from_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "from" ] ~docv:"HOURS"
+          ~doc:"Skip votes before this event time — resume a stream \
+                past a restarted server's persisted observation \
+                cursor (printed by the server's live.resumed log).")
+  in
+  let story_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "story" ] ~docv:"NAME"
+          ~doc:"Story key for the stream (default replay-SEED).")
+  in
+  let run scale seed port speedup batch from story =
+    if batch < 1 then begin
+      prerr_endline "dlosn replay: --batch must be >= 1";
+      exit 1
+    end;
+    if not (speedup > 0.) then begin
+      prerr_endline "dlosn replay: --speedup must be positive";
+      exit 1
+    end;
+    let stream = Socialnet.Replay.simulate ~scale ~seed () in
+    let story = match story with Some s -> s | None -> Printf.sprintf "replay-%d" seed in
+    let events =
+      Array.of_list
+        (List.filter
+           (fun (e : Socialnet.Replay.event) -> e.Socialnet.Replay.time >= from)
+           (Array.to_list stream.Socialnet.Replay.events))
+    in
+    Format.printf
+      "replaying %d votes (of %d simulated) into story %S on port %d@."
+      (Array.length events)
+      (Array.length stream.Socialnet.Replay.events)
+      story port;
+    Format.print_flush ();
+    let conn =
+      match Serve.Client.connect ~timeout:30. ~port () with
+      | Ok c -> c
+      | Error msg ->
+        prerr_endline ("dlosn replay: connect failed: " ^ msg);
+        exit 1
+    in
+    let vote_json (e : Socialnet.Replay.event) =
+      Tiny_json.Object
+        [
+          ("voter", Tiny_json.Number (float_of_int e.Socialnet.Replay.voter));
+          ("time", Tiny_json.Number e.Socialnet.Replay.time);
+          ("distance", Tiny_json.Number (float_of_int e.Socialnet.Replay.distance));
+        ]
+    in
+    let num_array a = Tiny_json.List (List.map (fun v -> Tiny_json.Number v) (Array.to_list a)) in
+    let n = Array.length events in
+    let ingested = ref 0 and refits = ref 0 and batches = ref 0 in
+    let clock = ref from in
+    let i = ref 0 in
+    while !i < n do
+      let j = min n (!i + batch) in
+      let votes = Array.to_list (Array.sub events !i (j - !i)) in
+      let last_t = events.(j - 1).Socialnet.Replay.time in
+      (* pace the stream: sleep the compressed event-time gap *)
+      let gap = last_t -. !clock in
+      if gap > 0. && Float.is_finite speedup then
+        Unix.sleepf (gap *. 3600. /. speedup);
+      clock := Float.max !clock last_t;
+      let body_fields =
+        [
+          ("story", Tiny_json.String story);
+          ("votes", Tiny_json.List (List.map vote_json votes));
+        ]
+        @
+        (* grid fields ride along on the first batch only *)
+        if !batches = 0 then
+          [
+            ("times", num_array stream.Socialnet.Replay.times);
+            ( "population",
+              num_array
+                (Array.map float_of_int stream.Socialnet.Replay.population) );
+            ( "max_distance",
+              Tiny_json.Number
+                (float_of_int stream.Socialnet.Replay.max_distance) );
+          ]
+        else []
+      in
+      let body = Tiny_json.to_string (Tiny_json.Object body_fields) in
+      (match Serve.Client.request_on conn ~body "POST" "/observe" with
+      | Error msg ->
+        prerr_endline ("dlosn replay: /observe failed: " ^ msg);
+        exit 1
+      | Ok { Serve.Client.status; body; _ } when status <> 200 ->
+        prerr_endline
+          (Printf.sprintf "dlosn replay: /observe returned %d: %s" status body);
+        exit 1
+      | Ok { Serve.Client.body; _ } ->
+        incr batches;
+        (match Tiny_json.parse body with
+        | Ok json ->
+          (match Option.bind (Tiny_json.member "ingested" json) Tiny_json.to_int with
+          | Some k -> ingested := !ingested + k
+          | None -> ());
+          (match Tiny_json.member "refit_scheduled" json with
+          | Some (Tiny_json.Bool true) ->
+            incr refits;
+            Format.printf "  t=%.2fh: refit scheduled (%d votes in)@."
+              last_t !ingested;
+            Format.print_flush ()
+          | _ -> ())
+        | Error _ -> ()));
+      i := j
+    done;
+    (* final status: what the daemon made of the stream *)
+    (match Serve.Client.request_on conn "GET" ("/live?story=" ^ story) with
+    | Ok { Serve.Client.status = 200; body; _ } ->
+      Format.printf "final /live: %s@." body
+    | Ok { Serve.Client.status; _ } ->
+      Format.printf "final /live returned %d@." status
+    | Error msg -> Format.printf "final /live failed: %s@." msg);
+    Serve.Client.close conn;
+    Format.printf
+      "replayed %d batches, %d votes ingested, %d refits scheduled@."
+      !batches !ingested !refits
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Stream a simulated Digg cascade into a running dlosn \
+             server's POST /observe endpoint at a configurable \
+             speedup, driving the incremental density profile and the \
+             online refit daemon end to end.")
+    Term.(
+      const run $ scale_arg $ seed_arg $ port_arg $ speedup_arg $ batch_arg
+      $ from_arg $ story_arg)
 
 (* --- store --- *)
 
@@ -1245,5 +1481,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; characterize_cmd; predict_cmd; properties_cmd;
-            sweep_cmd; batch_cmd; stats_cmd; serve_cmd; store_cmd;
-            tournament_cmd ]))
+            sweep_cmd; batch_cmd; stats_cmd; serve_cmd; replay_cmd;
+            store_cmd; tournament_cmd ]))

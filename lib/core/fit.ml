@@ -33,6 +33,10 @@ type result = {
   evaluations : int;
 }
 
+type init =
+  | Init_params of Params.t
+  | Init_simplex of float array array
+
 let phi_of_obs (obs : Socialnet.Density.t) =
   let t1 = obs.Socialnet.Density.times.(0) in
   if Float.abs (t1 -. 1.) > 1e-9 then
@@ -111,13 +115,14 @@ let notify_fit ?on_fit ev =
 
 let m_objective_cache_hits = Obs.Metrics.counter "fit.objective_cache_hits"
 let m_fits = Obs.Metrics.counter "fit.fits"
+let m_warm_starts = Obs.Metrics.counter "fit.warm_starts"
 let m_restarts = Obs.Metrics.counter "fit.restarts"
 let m_nm_iterations = Obs.Metrics.counter "fit.nm_iterations"
 let m_objective_evals = Obs.Metrics.counter "fit.objective_evals"
 let m_bootstrap_resamples = Obs.Metrics.counter "fit.bootstrap_resamples"
 
 let fit ?(config = default_config) ?(pool = Parallel.Pool.sequential) ?id
-    ?on_fit rng (obs : Socialnet.Density.t) =
+    ?init ?on_fit rng (obs : Socialnet.Density.t) =
  Obs.Span.with_span "fit.fit" @@ fun () ->
   let distances = obs.Socialnet.Density.distances in
   if Array.length distances < 2 then
@@ -208,6 +213,43 @@ let fit ?(config = default_config) ?(pool = Parallel.Pool.sequential) ?id
   for k = 1 to starts - 1 do
     x0s.(k) <- Array.init n (fun i -> Rng.uniform rng lo.(i) hi.(i))
   done;
+  (* A warm start replaces restart 0's midpoint x0 (the only start not
+     drawn from [rng]), so the rng stream — and every other restart —
+     is bit-identical to a cold fit with the same seed. *)
+  let vector_of_params (p : Params.t) =
+    let a, b, c =
+      match p.Params.r with
+      | Growth.Exp_decay { a; b; c } -> (a, b, c)
+      | Growth.Constant v ->
+        (0., (fst config.b_bounds +. snd config.b_bounds) /. 2., v)
+    in
+    Array.mapi (fun i x -> clamp i x) [| p.Params.d; p.Params.k; a; b; c |]
+  in
+  let warm_simplex =
+    match init with
+    | None -> None
+    | Some (Init_simplex vs) ->
+      if Array.length vs <> n + 1
+         || Array.exists (fun v -> Array.length v <> n) vs
+      then
+        invalid_arg
+          (Printf.sprintf "Fit: init simplex must be %d vertices of length %d"
+             (n + 1) n);
+      x0s.(0) <- Array.copy vs.(0);
+      Some (Array.map Array.copy vs)
+    | Some (Init_params p) ->
+      (* a local simplex around the prior optimum: small edges so the
+         polish stays near the checkpoint and converges in few solves *)
+      let v0 = vector_of_params p in
+      x0s.(0) <- v0;
+      let edge i = Float.max 0.02 (0.02 *. Float.abs v0.(i)) in
+      Some
+        (Array.init (n + 1) (fun k ->
+             let v = Array.copy v0 in
+             if k > 0 then v.(k - 1) <- v.(k - 1) +. edge (k - 1);
+             v))
+  in
+  if warm_simplex <> None then Obs.Metrics.incr m_warm_starts;
   (* Restarts may run on separate domains; each reports its own
      evaluation count through [Optimize.result], so the sum below is
      exact and race-free.  Each restart is deterministic given its x0,
@@ -217,7 +259,12 @@ let fit ?(config = default_config) ?(pool = Parallel.Pool.sequential) ?id
       ~attrs:(fun () -> [ Obs.Log.int "restart" k ])
       (fun () ->
         let f = make_f () in
-        let r = Optimize.nelder_mead ~tol:1e-6 ~max_iter:250 f ~x0:x0s.(k) in
+        let simplex = if k = 0 then warm_simplex else None in
+        let r =
+          Optimize.nelder_mead ~tol:1e-6 ~max_iter:250 ?simplex f ~x0:x0s.(k)
+        in
+        if simplex <> None then
+          Obs.Span.add_attr "warm" (Obs.Log.Bool true);
         Obs.Span.add_attr "iterations" (Obs.Log.Int r.Optimize.iterations);
         Obs.Span.add_attr "objective" (Obs.Log.Float r.Optimize.f);
         Obs.Span.add_attr "spread" (Obs.Log.Float r.Optimize.spread);
@@ -252,6 +299,7 @@ let fit ?(config = default_config) ?(pool = Parallel.Pool.sequential) ?id
   Obs.Log.debug "fit.done" ~fields:(fun () ->
       [
         Obs.Log.int "starts" starts;
+        Obs.Log.bool "warm" (warm_simplex <> None);
         Obs.Log.int "evaluations" evaluations;
         Obs.Log.float "best_objective" !best.Optimize.f;
         Obs.Log.float "training_error" training_error;

@@ -41,6 +41,13 @@ type result = {
   evaluations : int;  (** number of PDE solves spent *)
 }
 
+(** Warm-start input for {!fit}: a prior optimum (e.g. a persisted
+    checkpoint's parameters) or an explicit Nelder--Mead simplex of
+    [n+1 = 6] vertices over [(d, K, a, b, c)]. *)
+type init =
+  | Init_params of Params.t
+  | Init_simplex of float array array
+
 (** A completed calibration, as seen by the {!set_on_fit} observer:
     everything a persistence layer needs to checkpoint the fit. *)
 type event = {
@@ -64,7 +71,7 @@ val on_fit_installed : unit -> bool
 
 val fit :
   ?config:config -> ?pool:Parallel.Pool.t ->
-  ?id:string -> ?on_fit:(event -> unit) ->
+  ?id:string -> ?init:init -> ?on_fit:(event -> unit) ->
   Numerics.Rng.t -> Socialnet.Density.t -> result
 (** [fit rng obs] calibrates against [obs], whose first recorded time
     must be 1 (it provides phi).  The domain [\[l, L\]] is taken from
@@ -75,10 +82,20 @@ val fit :
     front in the sequential order, and each restart is deterministic
     given its start, so the result is bit-identical for any pool size.
 
+    [init] warm-starts restart 0 from a prior optimum
+    ([Init_params], polished with a small local simplex) or an
+    explicit simplex ([Init_simplex]) instead of the box-midpoint
+    start.  Only restart 0 changes — the remaining starts still come
+    from [rng] in the cold order, so a warm fit with [config.starts=1]
+    is the cheapest online refit and larger [starts] values keep
+    their exploration.  Warm fits typically spend far fewer objective
+    [evaluations]; counted by the [fit.warm_starts] metric.
+
     [id] labels the completed-fit {!event}; [on_fit] overrides the
     global {!set_on_fit} observer for this call only.
     @raise Invalid_argument if [obs] lacks a t = 1 snapshot or has
-    fewer than two distances. *)
+    fewer than two distances, or if an [Init_simplex] has the wrong
+    shape. *)
 
 type uncertainty = {
   d_ci : float * float;

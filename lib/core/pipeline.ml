@@ -130,7 +130,8 @@ let finish pre ~params ~fit_error ~solution =
 
 let run ?(params = Paper) ?(pool = Parallel.Pool.sequential)
     ?(predict_times = default_predict_times)
-    ?(construction = `Cubic_spline) ?fit_id ?on_fit ds ~story ~metric =
+    ?(construction = `Cubic_spline) ?fit_id ?fit_init ?on_fit ds ~story
+    ~metric =
  Obs.Span.with_span "pipeline.run"
    ~attrs:(fun () -> [ Obs.Log.int "story" story.Types.id ])
  @@ fun () ->
@@ -147,7 +148,10 @@ let run ?(params = Paper) ?(pool = Parallel.Pool.sequential)
         | Some i -> i
         | None -> "story-" ^ string_of_int story.Types.id
       in
-      let r = Fit.fit ~config ~pool ~id ?on_fit rng pre.pr_observation in
+      let r =
+        Fit.fit ~config ~pool ~id ?init:fit_init ?on_fit rng
+          pre.pr_observation
+      in
       (r.Fit.params, Some r.Fit.training_error)
   in
   let solution = Model.solve chosen ~phi:pre.pr_phi ~times:predict_times in

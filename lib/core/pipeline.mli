@@ -45,6 +45,7 @@ val run :
   ?predict_times:float array ->
   ?construction:Initial.construction ->
   ?fit_id:string ->
+  ?fit_init:Fit.init ->
   ?on_fit:(Fit.event -> unit) ->
   Socialnet.Dataset.t ->
   story:Socialnet.Types.story ->
@@ -61,7 +62,9 @@ val run :
     When [params] is [Auto], the completed fit is reported to the
     {!Fit.set_on_fit} observer (or [on_fit] when given) under
     [fit_id], which defaults to ["story-<id>"] — so a run with a
-    store hook attached checkpoints its calibration durably. *)
+    store hook attached checkpoints its calibration durably.
+    [fit_init] warm-starts the [Auto] calibration from a prior
+    optimum or simplex (see {!Fit.fit}); ignored for [Paper]/[Given]. *)
 
 (** {2 Split pipeline}
 

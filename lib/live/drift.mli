@@ -1,0 +1,41 @@
+(** Drift detection for the online refit daemon.
+
+    Drift is the mean relative error of the currently-serving fit's
+    prediction against the live profile, evaluated at the observation
+    times the stream has fully reached ({!Profile.observed_times}) —
+    the same error the fitting objective minimises, so "drift past the
+    threshold" literally means "the serving fit is now this far off
+    the data it ought to explain". *)
+
+type config = {
+  threshold : float;
+      (** mean relative error beyond which a refit fires
+          (default 0.25) *)
+  min_votes : int;
+      (** profile votes required before drift is trusted at all
+          (default 8) *)
+  min_new_votes : int;
+      (** votes that must have arrived since the serving fit was
+          computed — a refit on an unchanged profile would reproduce
+          it (default 4) *)
+}
+
+val default : config
+
+val relative_error :
+  predict:(x:float -> t:float -> float) ->
+  obs:Socialnet.Density.t ->
+  times:float array ->
+  float * int
+(** [(error, cells)]: mean of [|predict - actual| / actual] over every
+    (distance, time) cell of [obs] restricted to [times] and [t > 1]
+    with a positive observed density, and the number of cells that
+    contributed.  [(0., 0)] when no cell qualifies. *)
+
+val should_refit :
+  config -> drift:float -> cells:int -> votes:int -> votes_at_fit:int -> bool
+(** The trigger decision: at least one contributing cell, [votes >=
+    min_votes], [votes - votes_at_fit >= min_new_votes], and [drift >=
+    threshold].  A non-finite [drift] (e.g. the serving solution blew
+    up at a queried time) triggers when the vote gates pass — a fit
+    that cannot predict the present is maximally drifted. *)

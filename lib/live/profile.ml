@@ -1,0 +1,122 @@
+type t = {
+  max_distance : int;
+  times : float array;
+  population : int array;
+  lateness : float;
+  (* counts.(ix).(it): votes at distance ix+1 whose first covering
+     observation time is times.(it).  The density cell (ix, it) is the
+     prefix sum over buckets 0..it — cumulative counts make folding a
+     vote O(1) and the result independent of arrival order. *)
+  counts : int array array;
+  mutable watermark : float;
+  mutable total : int;
+  mutable dropped_late : int;
+  mutable dropped_range : int;
+  mutable beyond : int;
+}
+
+type outcome = Added | Late | Out_of_range | Beyond_horizon
+
+let create ?(lateness = 2.) ?(watermark = 0.) ~max_distance ~times
+    ~population () =
+  let nt = Array.length times in
+  if max_distance < 1 then invalid_arg "Live.Profile: max_distance < 1";
+  if nt = 0 then invalid_arg "Live.Profile: empty time grid";
+  if Float.abs (times.(0) -. 1.) > 1e-9 then
+    invalid_arg "Live.Profile: observation times must start at t = 1";
+  for i = 1 to nt - 1 do
+    if times.(i) <= times.(i - 1) then
+      invalid_arg "Live.Profile: observation times must be increasing"
+  done;
+  if Array.length population <> max_distance then
+    invalid_arg "Live.Profile: population length must equal max_distance";
+  Array.iter
+    (fun p -> if p < 0 then invalid_arg "Live.Profile: negative population")
+    population;
+  if lateness < 0. then invalid_arg "Live.Profile: negative lateness";
+  {
+    max_distance;
+    times = Array.copy times;
+    population = Array.copy population;
+    lateness;
+    counts = Array.make_matrix max_distance nt 0;
+    watermark;
+    total = 0;
+    dropped_late = 0;
+    dropped_range = 0;
+    beyond = 0;
+  }
+
+(* First observation time covering the vote, i.e. the smallest [it]
+   with [time <= times.(it)] — the same [<=] as [Density.observe]. *)
+let bucket t time =
+  let nt = Array.length t.times in
+  if time > t.times.(nt - 1) then None
+  else begin
+    let lo = ref 0 and hi = ref (nt - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if time <= t.times.(mid) then hi := mid else lo := mid + 1
+    done;
+    Some !lo
+  end
+
+let add t ~distance ~time =
+  if not (Float.is_finite time) || time < 0. then
+    invalid_arg "Live.Profile.add: bad vote time";
+  if time < t.watermark -. t.lateness then begin
+    t.dropped_late <- t.dropped_late + 1;
+    Late
+  end
+  else begin
+    if time > t.watermark then t.watermark <- time;
+    if distance < 1 || distance > t.max_distance then begin
+      t.dropped_range <- t.dropped_range + 1;
+      Out_of_range
+    end
+    else
+      match bucket t time with
+      | None ->
+        t.beyond <- t.beyond + 1;
+        Beyond_horizon
+      | Some it ->
+        t.counts.(distance - 1).(it) <- t.counts.(distance - 1).(it) + 1;
+        t.total <- t.total + 1;
+        Added
+  end
+
+let density t =
+  let nt = Array.length t.times in
+  let density =
+    Array.init t.max_distance (fun ix ->
+        let row = Array.make nt 0. in
+        let pop = t.population.(ix) in
+        let cum = ref 0 in
+        for it = 0 to nt - 1 do
+          cum := !cum + t.counts.(ix).(it);
+          row.(it) <-
+            (if pop = 0 then 0.
+             else 100. *. float_of_int !cum /. float_of_int pop)
+        done;
+        row)
+  in
+  {
+    Socialnet.Density.distances = Array.init t.max_distance (fun i -> i + 1);
+    times = Array.copy t.times;
+    density;
+    population = Array.copy t.population;
+  }
+
+let watermark t = t.watermark
+
+let observed_times t =
+  Array.of_list
+    (List.filter (fun tm -> tm <= t.watermark) (Array.to_list t.times))
+
+let times t = Array.copy t.times
+let max_distance t = t.max_distance
+let lateness t = t.lateness
+let votes t = t.total
+let dropped_late t = t.dropped_late
+let dropped_range t = t.dropped_range
+let beyond_horizon t = t.beyond

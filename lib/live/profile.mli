@@ -1,0 +1,81 @@
+(** Incremental per-story density-by-distance profiles.
+
+    A [Profile.t] is the streaming counterpart of
+    {!Socialnet.Density.observe}: votes arrive one at a time (in any
+    order within a bounded lateness window) and the profile maintains
+    exactly the density table a batch [Density.observe] over the
+    accumulated vote set would produce — the equivalence is
+    property-tested.  Each vote is folded in O(1): it lands in the
+    first observation-time bucket covering it, and the cumulative
+    table is materialised only when {!density} is called.
+
+    {2 Watermarking}
+
+    The watermark is the largest event time accepted so far.  A vote
+    older than [watermark - lateness] is {e late}: it is dropped (the
+    profile no longer changes) and counted — the server surfaces the
+    count as the [live.dropped_late] metric.  Votes within the window
+    are folded in regardless of arrival order; because cells are
+    cumulative counts, the result is order-independent. *)
+
+type t
+
+type outcome =
+  | Added  (** folded into the profile *)
+  | Late  (** older than [watermark - lateness]; dropped and counted *)
+  | Out_of_range
+      (** distance outside [1 .. max_distance]; dropped and counted
+          (batch [Density.observe] ignores these labels too) *)
+  | Beyond_horizon
+      (** later than the last observation time; advances the watermark
+          but lands in no cell *)
+
+val create :
+  ?lateness:float ->
+  ?watermark:float ->
+  max_distance:int ->
+  times:float array ->
+  population:int array ->
+  unit ->
+  t
+(** [create ~max_distance ~times ~population ()] starts an empty
+    profile over distance groups [1 .. max_distance] observed at
+    [times] (strictly increasing, first element [1.]).
+    [population.(i)] is the group size for distance [i+1] — the
+    denominator of the density percentages, as in
+    {!Socialnet.Density.observe}.  [lateness] is the out-of-order
+    window in event-time hours (default [2.]; [infinity] never drops).
+    [watermark] pre-positions the stream clock (default [0.]), used to
+    resume ingestion from a persisted observation cursor after a
+    restart.
+    @raise Invalid_argument on an empty/unsorted time grid, a first
+    time other than 1, a population of the wrong length, or a negative
+    lateness. *)
+
+val add : t -> distance:int -> time:float -> outcome
+(** Fold one vote in.  [distance] is the vote's distance label (hops
+    or interest group, 1-based); [time] its event time in hours.
+    @raise Invalid_argument on a non-finite or negative time. *)
+
+val density : t -> Socialnet.Density.t
+(** The accumulated observation table: bit-equal to
+    [Density.observe] over every vote accepted so far (late and
+    out-of-range drops excluded, exactly as batch observation would
+    exclude them from its input). *)
+
+val watermark : t -> float
+(** Largest accepted event time (the stream clock); [create]'s
+    [?watermark] before any vote. *)
+
+val observed_times : t -> float array
+(** The observation times the stream has fully reached
+    ([times.(i) <= watermark]) — the cells a drift check may trust. *)
+
+val times : t -> float array
+val max_distance : t -> int
+val lateness : t -> float
+val votes : t -> int  (** votes folded into cells *)
+
+val dropped_late : t -> int
+val dropped_range : t -> int
+val beyond_horizon : t -> int

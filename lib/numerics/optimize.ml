@@ -140,9 +140,19 @@ let m_nm_runs = Obs.Metrics.counter "optimize.nm_runs"
 let m_nm_iterations = Obs.Metrics.counter "optimize.nm_iterations"
 let m_nm_evals = Obs.Metrics.counter "optimize.nm_evals"
 
-let nelder_mead ?(tol = 1e-9) ?(max_iter = 2000) ?(step = 0.) f ~x0 =
+let nelder_mead ?(tol = 1e-9) ?(max_iter = 2000) ?(step = 0.) ?simplex f ~x0 =
   let n = Array.length x0 in
   assert (n >= 1);
+  (match simplex with
+  | None -> ()
+  | Some vs ->
+      if Array.length vs <> n + 1 then
+        invalid_arg "Optimize.nelder_mead: simplex needs n+1 vertices";
+      Array.iter
+        (fun v ->
+          if Array.length v <> n then
+            invalid_arg "Optimize.nelder_mead: simplex vertex dimension")
+        vs);
   let evals = ref 0 in
   let f v =
     incr evals;
@@ -153,12 +163,17 @@ let nelder_mead ?(tol = 1e-9) ?(max_iter = 2000) ?(step = 0.) f ~x0 =
     if step > 0. then step
     else Float.max 0.05 (0.1 *. Float.abs x0.(i))
   in
-  (* simplex: n+1 vertices with objective values, kept sorted. *)
+  (* simplex: n+1 vertices with objective values, kept sorted.  An
+     explicit [simplex] (e.g. a warm start carried over from a prior
+     fit) replaces the default axis-aligned one built around [x0]. *)
   let vertices =
-    Array.init (n + 1) (fun k ->
-        let v = Array.copy x0 in
-        if k > 0 then v.(k - 1) <- v.(k - 1) +. initial_step (k - 1);
-        (v, f v))
+    match simplex with
+    | Some vs -> Array.map (fun v -> (Array.copy v, f v)) vs
+    | None ->
+        Array.init (n + 1) (fun k ->
+            let v = Array.copy x0 in
+            if k > 0 then v.(k - 1) <- v.(k - 1) +. initial_step (k - 1);
+            (v, f v))
   in
   let sort () =
     Array.sort (fun (_, fa) (_, fb) -> Float.compare fa fb) vertices

@@ -17,6 +17,13 @@ type config = {
   trace_capacity : int;
   otlp_endpoint : string option;
   otlp_sample_rate : float;
+  live_lateness : float;  (* out-of-order window for /observe, hours *)
+  drift_threshold : float;  (* mean relative error that triggers a refit *)
+  refit_min_votes : int;
+  refit_min_new_votes : int;
+  live_seed : int;  (* rng seed for daemon fits (deterministic refits) *)
+  graph : Socialnet.Dataset.t option;
+      (* influence graph for resolving distance-less votes *)
 }
 
 let default_config =
@@ -35,6 +42,12 @@ let default_config =
     trace_capacity = 128;
     otlp_endpoint = None;
     otlp_sample_rate = 1.0;
+    live_lateness = 2.;
+    drift_threshold = Live.Drift.default.Live.Drift.threshold;
+    refit_min_votes = Live.Drift.default.Live.Drift.min_votes;
+    refit_min_new_votes = Live.Drift.default.Live.Drift.min_new_votes;
+    live_seed = 7;
+    graph = None;
   }
 
 let max_header = 16 * 1024
@@ -74,6 +87,9 @@ type fit_entry = {
   fe_params_json : (string * Tiny_json.t) list;  (* rendered for /fit *)
   fe_training_error : float;
   fe_evaluations : int;
+  fe_link_trace : string;
+      (* for store-recovered entries: the trace id of the run that
+         produced the fit, stamped onto serving spans as a span link *)
   mutable fe_sols : (int64 * (x:float -> t:float -> float)) list;
       (* memoized per-t evaluators, newest first (PDE backends only) *)
 }
@@ -90,17 +106,42 @@ type trace_entry = {
 
 (* A fully parsed request handed to the worker pool, tagged with the
    connection it came from (by id, not fd — fds are recycled). *)
-type job = {
+type request_job = {
   jb_conn : int;
   jb_req : Http.request;
   jb_keep_alive : bool;  (* what the response's Connection: header says *)
 }
+
+(* A background refit scheduled by the live-ingestion path.  The task
+   carries only the story key and a generation stamp; the worker reads
+   the live profile fresh when it runs, so a stale task (the story was
+   re-scheduled or removed) is detected and dropped. *)
+type refit_task = { rf_story : string; rf_gen : int }
+
+type job = Jb_request of request_job | Jb_refit of refit_task
 
 (* A serialized response travelling back to the event loop. *)
 type done_msg = {
   dn_conn : int;
   dn_bytes : string;
   dn_keep_alive : bool;
+}
+
+(* Per-story live-ingestion state.  The profile itself is only touched
+   under [live_mutex]; the refit daemon snapshots what it needs and
+   works outside the lock. *)
+type live_story = {
+  ls_key : string;
+  ls_profile : Live.Profile.t;
+  mutable ls_assignment : int array option;
+      (* per-user hop labels for resolving distance-less votes *)
+  mutable ls_fit : string option;  (* serving fit id for this story *)
+  mutable ls_fits : int;  (* daemon fits completed (incl. the initial) *)
+  mutable ls_refits : int;  (* drift-triggered warm refits completed *)
+  mutable ls_inflight : bool;  (* a refit task is queued or running *)
+  mutable ls_votes_at_fit : int;  (* profile votes when ls_fit was made *)
+  mutable ls_drift : float;  (* last computed drift (nan = never) *)
+  mutable ls_gen : int;  (* bumped per scheduled fit; stales old tasks *)
 }
 
 type t = {
@@ -128,6 +169,12 @@ type t = {
   mutable trace_next : int; (* monotonic write position *)
   trace_mutex : Mutex.t;
   mutable otlp : Otlp.t option;
+  live : (string, live_story) Hashtbl.t;
+  live_mutex : Mutex.t;
+  live_cursors : (string, string * float) Hashtbl.t;
+      (* story -> (record id, obs cursor) recovered from the store:
+         where live ingestion left off before the restart *)
+  mutable live_workers : bool;  (* refit tasks may go to the queue *)
 }
 
 (* --- serve.* metrics (handles are idempotent to register) --- *)
@@ -158,6 +205,20 @@ let m_route_status route status =
     "serve.route_responses"
 
 let m_slow = Obs.Metrics.counter "serve.slow_requests"
+
+(* live.* series: the streaming-ingestion loop (POST /observe + refit
+   daemon).  Counters follow the Profile outcome taxonomy; drift and
+   refit wall-time are histograms so /metrics shows their spread. *)
+let m_live_votes = Obs.Metrics.counter "live.votes_ingested"
+let m_live_late = Obs.Metrics.counter "live.dropped_late"
+let m_live_range = Obs.Metrics.counter "live.dropped_range"
+let m_live_beyond = Obs.Metrics.counter "live.beyond_horizon"
+let m_live_batches = Obs.Metrics.counter "live.batches"
+let m_live_stories = Obs.Metrics.gauge "live.stories"
+let m_live_fits = Obs.Metrics.counter "live.fits"
+let m_live_refits = Obs.Metrics.counter "live.refits"
+let m_live_drift = Obs.Metrics.histogram "live.drift"
+let m_live_refit_ns = Obs.Metrics.histogram "live.refit_ns"
 
 (* connection-lifecycle series for the event loop: opened/closed totals,
    a live-connection gauge (the shedding quantity), and reuse — a
@@ -230,6 +291,7 @@ let warm_entry (r : Store.Format.record) =
           fe_params_json = params_json;
           fe_training_error = r.Store.Format.training_error;
           fe_evaluations = r.Store.Format.evaluations;
+          fe_link_trace = r.Store.Format.trace_id;
           fe_sols = [];
         }
     in
@@ -301,6 +363,20 @@ let create ?(config = default_config) () =
   in
   let cache = Hashtbl.create 16 in
   List.iter (fun e -> Hashtbl.replace cache e.fe_id e) warm;
+  (* Observation cursors: for each story the live daemon checkpointed,
+     remember where ingestion left off (records are oldest-first, so a
+     plain fold keeps the latest).  Handed back on the first /observe
+     for the story so replay can resume past already-folded votes. *)
+  let live_cursors = Hashtbl.create 8 in
+  (match store with
+  | None -> ()
+  | Some store ->
+    List.iter
+      (fun (r : Store.Format.record) ->
+        if r.Store.Format.story <> "" && r.Store.Format.obs_cursor > 0. then
+          Hashtbl.replace live_cursors r.Store.Format.story
+            (r.Store.Format.id, r.Store.Format.obs_cursor))
+      (Store.records store));
   let t =
     {
       cfg = config;
@@ -327,6 +403,10 @@ let create ?(config = default_config) () =
       trace_next = 0;
       trace_mutex = Mutex.create ();
       otlp = None;
+      live = Hashtbl.create 8;
+      live_mutex = Mutex.create ();
+      live_cursors;
+      live_workers = false;
     }
   in
   (match config.otlp_endpoint with
@@ -376,6 +456,9 @@ type fit_spec = {
   fs_scheme : Dl.Model.scheme;
   fs_nx : int;
   fs_dt : float;
+  fs_init : bool;
+      (** ["init": "store"] — warm-start the fit from the latest
+          matching store checkpoint (dl model only) *)
 }
 
 let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
@@ -529,6 +612,19 @@ let parse_fit_spec body =
       | Some _ -> Error "field \"dt\" must lie in (0, 1]"
       | None -> Error "field \"dt\" must be a number")
   in
+  let* init =
+    match Tiny_json.member "init" json with
+    | None -> Ok false
+    | Some v -> (
+      match Tiny_json.to_string_opt v with
+      | Some "store" ->
+        if model <> "dl" then
+          Error "\"init\": \"store\" warm starts are only supported for model \"dl\""
+        else Ok true
+      | Some other ->
+        Error (Printf.sprintf "unknown init source %S (only \"store\")" other)
+      | None -> Error "field \"init\" must be a string")
+  in
   Ok
     {
       fs_obs =
@@ -541,6 +637,7 @@ let parse_fit_spec body =
       fs_scheme = scheme;
       fs_nx = nx;
       fs_dt = dt;
+      fs_init = init;
     }
 
 let fit_config t spec =
@@ -564,14 +661,18 @@ let fit_config t spec =
    alias to the same fit.  (The model is keyed explicitly because an
    omitted field and an explicit ["model": "dl"] resolve to the same
    fit but differ in the raw body.) *)
-let fit_key spec body =
+let fit_key ?(init_id = "") spec body =
   let solver_sig =
     Store.Format.solver_signature ~scheme:spec.fs_scheme ~nx:spec.fs_nx
       ~dt:spec.fs_dt
       ~reference:(Numerics.Pde.use_reference_stepper ())
   in
+  (* the resolved warm-init record id is part of the fit's identity:
+     the same body warm-started from a different (newer) checkpoint
+     must not alias to the stale cached result *)
   Digest.to_hex
-    (Digest.string (body ^ "\x00" ^ solver_sig ^ "\x00" ^ spec.fs_model))
+    (Digest.string
+       (body ^ "\x00" ^ solver_sig ^ "\x00" ^ spec.fs_model ^ "\x00" ^ init_id))
 
 (* What persist_fit needs to write a checkpoint — only the two PDE
    backends produce one. *)
@@ -587,13 +688,13 @@ let phi_of_spec spec =
     ~xs:(Array.map float_of_int obs.Socialnet.Density.distances)
     ~densities:(Array.map (fun row -> row.(0)) obs.Socialnet.Density.density)
 
-let run_fit ~id ~config spec =
+let run_fit ?init ~id ~config spec =
   let obs = spec.fs_obs in
   match spec.fs_model with
   | "dl" ->
     let phi = phi_of_spec spec in
     let rng = Numerics.Rng.create spec.fs_seed in
-    let result = Dl.Fit.fit ~config ~id rng obs in
+    let result = Dl.Fit.fit ~config ~id ?init rng obs in
     ( {
         fe_id = id;
         fe_model = "dl";
@@ -601,6 +702,7 @@ let run_fit ~id ~config spec =
         fe_params_json = dl_params_json result.Dl.Fit.params;
         fe_training_error = result.Dl.Fit.training_error;
         fe_evaluations = result.Dl.Fit.evaluations;
+        fe_link_trace = "";
         fe_sols = [];
       },
       Some { ps_phi = phi; ps_config = config; ps_result = result } )
@@ -636,6 +738,7 @@ let run_fit ~id ~config spec =
         fe_params_json = linear_params_json params;
         fe_training_error = r.Dl.Linear_model.training_error;
         fe_evaluations = r.Dl.Linear_model.evaluations;
+        fe_link_trace = "";
         fe_sols = [];
       },
       Some { ps_phi = phi; ps_config = pconfig; ps_result = result } )
@@ -661,20 +764,29 @@ let run_fit ~id ~config spec =
             fitted.Dl.Predictor.params;
         fe_training_error = fitted.Dl.Predictor.training_error;
         fe_evaluations = fitted.Dl.Predictor.evaluations;
+        fe_link_trace = "";
         fe_sols = [];
       },
       None )
 
-let fit_json entry ~cached =
+let fit_json ?init_from entry ~cached =
   Tiny_json.Object
-    [
-      ("fit", Tiny_json.String entry.fe_id);
-      ("model", Tiny_json.String entry.fe_model);
-      ("cached", Tiny_json.Bool cached);
-      ("training_error", Tiny_json.Number entry.fe_training_error);
-      ("evaluations", Tiny_json.Number (float_of_int entry.fe_evaluations));
-      ("params", Tiny_json.Object entry.fe_params_json);
-    ]
+    ([
+       ("fit", Tiny_json.String entry.fe_id);
+       ("model", Tiny_json.String entry.fe_model);
+       ("cached", Tiny_json.Bool cached);
+       ("training_error", Tiny_json.Number entry.fe_training_error);
+       ("evaluations", Tiny_json.Number (float_of_int entry.fe_evaluations));
+       ("params", Tiny_json.Object entry.fe_params_json);
+     ]
+    @
+    match init_from with
+    | None -> []
+    | Some id ->
+      [
+        ("init", Tiny_json.String "store");
+        ("init_from", Tiny_json.String id);
+      ])
 
 let error_json status msg =
   Http.json_response status
@@ -684,23 +796,74 @@ let error_json status msg =
    A store failure must not fail the request — the fit result is
    already in memory and correct; durability degrades with a warn.
    Closure-backed models produce no [persistable] and are skipped. *)
-let persist_fit t ~id ~story ~model p =
+let persist_fit ?(source = "serve") ?obs_cursor t ~id ~story ~model p =
   match t.store with
   | None -> ()
   | Some store -> (
     try
       Store.append store
-        (Store.record_of_fit ~id ~story ~source:"serve" ~model ~phi:p.ps_phi
+        (Store.record_of_fit ~id ~story ~source ~model
+           ?trace_id:(Obs.Span.trace_id ()) ?obs_cursor ~phi:p.ps_phi
            ~config:p.ps_config ~result:p.ps_result ())
     with e ->
       Obs.Log.warn "store.append_failed" ~fields:(fun () ->
           [ Obs.Log.str "id" id; Obs.Log.str "error" (Printexc.to_string e) ]))
 
+(* Resolve an ["init": "store"] warm start: the newest store record
+   for the requested model that matches the request's story label (any
+   story when the request carries none).  None = cold fallback. *)
+let resolve_init t spec =
+  if not spec.fs_init then None
+  else
+    match t.store with
+    | None ->
+      Obs.Log.info "serve.fit_init_cold" ~fields:(fun () ->
+          [ Obs.Log.str "reason" "no store configured" ]);
+      None
+    | Some store ->
+      let pick (r : Store.Format.record) =
+        r.Store.Format.model = spec.fs_model
+        && (spec.fs_story = "" || r.Store.Format.story = spec.fs_story)
+      in
+      let chosen =
+        List.fold_left
+          (fun acc r -> if pick r then Some r else acc)
+          None (Store.records store)
+      in
+      (match chosen with
+      | None ->
+        Obs.Log.info "serve.fit_init_cold" ~fields:(fun () ->
+            [
+              Obs.Log.str "reason" "no matching checkpoint";
+              Obs.Log.str "story" spec.fs_story;
+            ])
+      | Some _ -> ());
+      chosen
+
+(* Stamp the serving span with a link back to the trace that produced
+   the fit (only meaningful for store-recovered entries, whose
+   originating trace lived in a previous process). *)
+let link_entry entry =
+  if entry.fe_link_trace <> "" then
+    Obs.Span.add_attr "link.trace_id" (Obs.Log.String entry.fe_link_trace)
+
 let handle_fit t (req : Http.request) =
   match parse_fit_spec req.Http.body with
   | Error msg -> error_json 400 msg
   | Ok spec -> (
-    let id = fit_key spec req.Http.body in
+    let init_record = resolve_init t spec in
+    let init_id =
+      match init_record with
+      | Some r -> Some r.Store.Format.id
+      | None -> None
+    in
+    let init =
+      Option.map
+        (fun (r : Store.Format.record) ->
+          Dl.Fit.Init_params r.Store.Format.params)
+        init_record
+    in
+    let id = fit_key ?init_id spec req.Http.body in
     let config = fit_config t spec in
     let cached =
       Mutex.lock t.cache_mutex;
@@ -711,10 +874,11 @@ let handle_fit t (req : Http.request) =
     match cached with
     | Some entry ->
       Obs.Metrics.incr m_cache_hits;
-      Http.json_response 200 (fit_json entry ~cached:true)
+      link_entry entry;
+      Http.json_response 200 (fit_json ?init_from:init_id entry ~cached:true)
     | None -> (
       Obs.Metrics.incr m_cache_misses;
-      match run_fit ~id ~config spec with
+      match run_fit ?init ~id ~config spec with
       | exception Invalid_argument msg -> error_json 422 msg
       | exception Failure msg -> error_json 422 msg
       | fresh, persistable ->
@@ -740,8 +904,9 @@ let handle_fit t (req : Http.request) =
               Obs.Log.str "model" entry.fe_model;
               Obs.Log.float "training_error" entry.fe_training_error;
               Obs.Log.int "evaluations" entry.fe_evaluations;
+              Obs.Log.bool "warm" (init <> None);
             ]);
-        Http.json_response 200 (fit_json entry ~cached:false)))
+        Http.json_response 200 (fit_json ?init_from:init_id entry ~cached:false)))
 
 (* --- /predict --- *)
 
@@ -833,6 +998,7 @@ let handle_predict t (req : Http.request) =
       error_json 404
         "no such fit (POST /fit first, or pass a valid fit= parameter)"
     | Some entry -> (
+      link_entry entry;
       match predict_point t entry ~x ~tq with
       | Error msg -> error_json 400 msg
       | Ok density ->
@@ -899,6 +1065,7 @@ let handle_predict_batch t (req : Http.request) =
       error_json 404
         "no such fit (POST /fit first, or pass a valid \"fit\" field)"
     | Some entry -> (
+      link_entry entry;
       let rec eval acc = function
         | [] -> Ok (List.rev acc)
         | (x, tq) :: rest -> (
@@ -1022,6 +1189,616 @@ let handle_debug_flame t =
   Http.response ~content_type:"text/plain; charset=utf-8" 200
     (Obs.Span.to_folded roots)
 
+(* --- live ingestion: POST /observe, GET /live, the refit daemon --- *)
+
+(* One parsed /observe batch.  The grid fields are only consulted on
+   the first batch for a story (they define its profile); later batches
+   may omit them. *)
+type observe_spec = {
+  ob_story : string;
+  ob_votes : (int * float * int option) list;  (* voter, time, distance *)
+  ob_times : float array option;
+  ob_population : int array option;
+  ob_max_distance : int option;
+  ob_lateness : float option;
+  ob_initiator : int option;
+}
+
+let parse_observe_spec body =
+  let* json =
+    match Tiny_json.parse body with Ok j -> Ok j | Error e -> Error e
+  in
+  let* story =
+    match Tiny_json.member "story" json with
+    | Some (Tiny_json.String s) when s <> "" -> Ok s
+    | Some _ -> Error "field \"story\" must be a non-empty string"
+    | None -> Error "missing field \"story\""
+  in
+  let* votes =
+    match Tiny_json.member "votes" json with
+    | None -> Error "missing field \"votes\" (an array of vote objects)"
+    | Some v -> (
+      match Tiny_json.to_list v with
+      | None -> Error "field \"votes\" must be an array"
+      | Some items ->
+        let rec map acc = function
+          | [] -> Ok (List.rev acc)
+          | item :: rest -> (
+            let time =
+              Option.bind (Tiny_json.member "time" item) Tiny_json.to_float
+            in
+            let voter =
+              Option.bind (Tiny_json.member "voter" item) Tiny_json.to_int
+            in
+            let distance =
+              Option.bind (Tiny_json.member "distance" item) Tiny_json.to_int
+            in
+            match time with
+            | Some tm when Float.is_finite tm && tm >= 0. ->
+              map ((Option.value ~default:(-1) voter, tm, distance) :: acc) rest
+            | _ ->
+              Error
+                "every vote needs a finite non-negative \"time\" (hours since \
+                 submission)")
+        in
+        map [] items)
+  in
+  let opt_field name conv err =
+    match Tiny_json.member name json with
+    | None -> Ok None
+    | Some v -> (
+      match conv v with Some x -> Ok (Some x) | None -> Error err)
+  in
+  let* times =
+    match Tiny_json.member "times" json with
+    | None -> Ok None
+    | Some _ ->
+      let* ts = json_field_list json "times" Tiny_json.to_float in
+      Ok (Some ts)
+  in
+  let* population =
+    match Tiny_json.member "population" json with
+    | None -> Ok None
+    | Some _ ->
+      let* ps = json_field_list json "population" Tiny_json.to_int in
+      Ok (Some ps)
+  in
+  let* max_distance =
+    opt_field "max_distance" Tiny_json.to_int
+      "field \"max_distance\" must be an integer"
+  in
+  let* lateness =
+    opt_field "lateness" Tiny_json.to_float
+      "field \"lateness\" must be a number"
+  in
+  let* () =
+    match lateness with
+    | Some l when l < 0. -> Error "field \"lateness\" must be non-negative"
+    | _ -> Ok ()
+  in
+  let* initiator =
+    opt_field "initiator" Tiny_json.to_int
+      "field \"initiator\" must be an integer (a graph user id)"
+  in
+  Ok
+    {
+      ob_story = story;
+      ob_votes = votes;
+      ob_times = times;
+      ob_population = population;
+      ob_max_distance = max_distance;
+      ob_lateness = lateness;
+      ob_initiator = initiator;
+    }
+
+(* First batch for a story: build its live profile (resuming from a
+   persisted observation cursor when the store carries one) and, when
+   the server has graph context and the batch names the initiator,
+   the hop-distance resolver for distance-less votes.  Caller holds
+   [live_mutex]. *)
+let create_live_story t spec =
+  match (spec.ob_times, spec.ob_population) with
+  | None, _ | _, None ->
+    Error
+      (Printf.sprintf
+         "unknown story %S: the first batch must carry \"times\" and \
+          \"population\""
+         spec.ob_story)
+  | Some times, Some population -> (
+    let max_distance =
+      match spec.ob_max_distance with
+      | Some d -> d
+      | None -> Array.length population
+    in
+    let lateness =
+      match spec.ob_lateness with
+      | Some l -> l
+      | None -> t.cfg.live_lateness
+    in
+    let recovered = Hashtbl.find_opt t.live_cursors spec.ob_story in
+    let watermark = match recovered with Some (_, c) -> c | None -> 0. in
+    match
+      Live.Profile.create ~lateness ~watermark ~max_distance ~times
+        ~population ()
+    with
+    | exception Invalid_argument msg -> Error msg
+    | profile ->
+      let assignment =
+        match (spec.ob_initiator, t.cfg.graph) with
+        | Some initiator, Some graph ->
+          Some
+            (Socialnet.Distance.friendship_hops graph
+               ~story:
+                 {
+                   Socialnet.Types.id = 0;
+                   initiator;
+                   topic = 0;
+                   votes = [||];
+                 })
+        | _ -> None
+      in
+      (* a recovered checkpoint keeps serving until drift re-triggers *)
+      let recovered_fit =
+        match recovered with
+        | Some (id, _) ->
+          Mutex.lock t.cache_mutex;
+          let known = Hashtbl.mem t.cache id in
+          Mutex.unlock t.cache_mutex;
+          if known then Some id else None
+        | None -> None
+      in
+      let ls =
+        {
+          ls_key = spec.ob_story;
+          ls_profile = profile;
+          ls_assignment = assignment;
+          ls_fit = recovered_fit;
+          ls_fits = (if recovered_fit <> None then 1 else 0);
+          ls_refits = 0;
+          ls_inflight = false;
+          ls_votes_at_fit = 0;
+          ls_drift = Float.nan;
+          ls_gen = 0;
+        }
+      in
+      Hashtbl.replace t.live ls.ls_key ls;
+      Obs.Metrics.set m_live_stories (float_of_int (Hashtbl.length t.live));
+      (match recovered with
+      | Some (id, cursor) ->
+        Obs.Log.info "live.resumed" ~fields:(fun () ->
+            [
+              Obs.Log.str "story" ls.ls_key;
+              Obs.Log.str "fit" id;
+              Obs.Log.float "cursor" cursor;
+              Obs.Log.bool "fit_recovered" (recovered_fit <> None);
+            ])
+      | None -> ());
+      Ok ls)
+
+(* The refit itself: runs on a worker domain (or inline when the pool
+   is unavailable), under its own metrics shard and a daemon-minted
+   trace id.  Reads the live profile fresh — a task whose generation no
+   longer matches the story's is stale and dropped. *)
+let run_refit t task =
+  let shard = Obs.Shard.create () in
+  let trace_id = Obs.Span.gen_trace_id () in
+  let status = ref 200 in
+  let t0 = Obs.now_ns () in
+  let finish () =
+    (* capture the daemon trace into the ring before merging, so the
+       aggregate's span list cannot grow without bound *)
+    (match Obs.Shard.take_span_roots shard with
+    | [] -> ()
+    | roots ->
+      let root = List.nth roots (List.length roots - 1) in
+      push_trace t
+        {
+          te_trace_id = trace_id;
+          te_meth = "DAEMON";
+          te_path = "/live/refit";
+          te_status = !status;
+          te_dur_ns = Stdlib.max 0 (Obs.now_ns () - t0);
+          te_root = root;
+        });
+    with_agg t (fun () -> Obs.Shard.merge shard)
+  in
+  Fun.protect ~finally:finish @@ fun () ->
+  Obs.Shard.with_shard shard @@ fun () ->
+  Obs.Span.set_trace_id (Some trace_id);
+  Fun.protect ~finally:(fun () -> Obs.Span.set_trace_id None) @@ fun () ->
+  (* snapshot everything the fit needs under the lock, then work free *)
+  Mutex.lock t.live_mutex;
+  let snap =
+    match Hashtbl.find_opt t.live task.rf_story with
+    | Some ls when ls.ls_gen = task.rf_gen ->
+      Some
+        ( ls,
+          Live.Profile.density ls.ls_profile,
+          Live.Profile.observed_times ls.ls_profile,
+          Live.Profile.votes ls.ls_profile,
+          Live.Profile.watermark ls.ls_profile,
+          ls.ls_fit )
+    | Some ls ->
+      ls.ls_inflight <- false;
+      None
+    | None -> None
+  in
+  Mutex.unlock t.live_mutex;
+  match snap with
+  | None -> status := 410
+  | Some (ls, full_obs, observed, votes, watermark, serving_fit) -> (
+    let clear_inflight () =
+      Mutex.lock t.live_mutex;
+      if ls.ls_gen = task.rf_gen then ls.ls_inflight <- false;
+      Mutex.unlock t.live_mutex
+    in
+    (* restrict the batch table to the hours the stream has reached *)
+    let n = Array.length observed in
+    let obs =
+      {
+        full_obs with
+        Socialnet.Density.times = observed;
+        density =
+          Array.map
+            (fun row -> Array.sub row 0 n)
+            full_obs.Socialnet.Density.density;
+      }
+    in
+    let fit_times =
+      Array.of_list (List.filter (fun tm -> tm > 1.) (Array.to_list observed))
+    in
+    if
+      n = 0
+      || observed.(0) <> 1.
+      || Array.length fit_times = 0
+      || not
+           (Array.exists
+              (fun row -> row.(0) > 0.)
+              obs.Socialnet.Density.density)
+    then begin
+      status := 422;
+      clear_inflight ()
+    end
+    else begin
+      (* warm start from the currently-serving entry when it is a PDE
+         fit; the very first daemon fit for a story runs cold *)
+      let init =
+        match serving_fit with
+        | None -> None
+        | Some id -> (
+          Mutex.lock t.cache_mutex;
+          let e = Hashtbl.find_opt t.cache id in
+          Mutex.unlock t.cache_mutex;
+          match e with
+          | Some { fe_backend = Be_dl { params; _ }; _ } ->
+            Some (Dl.Fit.Init_params params)
+          | _ -> None)
+      in
+      let warm = init <> None in
+      let config =
+        {
+          Dl.Fit.default_config with
+          Dl.Fit.fit_times;
+          starts = (if warm then 1 else Dl.Fit.default_config.Dl.Fit.starts);
+        }
+      in
+      let id = Printf.sprintf "live-%s-g%d" task.rf_story task.rf_gen in
+      match
+        Obs.Span.with_span "live.refit"
+          ~attrs:(fun () ->
+            [
+              Obs.Log.str "story" task.rf_story;
+              Obs.Log.bool "warm" warm;
+              Obs.Log.int "votes" votes;
+            ])
+          (fun () ->
+            let phi =
+              Dl.Initial.of_observations
+                ~xs:
+                  (Array.map float_of_int obs.Socialnet.Density.distances)
+                ~densities:
+                  (Array.map
+                     (fun row -> row.(0))
+                     obs.Socialnet.Density.density)
+            in
+            let rng = Numerics.Rng.create t.cfg.live_seed in
+            let result = Dl.Fit.fit ~config ~id ?init rng obs in
+            (phi, result))
+      with
+      | exception e ->
+        status := 500;
+        Obs.Log.error "live.refit_failed" ~fields:(fun () ->
+            [
+              Obs.Log.str "story" task.rf_story;
+              Obs.Log.str "exn" (Printexc.to_string e);
+            ]);
+        clear_inflight ()
+      | phi, result ->
+        let entry =
+          {
+            fe_id = id;
+            fe_model = "dl";
+            fe_backend = Be_dl { params = result.Dl.Fit.params; phi };
+            fe_params_json = dl_params_json result.Dl.Fit.params;
+            fe_training_error = result.Dl.Fit.training_error;
+            fe_evaluations = result.Dl.Fit.evaluations;
+            fe_link_trace = "";
+            fe_sols = [];
+          }
+        in
+        Mutex.lock t.cache_mutex;
+        Hashtbl.replace t.cache id entry;
+        t.last_fit <- Some id;
+        Mutex.unlock t.cache_mutex;
+        Mutex.lock t.live_mutex;
+        if ls.ls_gen = task.rf_gen then begin
+          ls.ls_fit <- Some id;
+          ls.ls_fits <- ls.ls_fits + 1;
+          if warm then ls.ls_refits <- ls.ls_refits + 1;
+          ls.ls_votes_at_fit <- votes;
+          ls.ls_inflight <- false
+        end;
+        Mutex.unlock t.live_mutex;
+        persist_fit ~source:"live" ~obs_cursor:watermark t ~id
+          ~story:task.rf_story ~model:"dl"
+          { ps_phi = phi; ps_config = config; ps_result = result };
+        Obs.Metrics.incr m_live_fits;
+        if warm then Obs.Metrics.incr m_live_refits;
+        Obs.Metrics.observe m_live_refit_ns
+          (float_of_int (Stdlib.max 0 (Obs.now_ns () - t0)));
+        Obs.Log.info "live.refit" ~fields:(fun () ->
+            [
+              Obs.Log.str "story" task.rf_story;
+              Obs.Log.str "fit" id;
+              Obs.Log.bool "warm" warm;
+              Obs.Log.int "votes" votes;
+              Obs.Log.float "watermark" watermark;
+              Obs.Log.float "training_error" result.Dl.Fit.training_error;
+              Obs.Log.int "evaluations" result.Dl.Fit.evaluations;
+            ])
+    end)
+
+(* Hand a refit task to the worker pool, or run it right here when the
+   server is single-threaded (jobs = 0 fallback). *)
+let schedule_refit t task =
+  if t.live_workers then begin
+    Mutex.lock t.qmutex;
+    Queue.push (Jb_refit task) t.queue;
+    Condition.signal t.qcond;
+    Mutex.unlock t.qmutex
+  end
+  else run_refit t task
+
+let drift_config t =
+  {
+    Live.Drift.threshold = t.cfg.drift_threshold;
+    min_votes = t.cfg.refit_min_votes;
+    min_new_votes = t.cfg.refit_min_new_votes;
+  }
+
+let handle_observe t (req : Http.request) =
+  match parse_observe_spec req.Http.body with
+  | Error msg -> error_json 400 msg
+  | Ok spec -> (
+    Mutex.lock t.live_mutex;
+    let ls_or_err =
+      match Hashtbl.find_opt t.live spec.ob_story with
+      | Some ls -> Ok ls
+      | None -> create_live_story t spec
+    in
+    match ls_or_err with
+    | Error msg ->
+      Mutex.unlock t.live_mutex;
+      error_json 400 msg
+    | Ok ls -> (
+      (* fold the batch in: O(1) per vote, still under the lock *)
+      let added = ref 0
+      and late = ref 0
+      and range = ref 0
+      and beyond = ref 0 in
+      let fold_result =
+        List.fold_left
+          (fun acc (voter, time, distance) ->
+            match acc with
+            | Error _ -> acc
+            | Ok () -> (
+              let resolved =
+                match distance with
+                | Some d -> Ok d
+                | None -> (
+                  match ls.ls_assignment with
+                  | Some a when voter >= 0 && voter < Array.length a ->
+                    Ok a.(voter)
+                  | Some _ ->
+                    Error
+                      (Printf.sprintf
+                         "voter %d is outside the configured graph" voter)
+                  | None ->
+                    Error
+                      (Printf.sprintf
+                         "vote for voter %d carries no \"distance\" and the \
+                          story has no graph context (pass \"initiator\" on \
+                          the first batch of a server started with a graph)"
+                         voter))
+              in
+              match resolved with
+              | Error msg -> Error msg
+              | Ok d ->
+                (match Live.Profile.add ls.ls_profile ~distance:d ~time with
+                | Live.Profile.Added -> incr added
+                | Live.Profile.Late -> incr late
+                | Live.Profile.Out_of_range -> incr range
+                | Live.Profile.Beyond_horizon -> incr beyond);
+                Ok ()))
+          (Ok ()) spec.ob_votes
+      in
+      match fold_result with
+      | Error msg ->
+        Mutex.unlock t.live_mutex;
+        error_json 400 msg
+      | Ok () ->
+        (* snapshot what the drift check needs, then leave the lock *)
+        let density = Live.Profile.density ls.ls_profile in
+        let observed = Live.Profile.observed_times ls.ls_profile in
+        let votes = Live.Profile.votes ls.ls_profile in
+        let watermark = Live.Profile.watermark ls.ls_profile in
+        let votes_at_fit = ls.ls_votes_at_fit in
+        let serving_fit = ls.ls_fit in
+        let inflight = ls.ls_inflight in
+        Mutex.unlock t.live_mutex;
+        Obs.Metrics.incr ~by:!added m_live_votes;
+        Obs.Metrics.incr ~by:!late m_live_late;
+        Obs.Metrics.incr ~by:!range m_live_range;
+        Obs.Metrics.incr ~by:!beyond m_live_beyond;
+        Obs.Metrics.incr m_live_batches;
+        let fit_times_ready =
+          Array.length observed > 0
+          && observed.(0) = 1.
+          && Array.exists (fun tm -> tm > 1.) observed
+          (* phi is built from the t = 1 column; a profile resumed from
+             a persisted cursor past t = 1 never sees those votes (they
+             live only in the checkpointed fit), so it keeps serving
+             the recovered fit rather than refitting on a hollow
+             profile *)
+          && Array.exists
+               (fun row -> row.(0) > 0.)
+               density.Socialnet.Density.density
+        in
+        (* drift: the serving fit's error against the cells the stream
+           has fully reached (PDE solves run outside any lock) *)
+        let drift =
+          match serving_fit with
+          | None -> None
+          | Some id -> (
+            Mutex.lock t.cache_mutex;
+            let entry = Hashtbl.find_opt t.cache id in
+            Mutex.unlock t.cache_mutex;
+            match entry with
+            | None -> None
+            | Some entry ->
+              let predict ~x ~t:tq =
+                match predict_point t entry ~x ~tq with
+                | Ok v -> v
+                | Error _ -> Float.nan
+              in
+              Some
+                (Live.Drift.relative_error ~predict ~obs:density
+                   ~times:observed))
+        in
+        (match drift with
+        | Some (d, cells) when cells > 0 -> Obs.Metrics.observe m_live_drift d
+        | _ -> ());
+        let want_refit =
+          fit_times_ready && not inflight
+          &&
+          match drift with
+          | None ->
+            (* no serving fit yet: the initial (cold) daemon fit *)
+            votes >= t.cfg.refit_min_votes
+          | Some (d, cells) ->
+            Live.Drift.should_refit (drift_config t) ~drift:d ~cells ~votes
+              ~votes_at_fit
+        in
+        let scheduled =
+          if not want_refit then false
+          else begin
+            Mutex.lock t.live_mutex;
+            let task =
+              if ls.ls_inflight then None
+              else begin
+                ls.ls_inflight <- true;
+                ls.ls_gen <- ls.ls_gen + 1;
+                Some { rf_story = ls.ls_key; rf_gen = ls.ls_gen }
+              end
+            in
+            (match drift with
+            | Some (d, cells) when cells > 0 -> ls.ls_drift <- d
+            | _ -> ());
+            Mutex.unlock t.live_mutex;
+            match task with
+            | Some task ->
+              schedule_refit t task;
+              true
+            | None -> false
+          end
+        in
+        if not scheduled then begin
+          Mutex.lock t.live_mutex;
+          (match drift with
+          | Some (d, cells) when cells > 0 -> ls.ls_drift <- d
+          | _ -> ());
+          Mutex.unlock t.live_mutex
+        end;
+        Http.json_response 200
+          (Tiny_json.Object
+             [
+               ("story", Tiny_json.String spec.ob_story);
+               ("ingested", Tiny_json.Number (float_of_int !added));
+               ("late", Tiny_json.Number (float_of_int !late));
+               ("out_of_range", Tiny_json.Number (float_of_int !range));
+               ("beyond_horizon", Tiny_json.Number (float_of_int !beyond));
+               ("votes", Tiny_json.Number (float_of_int votes));
+               ("watermark", Tiny_json.Number watermark);
+               ( "drift",
+                 match drift with
+                 | Some (d, cells) when cells > 0 && Float.is_finite d ->
+                   Tiny_json.Number d
+                 | _ -> Tiny_json.Null );
+               ("refit_scheduled", Tiny_json.Bool scheduled);
+               ( "fit",
+                 match serving_fit with
+                 | Some id -> Tiny_json.String id
+                 | None -> Tiny_json.Null );
+             ])))
+
+let handle_live t (req : Http.request) =
+  let wanted = Http.query_param req "story" in
+  Mutex.lock t.live_mutex;
+  let stories =
+    Hashtbl.fold
+      (fun key ls acc ->
+        if match wanted with Some w -> w <> key | None -> false then acc
+        else
+          Tiny_json.Object
+            [
+              ("story", Tiny_json.String key);
+              ( "votes",
+                Tiny_json.Number
+                  (float_of_int (Live.Profile.votes ls.ls_profile)) );
+              ( "watermark",
+                Tiny_json.Number (Live.Profile.watermark ls.ls_profile) );
+              ( "dropped_late",
+                Tiny_json.Number
+                  (float_of_int (Live.Profile.dropped_late ls.ls_profile)) );
+              ( "dropped_range",
+                Tiny_json.Number
+                  (float_of_int (Live.Profile.dropped_range ls.ls_profile)) );
+              ( "beyond_horizon",
+                Tiny_json.Number
+                  (float_of_int (Live.Profile.beyond_horizon ls.ls_profile)) );
+              ("fits", Tiny_json.Number (float_of_int ls.ls_fits));
+              ("refits", Tiny_json.Number (float_of_int ls.ls_refits));
+              ( "drift",
+                if Float.is_finite ls.ls_drift then Tiny_json.Number ls.ls_drift
+                else Tiny_json.Null );
+              ( "fit",
+                match ls.ls_fit with
+                | Some id -> Tiny_json.String id
+                | None -> Tiny_json.Null );
+              ("refit_inflight", Tiny_json.Bool ls.ls_inflight);
+            ]
+          :: acc)
+      t.live []
+  in
+  Mutex.unlock t.live_mutex;
+  Http.json_response 200
+    (Tiny_json.Object
+       [
+         ("schema", Tiny_json.String "dlosn-live/1");
+         ("count", Tiny_json.Number (float_of_int (List.length stories)));
+         ("stories", Tiny_json.List stories);
+       ])
+
 (* --- routing --- *)
 
 let handle_metrics t =
@@ -1035,6 +1812,8 @@ let route_label (req : Http.request) =
   | "/metrics" -> "metrics"
   | "/fit" -> "fit"
   | "/predict" -> "predict"
+  | "/observe" -> "observe"
+  | "/live" -> "live"
   | "/debug/traces" -> "debug_traces"
   | "/debug/flame" -> "debug_flame"
   | _ -> "other"
@@ -1048,11 +1827,13 @@ let route t (req : Http.request) =
   | "POST", "/fit" -> handle_fit t req
   | "GET", "/predict" -> handle_predict t req
   | "POST", "/predict" -> handle_predict_batch t req
+  | "POST", "/observe" -> handle_observe t req
+  | "GET", "/live" -> handle_live t req
   | "GET", "/debug/traces" -> handle_debug_traces t req
   | "GET", "/debug/flame" -> handle_debug_flame t
   | ( _,
-      ( "/healthz" | "/metrics" | "/fit" | "/predict" | "/debug/traces"
-      | "/debug/flame" ) ) ->
+      ( "/healthz" | "/metrics" | "/fit" | "/predict" | "/observe" | "/live"
+      | "/debug/traces" | "/debug/flame" ) ) ->
     error_json 405 (Printf.sprintf "method %s not allowed here" req.Http.meth)
   | _ -> error_json 404 (Printf.sprintf "no such endpoint %s" req.Http.path)
 
@@ -1063,7 +1844,7 @@ let route t (req : Http.request) =
    on a worker domain, or inline on the event-loop thread when no
    workers are available.  Socket I/O happens elsewhere — this function
    never blocks on the network. *)
-let process_request t (job : job) =
+let process_request t (job : request_job) =
   let req = job.jb_req in
   let shard = Obs.Shard.create () in
   let resp =
@@ -1175,11 +1956,16 @@ let rec worker_loop t =
   else begin
     let job = Queue.pop t.queue in
     Mutex.unlock t.qmutex;
-    let msg = process_request t job in
-    Mutex.lock t.done_mutex;
-    Queue.push msg t.done_q;
-    Mutex.unlock t.done_mutex;
-    wake t;
+    (match job with
+    | Jb_request rj ->
+      let msg = process_request t rj in
+      Mutex.lock t.done_mutex;
+      Queue.push msg t.done_q;
+      Mutex.unlock t.done_mutex;
+      wake t
+    | Jb_refit task ->
+      (* daemon work: no connection is waiting on a response *)
+      run_refit t task);
     worker_loop t
   end
 
@@ -1341,7 +2127,7 @@ let event_loop t ~inline =
       if inline then complete c (process_request t job)
       else begin
         Mutex.lock t.qmutex;
-        Queue.push job t.queue;
+        Queue.push (Jb_request job) t.queue;
         Condition.signal t.qcond;
         Mutex.unlock t.qmutex
       end
@@ -1646,6 +2432,7 @@ let run t =
   let jobs =
     if Parallel.Pool.domains_available then Stdlib.max 1 t.cfg.jobs else 0
   in
+  t.live_workers <- jobs > 0;
   Obs.Log.info "serve.listening" ~fields:(fun () ->
       [
         Obs.Log.str "host" t.cfg.host;

@@ -24,9 +24,20 @@
       [{"fit": id?, "points": [[x, t], ...]}] evaluates up to 10k
       points against one cached fit in a single round-trip, reusing
       the per-fit solution memo (one PDE solve per distinct [t]).
+    - [POST /observe] — streaming vote ingestion: a JSON batch of
+      timestamped votes for a story folds into an incremental
+      {!Live.Profile} (O(1) per vote), and drift of the currently
+      serving fit against the accumulated profile may schedule a
+      warm-started background refit on the worker pool.  See
+      [docs/STREAMING.md].
+    - [GET /live[?story=]] — live-ingestion status per story: votes,
+      watermark, drop counters, fits/refits completed, last drift.
     - [GET /debug/traces?n=] — the most recent completed request
       traces (default 32, newest first) as JSON: trace id, method,
       path, status, duration and the full [serve.request] span tree.
+      Spans served from a store-recovered fit carry a
+      [link.trace_id] attribute pointing at the originating fit's
+      trace (across process restarts).
     - [GET /debug/flame] — every trace in the ring rendered as
       folded-stack text ({!Obs.Span.to_folded}), ready for
       flamegraph.pl or speedscope.
@@ -143,6 +154,26 @@ type config = {
       (** head-sampling keep fraction for exported traces and their
           logs, keyed on the trace id ([Otlp.sampled]);
           1.0 (the default) exports everything *)
+  live_lateness : float;
+      (** default out-of-order window for [POST /observe] streams, in
+          event-time hours (default 2; a story's first batch may
+          override it with a ["lateness"] field) *)
+  drift_threshold : float;
+      (** mean relative error of the serving fit against the live
+          profile beyond which a refit is scheduled (default
+          {!Live.Drift.default}) *)
+  refit_min_votes : int;
+      (** profile votes required before the daemon fits at all *)
+  refit_min_new_votes : int;
+      (** votes that must have arrived since the serving fit *)
+  live_seed : int;
+      (** rng seed for daemon fits — fixed, so a refit on the same
+          profile state is exactly reproducible offline (default 7) *)
+  graph : Socialnet.Dataset.t option;
+      (** influence graph used to resolve hop distances for votes that
+          arrive without a ["distance"] label (the first batch must
+          then name the story's ["initiator"]); [None] (the default)
+          makes distance labels mandatory *)
 }
 
 val default_config : config

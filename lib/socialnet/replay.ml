@@ -1,0 +1,85 @@
+type event = {
+  voter : int;
+  time : float;
+  distance : int;
+  channel : Cascade.channel;
+}
+
+type stream = {
+  story : Types.story;
+  events : event array;
+  assignment : int array;
+  max_distance : int;
+  times : float array;
+  population : int array;
+}
+
+let default_params =
+  {
+    Cascade.p_follow = 0.3;
+    initiator_boost = 2.0;
+    follow_delay_mean = 0.6;
+    promote_threshold = 1;
+    front_page_rate = 60.;
+    front_page_decay = 0.25;
+    front_page_burst = 0.2;
+    duration = 8.;
+    max_votes = 3000;
+  }
+
+let default_times = [| 1.; 2.; 3.; 4.; 5.; 6. |]
+
+let simulate ?(scale = Digg.small) ?(params = default_params)
+    ?(max_distance = 6) ?(times = default_times) ~seed () =
+  if Array.length times = 0 then invalid_arg "Replay.simulate: empty times";
+  for i = 1 to Array.length times - 1 do
+    if times.(i) <= times.(i - 1) then
+      invalid_arg "Replay.simulate: times must be ascending"
+  done;
+  let corpus = Digg.build ~scale ~seed () in
+  let ds = corpus.Digg.dataset in
+  (* replay the corpus's s1 setting as a fresh cascade: same initiator
+     and topic, new rng stream, so the traffic is new but plays out on
+     the calibrated graph *)
+  let s1 = Dataset.story ds corpus.Digg.rep_ids.(0) in
+  let initiator = s1.Types.initiator in
+  let topic = s1.Types.topic in
+  let rng = Numerics.Rng.create (seed + 0x5eed) in
+  let story, channels =
+    Cascade.simulate_traced rng ~influence:(Dataset.influence ds)
+      ~affinity:(Digg.affinity corpus ~topic)
+      ~params ~initiator
+      ~story_id:(Dataset.n_stories ds)
+      ~topic ()
+  in
+  let assignment = Distance.friendship_hops ds ~story in
+  let population = Array.make max_distance 0 in
+  Array.iter
+    (fun x ->
+      if x >= 1 && x <= max_distance then
+        population.(x - 1) <- population.(x - 1) + 1)
+    assignment;
+  let events =
+    Array.mapi
+      (fun i (v : Types.vote) ->
+        let distance =
+          if v.Types.user < Array.length assignment then
+            assignment.(v.Types.user)
+          else -1
+        in
+        { voter = v.Types.user; time = v.Types.time; distance;
+          channel = channels.(i) })
+      story.Types.votes
+  in
+  {
+    story;
+    events;
+    assignment;
+    max_distance;
+    times = Array.copy times;
+    population;
+  }
+
+let batch_density s =
+  Density.observe s.story ~assignment:s.assignment
+    ~max_distance:s.max_distance ~times:s.times

@@ -20,12 +20,17 @@ type record = {
   training_error : float;
   evaluations : int;
   starts : int;
+  trace_id : string;
+  obs_cursor : float;
 }
 
 (* v1: no model field (implicitly "dl").  v2: model name after
-   [source].  [decode] accepts both; [encode] always writes the current
-   version. *)
-let version = 2
+   [source].  v3: trailing [trace_id] (the trace that produced the
+   fit, for span links across warm restarts; may be empty) and
+   [obs_cursor] (the live-ingestion watermark at checkpoint time; 0
+   for batch fits).  [decode] accepts all three; [encode] always
+   writes the current version. *)
+let version = 3
 let min_version = 1
 
 let phi r =
@@ -80,6 +85,8 @@ let equal a b =
   && farray_eq a.fit_times b.fit_times
   && float_eq a.training_error b.training_error
   && a.evaluations = b.evaluations && a.starts = b.starts
+  && String.equal a.trace_id b.trace_id
+  && float_eq a.obs_cursor b.obs_cursor
 
 (* --- primitive writers --- *)
 
@@ -216,6 +223,8 @@ let encode r =
   put_float buf r.training_error;
   put_u32 buf r.evaluations;
   put_u32 buf r.starts;
+  put_string buf r.trace_id;
+  put_float buf r.obs_cursor;
   Buffer.contents buf
 
 let decode s =
@@ -259,6 +268,8 @@ let decode s =
       let training_error = get_float cur "training_error" in
       let evaluations = get_u32 cur "evaluations" in
       let starts = get_u32 cur "starts" in
+      let trace_id = if v >= 3 then get_string cur "trace_id" else "" in
+      let obs_cursor = if v >= 3 then get_float cur "obs_cursor" else 0. in
       if cur.pos <> String.length s then
         Error
           (Printf.sprintf "trailing garbage: %d bytes past the record"
@@ -283,6 +294,8 @@ let decode s =
             training_error;
             evaluations;
             starts;
+            trace_id;
+            obs_cursor;
           }
     end
   with

@@ -37,11 +37,21 @@ type record = {
   training_error : float;
   evaluations : int;  (** PDE solves spent by the fit *)
   starts : int;  (** Nelder--Mead restarts *)
+  trace_id : string;
+      (** trace id of the request/daemon run that produced the fit
+          (empty when tracing was off or for pre-v3 records) — lets a
+          restarted server link its serving spans back to the
+          originating fit's trace *)
+  obs_cursor : float;
+      (** live-ingestion watermark (event-time hours) when the fit was
+          checkpointed; 0 for batch fits and pre-v3 records.  A
+          restarted server hands it back to the replay driver so
+          ingestion resumes where the stream left off. *)
 }
 
 val version : int
-(** Payload encoding version written by {!encode} (currently 2, which
-    added the [model] field). *)
+(** Payload encoding version written by {!encode} (currently 3, which
+    added the [trace_id] and [obs_cursor] fields; v2 added [model]). *)
 
 val min_version : int
 (** Oldest payload version {!decode} still accepts (1; such records

@@ -206,8 +206,8 @@ let close t = locked t (fun () -> Wal.close t.wal)
 
 (* --- capturing fits --- *)
 
-let record_of_fit ?id ?(story = "") ?(source = "store") ?(model = "dl") ~phi
-    ~config ~result () =
+let record_of_fit ?id ?(story = "") ?(source = "store") ?(model = "dl")
+    ?(trace_id = "") ?(obs_cursor = 0.) ~phi ~config ~result () =
   let knots = Dl.Initial.knots phi in
   let r =
     {
@@ -228,6 +228,8 @@ let record_of_fit ?id ?(story = "") ?(source = "store") ?(model = "dl") ~phi
       training_error = result.Dl.Fit.training_error;
       evaluations = result.Dl.Fit.evaluations;
       starts = config.Dl.Fit.starts;
+      trace_id;
+      obs_cursor;
     }
   in
   match id with
@@ -243,7 +245,8 @@ let attach_fit_hook t ?source () =
        (fun ev ->
          let record =
            record_of_fit ?id:ev.Dl.Fit.ev_id
-             ?story:ev.Dl.Fit.ev_id ~source ~phi:ev.Dl.Fit.ev_phi
+             ?story:ev.Dl.Fit.ev_id ~source
+             ?trace_id:(Obs.Span.trace_id ()) ~phi:ev.Dl.Fit.ev_phi
              ~config:ev.Dl.Fit.ev_config ~result:ev.Dl.Fit.ev_result ()
          in
          append t record))

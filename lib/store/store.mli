@@ -87,6 +87,8 @@ val record_of_fit :
   ?story:string ->
   ?source:string ->
   ?model:string ->
+  ?trace_id:string ->
+  ?obs_cursor:float ->
   phi:Dl.Initial.t ->
   config:Dl.Fit.config ->
   result:Dl.Fit.result ->

@@ -26,5 +26,6 @@ let () =
       ("serve", Test_serve.suite);
       ("trace", Test_trace.suite);
       ("store", Test_store.suite);
+      ("live", Test_live.suite);
       ("tournament", Test_tournament.suite);
     ]

@@ -67,6 +67,8 @@ let sample_record ?(id = "r1") ?(training_error = 0.25) ?(model = "dl") () =
     training_error;
     evaluations = 321;
     starts = 2;
+    trace_id = "";
+    obs_cursor = 0.;
   }
 
 let small_obs () =
